@@ -1,0 +1,307 @@
+package pdpasim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunFacade(t *testing.T) {
+	spec := WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 1}
+	out, err := Run(spec, Options{Policy: PDPA, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) == 0 {
+		t.Fatal("no jobs")
+	}
+	for _, j := range out.Jobs {
+		if j.Response < j.Execution {
+			t.Fatalf("job %d response %v < execution %v", j.ID, j.Response, j.Execution)
+		}
+		if j.App == "" || j.AvgProcessors <= 0 {
+			t.Fatalf("job %d incomplete: %+v", j.ID, j)
+		}
+	}
+	if out.Makespan <= 0 || out.MaxMPL < 1 {
+		t.Fatalf("outcome: %+v", out)
+	}
+	sum := out.Summary()
+	for _, want := range []string{"PDPA", "bt.A", "apsi", "response"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	spec := WorkloadSpec{Mix: "w1", Load: 0.6, Seed: 2}
+	for _, p := range Policies() {
+		out, err := Run(spec, Options{Policy: p, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if out.Policy == "" {
+			t.Fatalf("%s: empty policy name", p)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(WorkloadSpec{Mix: "bogus"}, Options{Policy: PDPA}); err == nil {
+		t.Fatal("bogus mix accepted")
+	}
+	if _, err := Run(WorkloadSpec{Mix: "w1"}, Options{Policy: "bogus"}); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestWorkloadSpecDefaults(t *testing.T) {
+	w, err := WorkloadSpec{Mix: "w2"}.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NCPU != 60 || w.TargetLoad != 1.0 {
+		t.Fatalf("defaults: ncpu=%d load=%v", w.NCPU, w.TargetLoad)
+	}
+}
+
+func TestUniformRequest(t *testing.T) {
+	w, err := WorkloadSpec{Mix: "w3", UniformRequest: 30}.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range w.Jobs {
+		if j.Request != 30 {
+			t.Fatalf("request = %d", j.Request)
+		}
+	}
+}
+
+func TestWriteSWF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (WorkloadSpec{Mix: "w4", Load: 0.8, Seed: 3}).WriteSWF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "; Version: 2") {
+		t.Fatal("missing SWF header")
+	}
+}
+
+func TestKeepTraceRendering(t *testing.T) {
+	out, err := Run(WorkloadSpec{Mix: "w1", Load: 0.6, Seed: 4},
+		Options{Policy: PDPA, Seed: 4, KeepTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := out.RenderTrace(60, 0, 60*time.Second)
+	if !strings.Contains(view, "cpu00") {
+		t.Fatalf("trace render missing rows: %q", view[:80])
+	}
+	// Without KeepTrace the render degrades gracefully.
+	out2, err := Run(WorkloadSpec{Mix: "w1", Load: 0.6, Seed: 4}, Options{Policy: PDPA, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.RenderTrace(60, 0, 0), "not kept") {
+		t.Fatal("missing KeepTrace hint")
+	}
+}
+
+func TestOutcomeAccessors(t *testing.T) {
+	out, err := Run(WorkloadSpec{Mix: "w2", Load: 0.6, Seed: 5}, Options{Policy: Equipartition, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.ResponseByApp()) == 0 || len(out.ExecutionByApp()) == 0 || len(out.ProcessorsByApp()) == 0 {
+		t.Fatal("per-app accessors empty")
+	}
+	if len(out.MPLTimeline()) == 0 {
+		t.Fatal("MPL timeline empty")
+	}
+}
+
+func TestPDPAParamsPlumbing(t *testing.T) {
+	lax := DefaultPDPAParams()
+	lax.TargetEff = 0.4
+	outLax, err := Run(WorkloadSpec{Mix: "w2", Load: 0.6, Seed: 6},
+		Options{Policy: PDPA, PDPA: lax, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outStrict, err := Run(WorkloadSpec{Mix: "w2", Load: 0.6, Seed: 6},
+		Options{Policy: PDPA, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outLax.ProcessorsByApp()["hydro2d"] <= outStrict.ProcessorsByApp()["hydro2d"] {
+		t.Fatalf("lax target did not increase hydro allocation: %.1f vs %.1f",
+			outLax.ProcessorsByApp()["hydro2d"], outStrict.ProcessorsByApp()["hydro2d"])
+	}
+}
+
+func TestExperimentsFacade(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 12 {
+		t.Fatalf("only %d experiments", len(exps))
+	}
+	text, err := RunExperiment("fig3", ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "swim") {
+		t.Fatal("fig3 report incomplete")
+	}
+	if _, err := RunExperiment("nope", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestApplicationsFacade(t *testing.T) {
+	apps := Applications()
+	if len(apps) != 4 {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	s, err := Speedup("swim", 16)
+	if err != nil || s <= 16 {
+		t.Fatalf("swim S(16) = %v, %v (want superlinear)", s, err)
+	}
+	if _, err := Speedup("nope", 4); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	d, err := DedicatedTime("bt.A", 30)
+	if err != nil || d < 60*time.Second || d > 120*time.Second {
+		t.Fatalf("bt dedicated = %v, %v", d, err)
+	}
+	if _, err := DedicatedTime("nope", 4); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestExtendedPoliciesRun(t *testing.T) {
+	spec := WorkloadSpec{Mix: "w2", Load: 0.6, Seed: 12}
+	for _, p := range ExtendedPolicies() {
+		out, err := Run(spec, Options{Policy: p, Seed: 12})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(out.Jobs) == 0 {
+			t.Fatalf("%s: no jobs", p)
+		}
+	}
+}
+
+func TestNUMAOptionRuns(t *testing.T) {
+	out, err := Run(WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 13},
+		Options{Policy: PDPA, Seed: 13, NUMANodeSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) == 0 {
+		t.Fatal("no jobs")
+	}
+}
+
+func TestUntunedSpecRuns(t *testing.T) {
+	spec := WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 14, UniformRequest: 30}
+	pd, err := Run(spec, Options{Policy: PDPA, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Run(spec, Options{Policy: Equipartition, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Table 3 headline: PDPA's response far better on the untuned mix.
+	if pd.ResponseByApp()["apsi"] >= eq.ResponseByApp()["apsi"] {
+		t.Fatalf("PDPA apsi response %v not better than Equip %v",
+			pd.ResponseByApp()["apsi"], eq.ResponseByApp()["apsi"])
+	}
+}
+
+func TestScorecardFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many simulations")
+	}
+	out := Scorecard(ExperimentOptions{Quick: true})
+	if !strings.Contains(out, "claims reproduced") {
+		t.Fatalf("scorecard output incomplete: %q", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("scorecard has failures:\n%s", out)
+	}
+}
+
+func TestRenderFigureSVGsFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders all figures")
+	}
+	dir := t.TempDir()
+	n, err := RenderFigureSVGs(dir, ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 10 {
+		t.Fatalf("only %d charts", n)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n {
+		t.Fatalf("%d files for %d charts", len(entries), n)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Fatal("not an SVG")
+	}
+}
+
+func TestRunSWFFacade(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 30}).WriteSWF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunSWF(&buf, Options{Policy: PDPA, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) == 0 {
+		t.Fatal("no jobs from SWF replay")
+	}
+	if _, err := RunSWF(strings.NewReader("garbage"), Options{Policy: PDPA}); err == nil {
+		t.Fatal("garbage SWF accepted")
+	}
+}
+
+func TestOutcomeExports(t *testing.T) {
+	out, err := Run(WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 31},
+		Options{Policy: PDPA, Seed: 31, KeepTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv, js, prv bytes.Buffer
+	if err := out.WriteCSV(&csv); err != nil || !strings.Contains(csv.String(), "response_s") {
+		t.Fatalf("csv: %v", err)
+	}
+	if err := out.WriteJSON(&js); err != nil || !strings.Contains(js.String(), "\"policy\"") {
+		t.Fatalf("json: %v", err)
+	}
+	if err := out.WriteParaver(&prv); err != nil || !strings.Contains(prv.String(), "#Paraver") {
+		t.Fatalf("paraver: %v", err)
+	}
+	// Without KeepTrace, Paraver export must error cleanly.
+	out2, err := Run(WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 31}, Options{Policy: PDPA, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out2.WriteParaver(&bytes.Buffer{}); err == nil {
+		t.Fatal("paraver export without trace accepted")
+	}
+}

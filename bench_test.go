@@ -1,0 +1,239 @@
+package pdpasim
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates the artifact end to end (workload
+// generation, full-system simulation under every policy it compares, and row
+// formatting) and reports the artifact's headline numbers as custom metrics,
+// so `go test -bench . -benchmem` both times the reproduction and prints the
+// values to compare against the paper. Run with -v (or read
+// EXPERIMENTS.md) for the full formatted tables.
+
+import (
+	"strings"
+	"testing"
+
+	"pdpasim/internal/app"
+	"pdpasim/internal/cluster"
+	"pdpasim/internal/experiments"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/system"
+	"pdpasim/internal/workload"
+)
+
+// benchOpts keeps benchmark iterations affordable: one seed, the two
+// extreme loads.
+func benchOpts() experiments.Options { return experiments.Quick() }
+
+func runExperiment(b *testing.B, run func(experiments.Options) (experiments.Result, error)) experiments.Result {
+	b.Helper()
+	var res experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if testing.Verbose() {
+		b.Log("\n" + res.String())
+	}
+	return res
+}
+
+// classMetrics runs one workload mix at the given load under every policy
+// and reports avg response times per policy as benchmark metrics.
+func classMetrics(b *testing.B, mix workload.Mix, load float64, c app.Class, metricPrefix string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		w, err := workload.Generate(workload.GenConfig{
+			Mix: mix, Load: load, NCPU: 60, Window: 300 * sim.Second, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pk := range system.PolicyKinds() {
+			res, err := system.Run(system.Config{Workload: w, Policy: pk, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(res.ResponseByClass()[c], string(pk)+"_"+metricPrefix+"_resp_s")
+			}
+		}
+	}
+}
+
+func BenchmarkFig3SpeedupCurves(b *testing.B) {
+	res := runExperiment(b, experiments.Fig3)
+	if !strings.Contains(res.Text, "swim") {
+		b.Fatal("missing curves")
+	}
+	b.ReportMetric(app.ProfileFor(app.Swim).Speedup.Speedup(16), "swim_S16")
+	b.ReportMetric(app.ProfileFor(app.BT).Speedup.Speedup(30), "bt_S30")
+	b.ReportMetric(app.ProfileFor(app.Hydro2D).Speedup.Speedup(30), "hydro_S30")
+	b.ReportMetric(app.ProfileFor(app.Apsi).Speedup.Speedup(30), "apsi_S30")
+}
+
+func BenchmarkTable1WorkloadCharacteristics(b *testing.B) {
+	res := runExperiment(b, experiments.Table1)
+	if !strings.Contains(res.Text, "w4") {
+		b.Fatal("missing mixes")
+	}
+}
+
+func BenchmarkFig4Workload1(b *testing.B) {
+	runExperiment(b, experiments.Fig4)
+}
+
+func BenchmarkFig5TraceViews(b *testing.B) {
+	res := runExperiment(b, experiments.Fig5)
+	if !strings.Contains(res.Text, "cpu00") {
+		b.Fatal("missing trace rows")
+	}
+}
+
+func BenchmarkTable2Stability(b *testing.B) {
+	var irixMig, pdpaMig float64
+	for i := 0; i < b.N; i++ {
+		w, err := workload.Generate(workload.GenConfig{
+			Mix: workload.W1(), Load: 1.0, NCPU: 60, Window: 300 * sim.Second, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pk := range []system.PolicyKind{system.IRIX, system.PDPA, system.Equipartition} {
+			res, err := system.Run(system.Config{Workload: w, Policy: pk, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch pk {
+			case system.IRIX:
+				irixMig = float64(res.Stability.Migrations)
+			case system.PDPA:
+				pdpaMig = float64(res.Stability.Migrations)
+			}
+		}
+	}
+	b.ReportMetric(irixMig, "irix_migrations")
+	b.ReportMetric(pdpaMig, "pdpa_migrations")
+}
+
+func BenchmarkFig6Workload2(b *testing.B) {
+	runExperiment(b, experiments.Fig6)
+}
+
+func BenchmarkFig7MultiprogrammingLevels(b *testing.B) {
+	runExperiment(b, experiments.Fig7)
+}
+
+func BenchmarkFig8MPLTimeline(b *testing.B) {
+	res := runExperiment(b, experiments.Fig8)
+	if !strings.Contains(res.Text, "max ML") {
+		b.Fatal("missing timeline")
+	}
+}
+
+func BenchmarkFig9Workload3(b *testing.B) {
+	classMetrics(b, workload.W3(), 1.0, app.BT, "w3_bt")
+}
+
+func BenchmarkTable3UntunedApsi(b *testing.B) {
+	runExperiment(b, experiments.Table3)
+}
+
+func BenchmarkFig10Workload4(b *testing.B) {
+	classMetrics(b, workload.W4(), 0.8, app.Swim, "w4_swim")
+}
+
+func BenchmarkTable4UntunedWorkload4(b *testing.B) {
+	runExperiment(b, experiments.Table4)
+}
+
+func BenchmarkAblationTargetEfficiency(b *testing.B) {
+	runExperiment(b, experiments.AblationTargetEff)
+}
+
+func BenchmarkAblationStep(b *testing.B) {
+	runExperiment(b, experiments.AblationStep)
+}
+
+func BenchmarkAblationNoise(b *testing.B) {
+	runExperiment(b, experiments.AblationNoise)
+}
+
+// BenchmarkSingleRunPDPA times one full-system simulation (workload 4 at
+// 100% load under PDPA) — the simulator's core throughput number.
+func BenchmarkSingleRunPDPA(b *testing.B) {
+	w, err := workload.Generate(workload.GenConfig{
+		Mix: workload.W4(), Load: 1.0, NCPU: 60, Window: 300 * sim.Second, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := system.Run(system.Config{Workload: w, Policy: system.PDPA, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleRunIRIX times the heaviest regime (per-quantum placement).
+func BenchmarkSingleRunIRIX(b *testing.B) {
+	w, err := workload.Generate(workload.GenConfig{
+		Mix: workload.W1(), Load: 1.0, NCPU: 60, Window: 300 * sim.Second, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := system.Run(system.Config{Workload: w, Policy: system.IRIX, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMalleability(b *testing.B) {
+	runExperiment(b, experiments.AblationMalleability)
+}
+
+func BenchmarkExtendedBaselines(b *testing.B) {
+	runExperiment(b, experiments.ExtendedBaselines)
+}
+
+func BenchmarkMemoryStability(b *testing.B) {
+	runExperiment(b, experiments.MemoryStability)
+}
+
+func BenchmarkMonitoringPath(b *testing.B) {
+	runExperiment(b, experiments.MonitoringPath)
+}
+
+// BenchmarkScorecard times the full claim-verification sweep.
+func BenchmarkScorecard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := Scorecard(ExperimentOptions{Quick: true})
+		if !strings.Contains(out, "claims reproduced") {
+			b.Fatal("scorecard incomplete")
+		}
+	}
+}
+
+// BenchmarkClusterRun times a 4-node coordinated cluster run.
+func BenchmarkClusterRun(b *testing.B) {
+	w, err := workload.Generate(workload.GenConfig{
+		Mix: workload.W4(), Load: 0.8, NCPU: 64, Window: 300 * sim.Second, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Run(cluster.Config{
+			Nodes: 4, CPUsPerNode: 16, Workload: w, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

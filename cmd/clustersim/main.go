@@ -1,0 +1,69 @@
+// Command clustersim runs a workload on a cluster of SMP nodes — the
+// paper's future-work setting (Section 6) — with PDPA on every node and a
+// configurable placement strategy at the front end.
+//
+// Usage:
+//
+//	clustersim -mix w4 -load 0.8 -nodes 4 -cpus 16 -placement coordinated
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pdpasim/internal/app"
+	"pdpasim/internal/cluster"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/workload"
+)
+
+func main() {
+	var (
+		mix       = flag.String("mix", "w4", "workload mix: w1..w4")
+		load      = flag.Float64("load", 0.8, "demand fraction of the total cluster capacity")
+		nodes     = flag.Int("nodes", 4, "number of SMP nodes")
+		cpus      = flag.Int("cpus", 16, "processors per node")
+		placement = flag.String("placement", "coordinated", "round_robin, least_loaded, or coordinated")
+		seed      = flag.Int64("seed", 1, "workload and noise seed")
+	)
+	flag.Parse()
+
+	m, err := workload.MixByName(*mix)
+	if err != nil {
+		fatal(err)
+	}
+	total := *nodes * *cpus
+	w, err := workload.Generate(workload.GenConfig{
+		Mix: m, Load: *load, NCPU: total, Window: 300 * sim.Second, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := cluster.Run(cluster.Config{
+		Nodes: *nodes, CPUsPerNode: *cpus, Workload: w,
+		Placement: cluster.Placement(*placement), Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%d jobs on %d x %d CPUs, placement %s: makespan %.0fs, imbalance %.2f\n",
+		len(res.Jobs), *nodes, *cpus, res.Placement, res.Makespan.Seconds(), res.Imbalance())
+	resp := res.ResponseByClass()
+	classes := make([]app.Class, 0, len(resp))
+	for c := range resp {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		fmt.Printf("  %-8s response %7.1fs\n", c, resp[c])
+	}
+	fmt.Println("per-node jobs:", res.PerNodeJobs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clustersim:", err)
+	os.Exit(1)
+}

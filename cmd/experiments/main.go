@@ -1,0 +1,76 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments               # run everything (the EXPERIMENTS.md dataset)
+//	experiments -run fig4     # one artifact
+//	experiments -quick        # reduced seeds/loads for a fast look
+//	experiments -list         # what is available
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pdpasim"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "", "run only this experiment id (fig3..fig10, tab1..tab4, abl1..abl4, ext1..ext6)")
+		quick     = flag.Bool("quick", false, "reduced seeds and loads")
+		list      = flag.Bool("list", false, "list available experiments")
+		svgDir    = flag.String("svg", "", "also render the figures as SVG charts into this directory")
+		scorecard = flag.Bool("scorecard", false, "verify every encoded paper claim and print pass/fail")
+	)
+	flag.Parse()
+
+	if *scorecard {
+		fmt.Print(pdpasim.Scorecard(pdpasim.ExperimentOptions{Quick: *quick}))
+		return
+	}
+
+	if *list {
+		for _, e := range pdpasim.Experiments() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *svgDir != "" {
+		n, err := pdpasim.RenderFigureSVGs(*svgDir, pdpasim.ExperimentOptions{Quick: *quick})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d SVG charts to %s\n", n, *svgDir)
+		if *run == "" {
+			return
+		}
+	}
+
+	opts := pdpasim.ExperimentOptions{Quick: *quick}
+	ids := []string{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	} else {
+		for _, e := range pdpasim.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		text, err := pdpasim.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", id, time.Since(t0).Seconds())
+	}
+}

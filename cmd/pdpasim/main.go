@@ -1,0 +1,109 @@
+// Command pdpasim runs one workload under one scheduling policy and prints
+// the per-class results — the basic unit of the paper's evaluation.
+//
+// Usage:
+//
+//	pdpasim -mix w3 -load 1.0 -policy pdpa
+//	pdpasim -mix w4 -load 0.6 -policy equip -untuned 30
+//	pdpasim -swf trace.swf -policy pdpa -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pdpasim"
+)
+
+func main() {
+	var (
+		mix     = flag.String("mix", "w1", "workload mix: w1, w2, w3, or w4 (Table 1)")
+		load    = flag.Float64("load", 1.0, "estimated processor demand fraction (0.6, 0.8, 1.0)")
+		policy  = flag.String("policy", "pdpa", "scheduling policy: irix, equip, equal_eff, or pdpa")
+		seed    = flag.Int64("seed", 1, "workload and noise seed")
+		ml      = flag.Int("ml", 4, "fixed multiprogramming level (non-PDPA policies)")
+		noise   = flag.Float64("noise", 0.01, "SelfAnalyzer measurement noise sigma (negative disables)")
+		untuned = flag.Int("untuned", 0, "force every job's request to this many processors (0 = tuned)")
+		swf     = flag.String("swf", "", "replay this SWF trace file instead of generating a workload")
+		ncpu    = flag.Int("ncpu", 60, "machine size")
+		showTr  = flag.Bool("trace", false, "print the execution trace view (Fig. 5 style)")
+		target  = flag.Float64("target-eff", 0.7, "PDPA target efficiency")
+		highEff = flag.Float64("high-eff", 0.9, "PDPA high efficiency")
+		step    = flag.Int("step", 4, "PDPA allocation step")
+		csvOut  = flag.String("csv", "", "write per-job results as CSV to this file")
+		jsonOut = flag.String("json", "", "write the full result as JSON to this file")
+		prvOut  = flag.String("paraver", "", "write the execution trace in Paraver format to this file")
+		chrOut  = flag.String("chrome", "", "write the execution trace in Chrome trace-event format to this file")
+	)
+	flag.Parse()
+
+	params := pdpasim.DefaultPDPAParams()
+	params.TargetEff = *target
+	params.HighEff = *highEff
+	params.Step = *step
+	params.BaseMPL = *ml
+	opts := pdpasim.Options{
+		Policy:     pdpasim.Policy(*policy),
+		PDPA:       params,
+		FixedMPL:   *ml,
+		NoiseSigma: *noise,
+		Seed:       *seed,
+		KeepTrace:  *showTr || *prvOut != "" || *chrOut != "",
+	}
+
+	var (
+		out *pdpasim.Outcome
+		err error
+	)
+	if *swf != "" {
+		f, ferr := os.Open(*swf)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		defer f.Close()
+		out, err = pdpasim.RunSWF(f, opts)
+	} else {
+		spec := pdpasim.WorkloadSpec{
+			Mix: *mix, Load: *load, NCPU: *ncpu, Seed: *seed, UniformRequest: *untuned,
+		}
+		out, err = pdpasim.Run(spec, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(out.Summary())
+	fmt.Printf("stability: %d migrations, avg burst %.0f ms, %.1f bursts/cpu\n",
+		out.Migrations, out.AvgBurst.Seconds()*1000, out.BurstsPerCPU)
+	if *showTr {
+		fmt.Println()
+		fmt.Print(out.RenderTrace(100, 0, 120*time.Second))
+	}
+	writeFile(*csvOut, out.WriteCSV)
+	writeFile(*jsonOut, out.WriteJSON)
+	writeFile(*prvOut, out.WriteParaver)
+	writeFile(*chrOut, out.WriteChromeTracing)
+}
+
+// writeFile writes one export to path using fn (no-op for an empty path).
+func writeFile(path string, fn func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdpasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+// Command traceview runs a workload under a policy and renders the per-CPU
+// execution timeline as ASCII art — the textual counterpart of the paper's
+// Paraver views (Fig. 5). Comparing the same workload under -policy irix and
+// -policy pdpa shows the stability difference at a glance.
+//
+// Usage:
+//
+//	traceview -mix w1 -load 1.0 -policy irix -to 120
+//	traceview -mix w1 -load 1.0 -policy pdpa -to 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pdpasim"
+)
+
+func main() {
+	var (
+		mix    = flag.String("mix", "w1", "workload mix: w1..w4")
+		load   = flag.Float64("load", 1.0, "demand fraction")
+		policy = flag.String("policy", "pdpa", "irix, equip, equal_eff, or pdpa")
+		seed   = flag.Int64("seed", 1, "workload seed")
+		width  = flag.Int("width", 100, "columns in the rendered view")
+		from   = flag.Float64("from", 0, "window start (seconds)")
+		to     = flag.Float64("to", 0, "window end (seconds, 0 = whole run)")
+	)
+	flag.Parse()
+
+	out, err := pdpasim.Run(
+		pdpasim.WorkloadSpec{Mix: *mix, Load: *load, Seed: *seed},
+		pdpasim.Options{Policy: pdpasim.Policy(*policy), Seed: *seed, KeepTrace: true},
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %s: %d migrations, avg burst %.0f ms\n\n",
+		out.Policy, out.Workload, out.Migrations, out.AvgBurst.Seconds()*1000)
+	fmt.Print(out.RenderTrace(*width,
+		time.Duration(*from*float64(time.Second)),
+		time.Duration(*to*float64(time.Second))))
+}

@@ -1,0 +1,52 @@
+// Command wlgen generates workload trace files in the Standard Workload
+// Format (Feitelson SWF v2), the format the paper's evaluation traces use.
+// The identical trace replayed under different policies is what makes the
+// comparison repeatable.
+//
+// Usage:
+//
+//	wlgen -mix w3 -load 1.0 -seed 7 > w3-100.swf
+//	wlgen -mix w4 -load 0.6 -untuned 30 -out w4-untuned.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pdpasim"
+)
+
+func main() {
+	var (
+		mix     = flag.String("mix", "w1", "workload mix: w1, w2, w3, or w4")
+		load    = flag.Float64("load", 1.0, "estimated processor demand fraction")
+		seed    = flag.Int64("seed", 1, "arrival process seed")
+		ncpu    = flag.Int("ncpu", 60, "machine size")
+		untuned = flag.Int("untuned", 0, "force every request to this many processors (0 = tuned)")
+		outPath = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	spec := pdpasim.WorkloadSpec{
+		Mix: *mix, Load: *load, NCPU: *ncpu, Seed: *seed, UniformRequest: *untuned,
+	}
+	if err := spec.WriteSWF(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wlgen:", err)
+	os.Exit(1)
+}

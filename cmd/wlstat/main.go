@@ -1,0 +1,103 @@
+// Command wlstat analyzes a Standard Workload Format trace file: job counts
+// and requests per application class, interarrival statistics, and the
+// estimated machine demand — useful when calibrating or inspecting traces
+// before running them (the paper's methodology fixes one trace per
+// load level and replays it under every policy).
+//
+// Usage:
+//
+//	wlgen -mix w3 -load 1.0 | wlstat
+//	wlstat -f w3-100.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pdpasim/internal/app"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/stats"
+	"pdpasim/internal/workload"
+)
+
+func main() {
+	file := flag.String("f", "", "SWF trace file (default stdin)")
+	window := flag.Float64("window", 300, "submission window in seconds, for the load estimate")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	w, err := workload.ParseSWF(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload %q: %d jobs, machine %d CPUs, calibrated load %.2f\n\n",
+		w.Name, len(w.Jobs), w.NCPU, w.TargetLoad)
+
+	// Per-class composition.
+	fmt.Printf("%-10s %6s %10s %14s %16s\n", "class", "jobs", "requests", "serial work", "held demand")
+	for _, c := range app.AllClasses() {
+		var n int
+		reqs := map[int]int{}
+		for _, j := range w.Jobs {
+			if j.Class == c {
+				n++
+				reqs[j.Request]++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		prof := app.ProfileFor(c)
+		work := float64(n) * prof.TotalSerialWork().Seconds()
+		held := 0.0
+		for req, cnt := range reqs {
+			held += float64(cnt) * float64(req) * prof.DedicatedTime(req).Seconds()
+		}
+		fmt.Printf("%-10s %6d %10s %12.0f cs %14.0f cs\n",
+			c, n, requestSet(reqs), work, held)
+	}
+
+	// Interarrival statistics.
+	var gaps stats.Summary
+	for i := 1; i < len(w.Jobs); i++ {
+		gaps.Add((w.Jobs[i].Submit - w.Jobs[i-1].Submit).Seconds())
+	}
+	fmt.Printf("\ninterarrival: mean %.2fs, cv %.2f, max %.2fs\n",
+		gaps.Mean(), gaps.CoefficientOfVariation(), gaps.Max())
+
+	// Realized load.
+	win := sim.FromSeconds(*window)
+	fmt.Printf("realized load over %.0fs window: %.2f (work) / %.2f (held at requested sizes)\n",
+		*window, w.EstimatedLoad(win),
+		w.Demand(nil)/(float64(w.NCPU)*win.Seconds()))
+}
+
+// requestSet formats the distinct requests seen, e.g. "30" or "2,30".
+func requestSet(reqs map[int]int) string {
+	out := ""
+	for req := 1; req <= 1024; req++ {
+		if reqs[req] > 0 {
+			if out != "" {
+				out += ","
+			}
+			out += fmt.Sprint(req)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wlstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,24 @@
+// Package pdpasim is a full reproduction of "Performance-Driven Processor
+// Allocation" (Corbalan, Martorell, Labarta; OSDI 2000): the PDPA
+// coordinated scheduling policy, the NANOS execution environment it lives in
+// (resource manager, queuing system, runtime library, SelfAnalyzer), the
+// baseline policies it is evaluated against (native IRIX scheduling,
+// Equipartition, Equal_efficiency), and the workloads and experiments of the
+// paper's evaluation — all running on a deterministic discrete-event model
+// of a 64-processor CC-NUMA machine.
+//
+// The package exposes a small façade over the internal packages:
+//
+//	spec := pdpasim.WorkloadSpec{Mix: "w3", Load: 1.0}
+//	out, err := pdpasim.Run(spec, pdpasim.Options{Policy: pdpasim.PDPA})
+//	fmt.Println(out.Summary())
+//
+// runs workload 3 (half bt.A, half apsi) at 100% machine demand under PDPA
+// and reports per-class response and execution times, the multiprogramming
+// level PDPA chose, and scheduling-stability statistics.
+//
+// Every table and figure of the paper can be regenerated through
+// RunExperiment (or `go test -bench .` / cmd/experiments); see DESIGN.md for
+// the per-experiment index and EXPERIMENTS.md for measured-versus-paper
+// results.
+package pdpasim

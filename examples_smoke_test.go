@@ -1,0 +1,41 @@
+package pdpasim
+
+// Smoke tests for the runnable examples: each example must build and run to
+// completion. These shell out to `go run`, so they are skipped in -short
+// mode.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test shells out to go run")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 5 {
+		t.Fatalf("only %d examples", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) < 40 {
+				t.Fatalf("example %s produced suspiciously little output: %q", name, out)
+			}
+		})
+	}
+}

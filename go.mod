@@ -1,0 +1,3 @@
+module pdpasim
+
+go 1.22

@@ -1,0 +1,268 @@
+package app
+
+import (
+	"fmt"
+
+	"pdpasim/internal/sim"
+)
+
+// Class identifies one of the paper's four application types.
+type Class int
+
+// The four applications of the evaluation (Section 5): swim (SpecFP95,
+// superlinear), bt.A (NAS, good scalability), hydro2d (SpecFP95, medium
+// scalability), and apsi (SpecFP95, no scalability).
+const (
+	Swim Class = iota
+	BT
+	Hydro2D
+	Apsi
+	numClasses
+)
+
+// NumClasses is the number of built-in application classes.
+const NumClasses = int(numClasses)
+
+// String returns the application name.
+func (c Class) String() string {
+	switch c {
+	case Swim:
+		return "swim"
+	case BT:
+		return "bt.A"
+	case Hydro2D:
+		return "hydro2d"
+	case Apsi:
+		return "apsi"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Letter returns a one-rune label for trace rendering.
+func (c Class) Letter() rune {
+	switch c {
+	case Swim:
+		return 'S'
+	case BT:
+		return 'B'
+	case Hydro2D:
+		return 'H'
+	case Apsi:
+		return 'a'
+	}
+	return '?'
+}
+
+// Profile is the static description of an application: its scalability, its
+// iterative structure, and its costs. Profiles are immutable and shared.
+type Profile struct {
+	Name  string
+	Class Class
+
+	// Speedup is the application's true speedup curve (Fig. 3). The
+	// schedulers never see it directly; they see SelfAnalyzer measurements
+	// derived from it.
+	Speedup SpeedupModel
+
+	// SerialIterationTime is the duration of one outer-loop iteration on a
+	// single processor, excluding instrumentation overhead.
+	SerialIterationTime sim.Time
+
+	// Iterations is the number of outer-loop iterations the application
+	// executes.
+	Iterations int
+
+	// Request is the processor count the (tuned) job submission asks for.
+	Request int
+
+	// BaselineProcs and BaselineIterations configure the SelfAnalyzer's
+	// baseline measurement: the first BaselineIterations iterations run on
+	// at most BaselineProcs processors.
+	BaselineProcs      int
+	BaselineIterations int
+
+	// MeasurementOverhead is the fractional slowdown instrumentation adds
+	// to every iteration (the paper notes hydro2d "suffers overhead due to
+	// the measurement process").
+	MeasurementOverhead float64
+
+	// ReallocPenalty is wall-clock dead time the application pays each time
+	// its processor allocation changes (thread creation/joining and data
+	// redistribution on the CC-NUMA machine).
+	ReallocPenalty sim.Time
+
+	// LoopSignature is the sequence of parallel-loop identifiers executed by
+	// one outer iteration, used by the Dynamic Periodicity Detector when
+	// monitoring binary-only applications.
+	LoopSignature []uint64
+
+	// Phases optionally makes the application's scalability change over its
+	// run — the paper's Section 3.1 caveat about iterative parallel regions
+	// with a variable working set. Entries must be sorted by FromIteration;
+	// before the first entry (and with no entries) Speedup applies.
+	Phases []Phase
+}
+
+// Phase is one behavioural regime of a phase-changing application.
+type Phase struct {
+	// FromIteration is the first outer-loop iteration this model governs.
+	FromIteration int
+	// Speedup is the true curve during the phase.
+	Speedup SpeedupModel
+}
+
+// SpeedupAt returns the speedup model governing the given iteration.
+func (p *Profile) SpeedupAt(iteration int) SpeedupModel {
+	model := p.Speedup
+	for _, ph := range p.Phases {
+		if iteration >= ph.FromIteration {
+			model = ph.Speedup
+		} else {
+			break
+		}
+	}
+	return model
+}
+
+// TotalSerialWork returns the application's total work in serial-seconds,
+// excluding instrumentation overhead.
+func (p *Profile) TotalSerialWork() sim.Time {
+	return p.SerialIterationTime * sim.Time(p.Iterations)
+}
+
+// DedicatedTime estimates the wall time on a dedicated machine with procs
+// processors, ignoring baseline measurement (the steady-state time the
+// workload generator uses to calibrate load).
+func (p *Profile) DedicatedTime(procs int) sim.Time {
+	s := p.Speedup.Speedup(procs)
+	return sim.Time(float64(p.TotalSerialWork()) / s)
+}
+
+// Validate checks the profile invariants.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("app: profile without name")
+	case p.Speedup == nil:
+		return fmt.Errorf("app %s: nil speedup model", p.Name)
+	case p.SerialIterationTime <= 0:
+		return fmt.Errorf("app %s: non-positive iteration time", p.Name)
+	case p.Iterations <= 0:
+		return fmt.Errorf("app %s: non-positive iteration count", p.Name)
+	case p.Request < 1:
+		return fmt.Errorf("app %s: request < 1", p.Name)
+	case p.BaselineProcs < 1:
+		return fmt.Errorf("app %s: baseline procs < 1", p.Name)
+	case p.BaselineIterations < 0 || p.BaselineIterations >= p.Iterations:
+		return fmt.Errorf("app %s: baseline iterations %d out of range", p.Name, p.BaselineIterations)
+	case p.MeasurementOverhead < 0:
+		return fmt.Errorf("app %s: negative measurement overhead", p.Name)
+	case p.ReallocPenalty < 0:
+		return fmt.Errorf("app %s: negative realloc penalty", p.Name)
+	}
+	for i, ph := range p.Phases {
+		if ph.Speedup == nil {
+			return fmt.Errorf("app %s: phase %d without speedup model", p.Name, i)
+		}
+		if ph.FromIteration <= 0 || ph.FromIteration >= p.Iterations {
+			return fmt.Errorf("app %s: phase %d boundary %d out of range", p.Name, i, ph.FromIteration)
+		}
+		if i > 0 && ph.FromIteration <= p.Phases[i-1].FromIteration {
+			return fmt.Errorf("app %s: phases not sorted", p.Name)
+		}
+	}
+	return nil
+}
+
+// The calibrated speedup curves. Shapes follow Fig. 3; magnitudes are
+// calibrated so standalone execution times with the tuned request match the
+// per-application times reported in Tables 3 and 4 (see DESIGN.md).
+var (
+	// swimCurve is superlinear in the 8–16 range (the working set fits the
+	// aggregate cache), still rising but with a sharply lower relative
+	// speedup beyond ~16 — the property PDPA's RelativeSpeedup test detects
+	// (Section 5.4).
+	swimCurve = MustTable(
+		Point{1, 1}, Point{2, 2.05}, Point{4, 4.3}, Point{8, 10.5},
+		Point{12, 17.5}, Point{16, 24.0}, Point{20, 26.5}, Point{24, 28.0},
+		Point{30, 29.5}, Point{40, 31.0}, Point{50, 32.0}, Point{60, 32.5},
+	)
+	// btCurve scales well and steadily: efficiency stays above high_eff=0.9
+	// out to the full 30-processor request (the paper's PDPA grows bt to
+	// 20-30 processors), then degrades.
+	btCurve = MustTable(
+		Point{1, 1}, Point{2, 1.98}, Point{4, 3.9}, Point{8, 7.6},
+		Point{12, 11.3}, Point{16, 14.9}, Point{20, 18.4}, Point{24, 21.8},
+		Point{30, 27.2}, Point{40, 34.0}, Point{50, 39.0}, Point{60, 43.0},
+	)
+	// hydroCurve saturates around ten processors (medium scalability). Its
+	// 0.7-efficiency frontier sits at exactly 10 processors — the paper
+	// reports PDPA settling hydro2d at 9-10.
+	hydroCurve = MustTable(
+		Point{1, 1}, Point{2, 1.9}, Point{4, 3.5}, Point{8, 5.9},
+		Point{10, 7.05}, Point{12, 7.6}, Point{16, 8.4}, Point{20, 8.9},
+		Point{24, 9.3}, Point{30, 9.8}, Point{40, 10.2}, Point{50, 10.4},
+		Point{60, 10.5},
+	)
+	// apsiCurve does not scale: efficiency at its tuned request of 2 sits
+	// just above the paper's target_eff=0.7, so PDPA holds the tuned
+	// request while shrinking any larger allocation down to it.
+	apsiCurve = MustTable(
+		Point{1, 1}, Point{2, 1.48}, Point{4, 1.58}, Point{8, 1.64},
+		Point{12, 1.66}, Point{30, 1.68}, Point{60, 1.68},
+	)
+)
+
+// Profiles returns the calibrated profile for each application class.
+// The returned profile is a fresh copy; callers may adjust Request (the
+// untuned experiments of Tables 3 and 4 set every request to 30).
+func ProfileFor(c Class) *Profile {
+	var p Profile
+	switch c {
+	case Swim:
+		p = Profile{
+			Name: "swim", Class: Swim, Speedup: swimCurve,
+			SerialIterationTime: 3500 * sim.Millisecond, Iterations: 60,
+			Request: 30, BaselineProcs: 4, BaselineIterations: 2,
+			MeasurementOverhead: 0.005,
+			ReallocPenalty:      60 * sim.Millisecond,
+			LoopSignature:       []uint64{0x401100, 0x401240, 0x4013a0, 0x401520},
+		}
+	case BT:
+		p = Profile{
+			Name: "bt.A", Class: BT, Speedup: btCurve,
+			SerialIterationTime: 11 * sim.Second, Iterations: 200,
+			Request: 30, BaselineProcs: 4, BaselineIterations: 2,
+			MeasurementOverhead: 0.003,
+			ReallocPenalty:      80 * sim.Millisecond,
+			LoopSignature: []uint64{0x402000, 0x402140, 0x402300, 0x402480,
+				0x402600, 0x402780, 0x402900, 0x402a80},
+		}
+	case Hydro2D:
+		p = Profile{
+			Name: "hydro2d", Class: Hydro2D, Speedup: hydroCurve,
+			SerialIterationTime: 2800 * sim.Millisecond, Iterations: 100,
+			Request: 30, BaselineProcs: 4, BaselineIterations: 2,
+			// hydro2d is the application the paper singles out as suffering
+			// from instrumentation overhead.
+			MeasurementOverhead: 0.04,
+			ReallocPenalty:      50 * sim.Millisecond,
+			LoopSignature:       []uint64{0x403000, 0x403150, 0x4032a0, 0x403400, 0x403560, 0x4036c0},
+		}
+	case Apsi:
+		p = Profile{
+			Name: "apsi", Class: Apsi, Speedup: apsiCurve,
+			SerialIterationTime: 2 * sim.Second, Iterations: 75,
+			Request: 2, BaselineProcs: 2, BaselineIterations: 2,
+			MeasurementOverhead: 0.005,
+			ReallocPenalty:      30 * sim.Millisecond,
+			LoopSignature:       []uint64{0x404000, 0x404180, 0x404300},
+		}
+	default:
+		panic(fmt.Sprintf("app: unknown class %d", int(c)))
+	}
+	return &p
+}
+
+// AllClasses lists the built-in classes in canonical order.
+func AllClasses() []Class { return []Class{Swim, BT, Hydro2D, Apsi} }

@@ -1,0 +1,207 @@
+// Package chart renders simple line charts as SVG using only the standard
+// library. It exists so the repository can regenerate the paper's figures as
+// actual plots (response/execution time versus load per policy, speedup
+// curves, the multiprogramming-level timeline), not just as text tables.
+package chart
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a single-panel line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height are the SVG dimensions in pixels (defaults 560x360).
+	Width, Height int
+	// YMin/YMax fix the Y range; both zero = auto from the data (with a
+	// zero baseline).
+	YMin, YMax float64
+}
+
+// palette holds distinguishable line colors (colorblind-safe-ish).
+var palette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000",
+}
+
+const (
+	marginLeft   = 64.0
+	marginRight  = 16.0
+	marginTop    = 32.0
+	marginBottom = 48.0
+)
+
+// Validate checks the chart is renderable.
+func (c *Chart) Validate() error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("chart %q: no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("chart %q series %q: %d x values vs %d y values",
+				c.Title, s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("chart %q series %q: empty", c.Title, s.Name)
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsInf(s.X[i], 0) ||
+				math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				return fmt.Errorf("chart %q series %q: non-finite point %d", c.Title, s.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, xmax = math.Inf(1), math.Inf(-1)
+	ymin, ymax = math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	} else {
+		ymin = math.Min(0, ymin) // zero baseline by default
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return
+}
+
+// WriteSVG renders the chart.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 560
+	}
+	if height <= 0 {
+		height = 360
+	}
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+	xmin, xmax, ymin, ymax := c.bounds()
+	xpos := func(x float64) float64 { return marginLeft + (x-xmin)/(xmax-xmin)*plotW }
+	ypos := func(y float64) float64 { return marginTop + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	// Title.
+	fmt.Fprintf(bw, `<text x="%g" y="18" font-size="13" font-weight="bold">%s</text>`+"\n",
+		marginLeft, esc(c.Title))
+	// Axes.
+	fmt.Fprintf(bw, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(bw, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	// Y ticks and gridlines.
+	for i := 0; i <= 4; i++ {
+		v := ymin + (ymax-ymin)*float64(i)/4
+		y := ypos(v)
+		fmt.Fprintf(bw, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(bw, `<text x="%g" y="%g" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, fmtTick(v))
+	}
+	// X ticks (at the union of the series' x values, up to 8).
+	for _, x := range c.xTicks(8) {
+		px := xpos(x)
+		fmt.Fprintf(bw, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			px, marginTop+plotH, px, marginTop+plotH+4)
+		fmt.Fprintf(bw, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+			px, marginTop+plotH+18, fmtTick(x))
+	}
+	// Axis labels.
+	fmt.Fprintf(bw, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, float64(height)-8, esc(c.XLabel))
+	fmt.Fprintf(bw, `<text x="14" y="%g" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, esc(c.YLabel))
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		fmt.Fprintf(bw, `<polyline fill="none" stroke="%s" stroke-width="2" points="`, color)
+		for i := range s.X {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%.1f,%.1f", xpos(s.X[i]), ypos(s.Y[i]))
+		}
+		fmt.Fprintln(bw, `"/>`)
+		for i := range s.X {
+			fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				xpos(s.X[i]), ypos(s.Y[i]), color)
+		}
+		// Legend entry.
+		lx := marginLeft + plotW - 110
+		ly := marginTop + 8 + float64(si)*16
+		fmt.Fprintf(bw, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+18, ly, color)
+		fmt.Fprintf(bw, `<text x="%g" y="%g">%s</text>`+"\n", lx+24, ly+4, esc(s.Name))
+	}
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}
+
+// xTicks returns up to maxTicks distinct x values across all series.
+func (c *Chart) xTicks(maxTicks int) []float64 {
+	seen := map[float64]bool{}
+	var ticks []float64
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				ticks = append(ticks, x)
+			}
+		}
+	}
+	if len(ticks) > maxTicks {
+		step := len(ticks) / maxTicks
+		var out []float64
+		for i := 0; i < len(ticks); i += step + 1 {
+			out = append(out, ticks[i])
+		}
+		return out
+	}
+	return ticks
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func esc(s string) string {
+	var b bytes.Buffer
+	_ = xml.EscapeText(&b, []byte(s))
+	return b.String()
+}

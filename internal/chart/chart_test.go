@@ -1,0 +1,133 @@
+package chart
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "Workload 1 <response>",
+		XLabel: "load (%)",
+		YLabel: "seconds",
+		Series: []Series{
+			{Name: "PDPA", X: []float64{60, 80, 100}, Y: []float64{11, 23, 33}},
+			{Name: "Equip", X: []float64{60, 80, 100}, Y: []float64{9, 15, 20}},
+		},
+	}
+}
+
+func TestWriteSVGWellFormedXML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "polyline", "PDPA", "Equip", "load (%)", "&lt;response&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatal("expected one polyline per series")
+	}
+}
+
+func TestValidateRejectsBadSeries(t *testing.T) {
+	cases := []*Chart{
+		{Title: "empty"},
+		{Title: "mismatch", Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}},
+		{Title: "empty series", Series: []Series{{Name: "a"}}},
+		{Title: "nan", Series: []Series{{Name: "a", X: []float64{math.NaN()}, Y: []float64{1}}}},
+		{Title: "inf", Series: []Series{{Name: "a", X: []float64{1}, Y: []float64{math.Inf(1)}}}},
+	}
+	for _, c := range cases {
+		if err := c.WriteSVG(&bytes.Buffer{}); err == nil {
+			t.Errorf("%s: accepted", c.Title)
+		}
+	}
+}
+
+func TestDegenerateRangesRender(t *testing.T) {
+	c := &Chart{
+		Title: "flat",
+		Series: []Series{
+			{Name: "const", X: []float64{5, 5, 5}, Y: []float64{3, 3, 3}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Fatal("degenerate range produced non-finite coordinates")
+	}
+}
+
+func TestCustomSizeAndRange(t *testing.T) {
+	c := sampleChart()
+	c.Width, c.Height = 800, 500
+	c.YMin, c.YMax = 0, 100
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="800" height="500"`) {
+		t.Fatal("custom size ignored")
+	}
+}
+
+func TestXTicksBounded(t *testing.T) {
+	xs := make([]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i * i)
+	}
+	c := &Chart{Title: "many", Series: []Series{{Name: "s", X: xs, Y: ys}}}
+	if got := c.xTicks(8); len(got) > 9 {
+		t.Fatalf("ticks = %d", len(got))
+	}
+}
+
+// Property: any finite data renders parseable XML with no NaN coordinates.
+func TestRenderProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(i)
+			ys[i] = float64(v)
+		}
+		c := &Chart{Title: "p", Series: []Series{{Name: "s", X: xs, Y: ys}}}
+		var buf bytes.Buffer
+		if err := c.WriteSVG(&buf); err != nil {
+			return false
+		}
+		s := buf.String()
+		return !strings.Contains(s, "NaN") && strings.HasSuffix(strings.TrimSpace(s), "</svg>")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+// Package cluster implements the paper's second future-work direction
+// (Section 6): running the scheduling environment "on clusters of SMPs,
+// where the resources are physically distributed", with cooperation between
+// the scheduling policies running on the different machines.
+//
+// A Cluster is a set of SMP nodes, each with its own machine model and its
+// own resource manager (typically PDPA), plus a front-end dispatcher that
+// holds the global job queue and routes each job to a node. Jobs do not span
+// nodes (the paper's model: each application is given resources on one
+// machine); the interesting questions are placement quality and how much a
+// partitioned machine loses against a single shared-memory machine of the
+// same total size.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"pdpasim/internal/app"
+	"pdpasim/internal/core"
+	"pdpasim/internal/machine"
+	"pdpasim/internal/metrics"
+	"pdpasim/internal/nthlib"
+	"pdpasim/internal/qs"
+	"pdpasim/internal/rm"
+	"pdpasim/internal/sched"
+	"pdpasim/internal/selfanalyzer"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/stats"
+	"pdpasim/internal/trace"
+	"pdpasim/internal/workload"
+)
+
+// Placement selects the node an admissible job goes to.
+type Placement string
+
+// Placement strategies.
+const (
+	// RoundRobin cycles through nodes regardless of load.
+	RoundRobin Placement = "round_robin"
+	// LeastLoaded picks the node with the most free processors.
+	LeastLoaded Placement = "least_loaded"
+	// Coordinated asks every node's resource manager whether it would
+	// admit a job now (the PDPA admission criterion evaluated per node) and
+	// picks the admitting node with the most free processors — the
+	// cross-machine cooperation the paper sketches.
+	Coordinated Placement = "coordinated"
+)
+
+// Config parameterizes a cluster run.
+type Config struct {
+	// Nodes is the number of SMP nodes.
+	Nodes int
+	// CPUsPerNode is each node's processor count.
+	CPUsPerNode int
+	// Placement selects the dispatch strategy (default Coordinated).
+	Placement Placement
+	// PDPAParams configures each node's PDPA instance (nil = defaults).
+	PDPAParams *core.Params
+	// Workload is the job stream (its NCPU field is ignored; nodes define
+	// the capacity).
+	Workload *workload.Workload
+	// NoiseSigma is the SelfAnalyzer noise (default 1%; negative disables).
+	NoiseSigma float64
+	// Seed drives measurement noise.
+	Seed int64
+	// MaxSimTime bounds the run (default 50000 s).
+	MaxSimTime sim.Time
+}
+
+func (c *Config) withDefaults() error {
+	if c.Nodes < 1 || c.CPUsPerNode < 1 {
+		return fmt.Errorf("cluster: need at least one node and one CPU")
+	}
+	if c.Workload == nil || len(c.Workload.Jobs) == 0 {
+		return fmt.Errorf("cluster: empty workload")
+	}
+	if c.Placement == "" {
+		c.Placement = Coordinated
+	}
+	switch c.Placement {
+	case RoundRobin, LeastLoaded, Coordinated:
+	default:
+		return fmt.Errorf("cluster: unknown placement %q", c.Placement)
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 0.01
+	}
+	if c.NoiseSigma < 0 {
+		c.NoiseSigma = 0
+	}
+	if c.MaxSimTime <= 0 {
+		c.MaxSimTime = 50000 * sim.Second
+	}
+	return nil
+}
+
+// node is one SMP of the cluster.
+type node struct {
+	index   int
+	mach    *machine.Machine
+	rec     *trace.Recorder
+	mgr     *rm.SpaceManager
+	running int
+}
+
+func (n *node) free() int { return n.mach.FreeCPUs() }
+
+// Result is the outcome of a cluster run.
+type Result struct {
+	Jobs []metrics.JobResult
+	// NodeOf records which node each job ran on.
+	NodeOf map[int]int
+	// Makespan is the last completion time.
+	Makespan sim.Time
+	// PerNodeBusy is each node's total busy CPU-seconds.
+	PerNodeBusy []float64
+	// PerNodeJobs is how many jobs each node executed.
+	PerNodeJobs []int
+	// Placement echoes the strategy used.
+	Placement Placement
+}
+
+// ResponseByClass returns the mean response time per class in seconds.
+func (r *Result) ResponseByClass() map[app.Class]float64 {
+	sums := map[app.Class]*stats.Summary{}
+	for _, j := range r.Jobs {
+		if sums[j.Class] == nil {
+			sums[j.Class] = &stats.Summary{}
+		}
+		sums[j.Class].Add(j.Response().Seconds())
+	}
+	out := map[app.Class]float64{}
+	for c, s := range sums {
+		out[c] = s.Mean()
+	}
+	return out
+}
+
+// Imbalance returns the ratio between the busiest and least-busy node's
+// CPU-seconds (1 = perfectly balanced).
+func (r *Result) Imbalance() float64 {
+	if len(r.PerNodeBusy) == 0 {
+		return 1
+	}
+	lo, hi := r.PerNodeBusy[0], r.PerNodeBusy[0]
+	for _, b := range r.PerNodeBusy {
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	if lo <= 0 {
+		return hi + 1 // degenerate: an idle node
+	}
+	return hi / lo
+}
+
+// Run executes the workload on the cluster: a single global FIFO queue, one
+// PDPA-driven resource manager per node, and the configured placement
+// strategy deciding where each admitted job runs.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	noise := stats.NewRNG(cfg.Seed).Stream("cluster-noise")
+	params := core.DefaultParams()
+	if cfg.PDPAParams != nil {
+		params = *cfg.PDPAParams
+	}
+
+	nodes := make([]*node, cfg.Nodes)
+	for i := range nodes {
+		rec := trace.NewRecorder(cfg.CPUsPerNode)
+		rec.KeepBursts = false
+		mach := machine.New(cfg.CPUsPerNode, rec)
+		pol, err := core.New(params)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = &node{
+			index: i,
+			mach:  mach,
+			rec:   rec,
+			mgr:   rm.NewSpaceManager(eng, mach, pol, rec),
+		}
+	}
+
+	res := &Result{
+		NodeOf:      map[int]int{},
+		PerNodeBusy: make([]float64, cfg.Nodes),
+		PerNodeJobs: make([]int, cfg.Nodes),
+		Placement:   cfg.Placement,
+	}
+	type track struct {
+		job        workload.Job
+		node       *node
+		start, end sim.Time
+		done       bool
+	}
+	tracks := map[int]*track{}
+
+	rr := 0
+	pick := func(job workload.Job) *node {
+		switch cfg.Placement {
+		case RoundRobin:
+			n := nodes[rr%len(nodes)]
+			rr++
+			return n
+		case LeastLoaded:
+			return mostFree(nodes, nil)
+		default: // Coordinated
+			admitting := make([]*node, 0, len(nodes))
+			for _, n := range nodes {
+				if n.mgr.CanAdmit() {
+					admitting = append(admitting, n)
+				}
+			}
+			if len(admitting) == 0 {
+				return nil
+			}
+			return mostFree(admitting, nil)
+		}
+	}
+
+	var queue *qs.QueuingSystem
+	start := func(job workload.Job) {
+		n := pick(job)
+		if n == nil {
+			// Defensive: admission said yes, placement found nobody — put
+			// the job on the globally freest node.
+			n = mostFree(nodes, nil)
+		}
+		id := sched.JobID(job.ID)
+		prof := app.ProfileFor(job.Class)
+		an := selfanalyzer.MustNew(
+			selfanalyzer.ConfigFor(prof, cfg.NoiseSigma),
+			noise.Stream(fmt.Sprintf("job/%d", job.ID)))
+		request := job.Request
+		if request > cfg.CPUsPerNode {
+			request = cfg.CPUsPerNode // jobs cannot span nodes
+		}
+		tr := &track{job: job, node: n, start: eng.Now()}
+		tracks[job.ID] = tr
+		var rt *nthlib.Runtime
+		rt = nthlib.New(eng, prof, request, an, nthlib.Hooks{
+			OnPerformance: func(m selfanalyzer.Measurement) { n.mgr.ReportPerformance(id, m) },
+			OnDone: func() {
+				tr.end = eng.Now()
+				tr.done = true
+				n.mgr.JobFinished(id)
+				n.running--
+				queue.JobCompleted()
+			},
+		})
+		rt.SetGranularity(job.Granularity())
+		n.running++
+		res.NodeOf[job.ID] = n.index
+		res.PerNodeJobs[n.index]++
+		n.mgr.StartJob(id, rt)
+	}
+
+	canAdmit := func() bool {
+		if cfg.Placement != Coordinated {
+			return true
+		}
+		for _, n := range nodes {
+			if n.mgr.CanAdmit() {
+				return true
+			}
+		}
+		return false
+	}
+	queue = qs.New(eng, 0, canAdmit, start, nil)
+	for _, n := range nodes {
+		n.mgr.SetAdmissionChanged(queue.TryStart)
+	}
+	queue.SubmitAll(cfg.Workload)
+
+	eng.Run(cfg.MaxSimTime)
+	if !queue.Drained() {
+		return nil, fmt.Errorf("cluster: workload did not drain within %v (%d queued, %d running)",
+			cfg.MaxSimTime, queue.Queued(), queue.Running())
+	}
+
+	for _, job := range cfg.Workload.Jobs {
+		tr := tracks[job.ID]
+		if tr == nil || !tr.done {
+			return nil, fmt.Errorf("cluster: job %d not completed", job.ID)
+		}
+		cpuSec := metrics.IntegrateAllocation(tr.node.rec.AllocationHistory(job.ID), tr.end)
+		jr := metrics.JobResult{
+			ID: job.ID, Class: job.Class, Request: job.Request,
+			Submit: job.Submit, Start: tr.start, End: tr.end,
+			CPUSeconds: cpuSec,
+		}
+		if exec := jr.Execution().Seconds(); exec > 0 {
+			jr.AvgAlloc = cpuSec / exec
+		}
+		res.Jobs = append(res.Jobs, jr)
+		res.PerNodeBusy[tr.node.index] += cpuSec
+		if tr.end > res.Makespan {
+			res.Makespan = tr.end
+		}
+	}
+	sort.Slice(res.Jobs, func(i, j int) bool { return res.Jobs[i].ID < res.Jobs[j].ID })
+	for _, n := range nodes {
+		n.rec.Close(res.Makespan)
+	}
+	return res, nil
+}
+
+// mostFree returns the node with the most free processors (ties to the
+// lowest index). filter may be nil.
+func mostFree(nodes []*node, filter func(*node) bool) *node {
+	var best *node
+	for _, n := range nodes {
+		if filter != nil && !filter(n) {
+			continue
+		}
+		if best == nil || n.free() > best.free() {
+			best = n
+		}
+	}
+	return best
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"testing"
+
+	"pdpasim/internal/app"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/workload"
+)
+
+func testWorkload(t *testing.T, mix workload.Mix, load float64, seed int64) *workload.Workload {
+	t.Helper()
+	w, err := workload.Generate(workload.GenConfig{
+		Mix: mix, Load: load, NCPU: 64, Window: 200 * sim.Second, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	w := testWorkload(t, workload.W3(), 0.5, 1)
+	if _, err := Run(Config{Nodes: 0, CPUsPerNode: 16, Workload: w}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := Run(Config{Nodes: 4, CPUsPerNode: 16, Workload: w, Placement: "bogus"}); err == nil {
+		t.Fatal("bogus placement accepted")
+	}
+}
+
+func TestClusterRunsAllPlacements(t *testing.T) {
+	w := testWorkload(t, workload.W3(), 0.5, 1)
+	for _, pl := range []Placement{RoundRobin, LeastLoaded, Coordinated} {
+		res, err := Run(Config{Nodes: 4, CPUsPerNode: 16, Workload: w, Placement: pl, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", pl, err)
+		}
+		if len(res.Jobs) != len(w.Jobs) {
+			t.Fatalf("%s: %d results", pl, len(res.Jobs))
+		}
+		for _, j := range res.Jobs {
+			if j.End <= j.Start || j.CPUSeconds <= 0 {
+				t.Fatalf("%s: job %d inconsistent: %+v", pl, j.ID, j)
+			}
+			node, ok := res.NodeOf[j.ID]
+			if !ok || node < 0 || node >= 4 {
+				t.Fatalf("%s: job %d node %d", pl, j.ID, node)
+			}
+		}
+		total := 0
+		for _, n := range res.PerNodeJobs {
+			total += n
+		}
+		if total != len(w.Jobs) {
+			t.Fatalf("%s: per-node job counts sum to %d", pl, total)
+		}
+	}
+}
+
+func TestClusterRoundRobinSpreads(t *testing.T) {
+	w := testWorkload(t, workload.W3(), 0.5, 2)
+	res, err := Run(Config{Nodes: 4, CPUsPerNode: 16, Workload: w, Placement: RoundRobin, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range res.PerNodeJobs {
+		if n == 0 {
+			t.Fatalf("node %d received no jobs under round robin: %v", i, res.PerNodeJobs)
+		}
+	}
+}
+
+func TestClusterJobsClampedToNode(t *testing.T) {
+	// Jobs requesting 30 on 16-CPU nodes must still complete (clamped).
+	w := testWorkload(t, workload.W1(), 0.5, 3)
+	res, err := Run(Config{Nodes: 4, CPUsPerNode: 16, Workload: w, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Jobs {
+		if j.AvgAlloc > 16 {
+			t.Fatalf("job %d averaged %.1f CPUs on a 16-CPU node", j.ID, j.AvgAlloc)
+		}
+	}
+}
+
+func TestClusterCoordinatedBeatsRoundRobinOnImbalance(t *testing.T) {
+	// With heavy, long jobs, blind round-robin can pile work on one node.
+	w := testWorkload(t, workload.W2(), 0.8, 4)
+	rr, err := Run(Config{Nodes: 4, CPUsPerNode: 16, Workload: w, Placement: RoundRobin, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := Run(Config{Nodes: 4, CPUsPerNode: 16, Workload: w, Placement: Coordinated, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coordinated placement should not be meaningfully worse on makespan.
+	if coord.Makespan > rr.Makespan+rr.Makespan/4 {
+		t.Fatalf("coordinated makespan %v much worse than round robin %v",
+			coord.Makespan, rr.Makespan)
+	}
+}
+
+func TestClusterVersusSingleMachine(t *testing.T) {
+	// A 4x16 cluster cannot beat a single 64-CPU machine for 30-CPU
+	// requests (jobs are clamped to 16), but it must stay within a small
+	// factor — the partitioning cost the future work discusses.
+	w := testWorkload(t, workload.W3(), 0.5, 5)
+	res, err := Run(Config{Nodes: 4, CPUsPerNode: 16, Workload: w, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := res.ResponseByClass()
+	if resp[app.Apsi] <= 0 || resp[app.BT] <= 0 {
+		t.Fatalf("responses: %v", resp)
+	}
+	if res.Imbalance() > 25 {
+		t.Fatalf("imbalance = %.1f", res.Imbalance())
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	w := testWorkload(t, workload.W4(), 0.5, 6)
+	a, err := Run(Config{Nodes: 2, CPUsPerNode: 32, Workload: w, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Nodes: 2, CPUsPerNode: 32, Workload: w, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("makespan differs: %v vs %v", a.Makespan, b.Makespan)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].End != b.Jobs[i].End || a.NodeOf[a.Jobs[i].ID] != b.NodeOf[b.Jobs[i].ID] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+}
+
+func TestImbalanceDegenerate(t *testing.T) {
+	r := &Result{}
+	if r.Imbalance() != 1 {
+		t.Fatal("empty imbalance")
+	}
+	r.PerNodeBusy = []float64{0, 100}
+	if r.Imbalance() <= 1 {
+		t.Fatal("idle-node imbalance should be large")
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pdpasim/internal/app"
+	"pdpasim/internal/system"
+	"pdpasim/internal/workload"
+)
+
+// AblationTargetEff sweeps PDPA's target efficiency on workload 4: a lower
+// target hands out more processors (better individual execution time, worse
+// packing); a higher target packs tighter.
+func AblationTargetEff(o Options) (Result, error) {
+	o = o.withDefaults()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %10s %10s %12s %10s %12s\n",
+		"target_eff", "hydro cpus", "hydro exec", "apsi resp", "makespan", "cpu-seconds")
+	for _, target := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		params := defaultPDPAParams()
+		params.TargetEff = target
+		if params.HighEff < target {
+			params.HighEff = target
+		}
+		res, makespan, err := averagedRuns(o, workload.W4(), 0.8, func(w *workload.Workload, seed int64) system.Config {
+			return system.Config{Workload: w, Policy: system.PDPA, PDPAParams: &params, Seed: seed}
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		fmt.Fprintf(&sb, "%-10.2f %10.1f %10.1f %12.1f %10.1f %12.0f\n",
+			target,
+			res.AvgAllocByClass()[app.Hydro2D],
+			res.ExecutionByClass()[app.Hydro2D],
+			res.ResponseByClass()[app.Apsi],
+			makespan,
+			res.CPUSecondsTotal())
+	}
+	sb.WriteString("\nLower targets allocate more generously; higher targets reclaim processors\n" +
+		"for the queue. The paper's 0.7 balances the two.\n")
+	return Result{ID: "abl1", Title: "Ablation: target efficiency sweep (w4, load=80%)", Text: sb.String()}, nil
+}
+
+// AblationStep sweeps the allocation step on workload 2: small steps search
+// slowly (long transients), large steps overshoot.
+func AblationStep(o Options) (Result, error) {
+	o = o.withDefaults()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %10s %10s %12s %10s\n", "step", "bt resp", "bt exec", "hydro cpus", "makespan")
+	for _, step := range []int{1, 2, 4, 8, 16} {
+		params := defaultPDPAParams()
+		params.Step = step
+		res, makespan, err := averagedRuns(o, workload.W2(), 1.0, func(w *workload.Workload, seed int64) system.Config {
+			return system.Config{Workload: w, Policy: system.PDPA, PDPAParams: &params, Seed: seed}
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		fmt.Fprintf(&sb, "%-6d %10.1f %10.1f %12.1f %10.1f\n",
+			step,
+			res.ResponseByClass()[app.BT],
+			res.ExecutionByClass()[app.BT],
+			res.AvgAllocByClass()[app.Hydro2D],
+			makespan)
+	}
+	return Result{ID: "abl2", Title: "Ablation: allocation step sweep (w2, load=100%)", Text: sb.String()}, nil
+}
+
+// AblationNoise sweeps the SelfAnalyzer measurement noise on workload 1,
+// contrasting PDPA's threshold-based robustness with Equal_efficiency's
+// extrapolation fragility (Section 5.1's critique).
+func AblationNoise(o Options) (Result, error) {
+	o = o.withDefaults()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %12s %12s %14s %14s\n",
+		"sigma", "PDPA resp", "EqEff resp", "PDPA swim spread", "EqEff swim spread")
+	for _, sigma := range []float64{-1, 0.01, 0.03, 0.10} {
+		label := fmt.Sprintf("%.0f%%", sigma*100)
+		if sigma < 0 {
+			label = "0%"
+		}
+		row := map[system.PolicyKind][3]float64{}
+		for _, pk := range []system.PolicyKind{system.PDPA, system.EqualEfficiency} {
+			respSum, spreadSum := 0.0, 0.0
+			for _, seed := range o.Seeds {
+				w, err := genWorkload(o, workload.W1(), 1.0, seed)
+				if err != nil {
+					return Result{}, err
+				}
+				res, err := system.Run(system.Config{Workload: w, Policy: pk, Seed: seed, NoiseSigma: sigma})
+				if err != nil {
+					return Result{}, err
+				}
+				respSum += res.ResponseByClass()[app.Swim]
+				lo, hi := res.MinMaxAllocByClass(app.Swim)
+				spreadSum += hi - lo
+			}
+			n := float64(len(o.Seeds))
+			row[pk] = [3]float64{respSum / n, spreadSum / n}
+		}
+		fmt.Fprintf(&sb, "%-8s %12.1f %12.1f %14.1f %14.1f\n",
+			label,
+			row[system.PDPA][0], row[system.EqualEfficiency][0],
+			row[system.PDPA][1], row[system.EqualEfficiency][1])
+	}
+	sb.WriteString("\n'swim spread' is the gap between the smallest and largest average\n" +
+		"allocation identical swim jobs received — the paper's fairness complaint\n" +
+		"about Equal_efficiency (2 vs 28 processors).\n")
+	return Result{ID: "abl3", Title: "Ablation: measurement-noise sensitivity (w1, load=100%)", Text: sb.String()}, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pdpasim/internal/app"
+	"pdpasim/internal/system"
+	"pdpasim/internal/workload"
+)
+
+// MonitoringPath compares the two instrumentation paths of Section 3.1:
+// compiler-inserted SelfAnalyzer calls versus binary-only monitoring, where
+// the Dynamic Periodicity Detector must first discover the iterative
+// structure before any measurement reaches PDPA. The delayed knowledge
+// lengthens every application's NO_REF phase and slows the search.
+func MonitoringPath(o Options) (Result, error) {
+	o = o.withDefaults()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %12s %12s %12s %10s\n",
+		"monitoring", "swim resp", "hydro resp", "apsi resp", "makespan")
+	for _, variant := range []struct {
+		name       string
+		binaryOnly bool
+	}{
+		{"compiler-inserted", false},
+		{"binary-only (DPD)", true},
+	} {
+		agg := map[app.Class]float64{}
+		makespan := 0.0
+		for _, seed := range o.Seeds {
+			w, err := genWorkload(o, workload.W4(), 0.8, seed)
+			if err != nil {
+				return Result{}, err
+			}
+			res, err := system.Run(system.Config{
+				Workload: w, Policy: system.PDPA, Seed: seed,
+				BinaryOnly: variant.binaryOnly,
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			for c, v := range res.ResponseByClass() {
+				agg[c] += v
+			}
+			makespan += res.Makespan.Seconds()
+		}
+		n := float64(len(o.Seeds))
+		fmt.Fprintf(&sb, "%-22s %11.1fs %11.1fs %11.1fs %9.1fs\n",
+			variant.name,
+			agg[app.Swim]/n, agg[app.Hydro2D]/n, agg[app.Apsi]/n, makespan/n)
+	}
+	sb.WriteString("\nBinary-only monitoring pays a structure-discovery warm-up per job (three\n" +
+		"confirmed repetitions of the loop pattern) before PDPA hears anything;\n" +
+		"response times degrade modestly — the price of scheduling unmodified\n" +
+		"binaries.\n")
+	return Result{ID: "ext4", Title: "Monitoring-path comparison: compiler-inserted vs binary-only (w4, load=80%)", Text: sb.String()}, nil
+}

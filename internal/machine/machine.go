@@ -1,0 +1,236 @@
+// Package machine models the multiprocessor: a fixed set of CPUs whose
+// ownership changes over time under a scheduling policy.
+//
+// The model plays the role of the paper's SGI Origin 2000. It supports both
+// modes the evaluation needs:
+//
+//   - space sharing (Equipartition, Equal_efficiency, PDPA): each job owns a
+//     disjoint CPU set that changes only at reallocations. Resize preserves
+//     affinity — a job keeps as many of its current CPUs as possible — and
+//     counts a thread migration whenever an existing kernel thread is placed
+//     on a CPU different from the one it last ran on.
+//
+//   - per-quantum time sharing (the IRIX model): the policy decides each
+//     quantum which thread runs on which CPU; the machine executes the
+//     placement and does the same burst/migration bookkeeping.
+//
+// All bookkeeping flows into a trace.Recorder, from which Table 2's
+// stability metrics and Fig. 5's execution views are derived.
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"pdpasim/internal/sim"
+	"pdpasim/internal/trace"
+)
+
+// Free marks an unowned CPU.
+const Free = -1
+
+// ThreadID identifies one kernel thread of one job.
+type ThreadID struct {
+	Job    int
+	Thread int
+}
+
+// Machine is the multiprocessor model. Create with New.
+type Machine struct {
+	ncpu    int
+	owner   []int         // job owning each CPU (space sharing), Free if none
+	jobCPUs map[int][]int // CPU list per job; thread i runs on jobCPUs[job][i]
+	lastCPU map[ThreadID]int
+	rec     *trace.Recorder
+	// numaNodeSize groups CPUs into NUMA nodes (see SetNodeSize); <= 1
+	// means a flat SMP.
+	numaNodeSize int
+}
+
+// New returns a machine with ncpu processors, all free. The recorder may be
+// nil, in which case no trace is kept (migration counts are then unavailable).
+func New(ncpu int, rec *trace.Recorder) *Machine {
+	if ncpu <= 0 {
+		panic("machine: ncpu must be positive")
+	}
+	if rec != nil && rec.NCPU() != ncpu {
+		panic("machine: recorder CPU count mismatch")
+	}
+	m := &Machine{
+		ncpu:    ncpu,
+		owner:   make([]int, ncpu),
+		jobCPUs: make(map[int][]int),
+		lastCPU: make(map[ThreadID]int),
+		rec:     rec,
+	}
+	for i := range m.owner {
+		m.owner[i] = Free
+	}
+	return m
+}
+
+// NCPU returns the machine size.
+func (m *Machine) NCPU() int { return m.ncpu }
+
+// FreeCPUs returns how many CPUs are currently unowned.
+func (m *Machine) FreeCPUs() int {
+	n := 0
+	for _, o := range m.owner {
+		if o == Free {
+			n++
+		}
+	}
+	return n
+}
+
+// Owner returns the job owning cpu, or Free.
+func (m *Machine) Owner(cpu int) int { return m.owner[cpu] }
+
+// Allocated returns the number of CPUs job currently owns.
+func (m *Machine) Allocated(job int) int { return len(m.jobCPUs[job]) }
+
+// CPUs returns a copy of the CPU list owned by job, in thread order.
+func (m *Machine) CPUs(job int) []int {
+	cur := m.jobCPUs[job]
+	out := make([]int, len(cur))
+	copy(out, cur)
+	return out
+}
+
+// Jobs returns the ids of all jobs owning at least one CPU, sorted.
+func (m *Machine) Jobs() []int {
+	out := make([]int, 0, len(m.jobCPUs))
+	for j := range m.jobCPUs {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Resize changes job's allocation to want CPUs (clamped to what is free) and
+// returns the number actually granted. Affinity is preserved: the job keeps
+// its lowest-ranked current CPUs when shrinking and extends with free CPUs
+// when growing. Each pre-existing thread placed on a new CPU counts as one
+// migration.
+func (m *Machine) Resize(t sim.Time, job, want int) int {
+	if job < 0 {
+		panic("machine: negative job id")
+	}
+	if want < 0 {
+		want = 0
+	}
+	cur := m.jobCPUs[job]
+	switch {
+	case want < len(cur):
+		m.shrink(t, job, want)
+	case want > len(cur):
+		m.grow(t, job, want)
+	}
+	return len(m.jobCPUs[job])
+}
+
+func (m *Machine) shrink(t sim.Time, job, want int) {
+	cur := m.jobCPUs[job]
+	for _, cpu := range cur[want:] {
+		m.owner[cpu] = Free
+		if m.rec != nil {
+			m.rec.Assign(t, cpu, trace.NoJob)
+		}
+	}
+	if want == 0 {
+		delete(m.jobCPUs, job)
+		return
+	}
+	m.jobCPUs[job] = cur[:want]
+}
+
+func (m *Machine) grow(t sim.Time, job, want int) {
+	cur := m.jobCPUs[job]
+	for _, cpu := range m.pickFreeCPUs(job, want-len(cur)) {
+		thread := ThreadID{Job: job, Thread: len(cur)}
+		m.owner[cpu] = job
+		if last, ok := m.lastCPU[thread]; ok && last != cpu {
+			if m.rec != nil {
+				m.rec.Migration()
+			}
+		}
+		m.lastCPU[thread] = cpu
+		if m.rec != nil {
+			m.rec.Assign(t, cpu, job)
+		}
+		cur = append(cur, cpu)
+	}
+	m.jobCPUs[job] = cur
+}
+
+// Release frees every CPU owned by job (job completion).
+func (m *Machine) Release(t sim.Time, job int) {
+	m.shrink(t, job, 0)
+	for tid := range m.lastCPU {
+		if tid.Job == job {
+			delete(m.lastCPU, tid)
+		}
+	}
+}
+
+// Placement is one per-quantum decision in time-sharing mode: thread Thread
+// of job Job runs on CPU for the coming quantum.
+type Placement struct {
+	CPU    int
+	Thread ThreadID
+}
+
+// PlaceQuantum applies a full time-sharing placement for the quantum starting
+// at t and returns the number of thread migrations it caused per job. CPUs
+// not mentioned become idle. Placing a thread on a CPU different from its
+// previous one counts a migration. PlaceQuantum must not be mixed with
+// Resize ownership on the same machine instance.
+func (m *Machine) PlaceQuantum(t sim.Time, placements []Placement) map[int]int {
+	seen := make([]bool, m.ncpu)
+	migs := make(map[int]int)
+	for _, p := range placements {
+		if p.CPU < 0 || p.CPU >= m.ncpu {
+			panic(fmt.Sprintf("machine: placement CPU %d out of range", p.CPU))
+		}
+		if seen[p.CPU] {
+			panic(fmt.Sprintf("machine: CPU %d placed twice in one quantum", p.CPU))
+		}
+		seen[p.CPU] = true
+		if last, ok := m.lastCPU[p.Thread]; ok && last != p.CPU {
+			migs[p.Thread.Job]++
+			if m.rec != nil {
+				m.rec.Migration()
+			}
+		}
+		m.lastCPU[p.Thread] = p.CPU
+		m.owner[p.CPU] = p.Thread.Job
+		if m.rec != nil {
+			m.rec.Assign(t, p.CPU, p.Thread.Job)
+		}
+	}
+	for cpu := 0; cpu < m.ncpu; cpu++ {
+		if !seen[cpu] && m.owner[cpu] != Free {
+			m.owner[cpu] = Free
+			if m.rec != nil {
+				m.rec.Assign(t, cpu, trace.NoJob)
+			}
+		}
+	}
+	return migs
+}
+
+// ForgetThreads drops thread-affinity memory for job (used when a job exits
+// in time-sharing mode).
+func (m *Machine) ForgetThreads(job int) {
+	for tid := range m.lastCPU {
+		if tid.Job == job {
+			delete(m.lastCPU, tid)
+		}
+	}
+}
+
+// LastCPU returns the CPU thread last ran on and whether it has run.
+func (m *Machine) LastCPU(tid ThreadID) (int, bool) {
+	cpu, ok := m.lastCPU[tid]
+	return cpu, ok
+}

@@ -1,0 +1,131 @@
+package machine
+
+import "sort"
+
+// NUMA topology support. The paper's testbed is an SGI Origin 2000, a
+// CC-NUMA machine built from node boards of a few processors each; data
+// locality is one of the reasons the paper evaluates on real hardware
+// rather than simulation (Section 2), and why stable processor allocations
+// matter (memory pages migrate toward their users).
+//
+// The machine model captures the placement side of this: processors are
+// grouped into nodes of NodeSize, Resize prefers to grow a job onto nodes
+// it already occupies (then onto the emptiest nodes), and NodeSpan/Locality
+// report how compact each job's partition is. Time-sharing placements (the
+// IRIX model) bypass this logic — exactly the locality destruction the
+// paper attributes to the native scheduler.
+
+// nodeSize returns the machine's NUMA node size (1 = flat SMP).
+func (m *Machine) nodeSize() int {
+	if m.numaNodeSize < 1 {
+		return 1
+	}
+	return m.numaNodeSize
+}
+
+// SetNodeSize declares the NUMA node size. It must be called before any
+// allocation and must divide the processor count; nodeSize <= 1 keeps the
+// flat model.
+func (m *Machine) SetNodeSize(nodeSize int) {
+	if nodeSize > 1 && m.ncpu%nodeSize != 0 {
+		panic("machine: node size must divide the CPU count")
+	}
+	for _, o := range m.owner {
+		if o != Free {
+			panic("machine: SetNodeSize after allocation")
+		}
+	}
+	m.numaNodeSize = nodeSize
+}
+
+// NodeOf returns the NUMA node a CPU belongs to.
+func (m *Machine) NodeOf(cpu int) int { return cpu / m.nodeSize() }
+
+// Nodes returns the number of NUMA nodes.
+func (m *Machine) Nodes() int { return (m.ncpu + m.nodeSize() - 1) / m.nodeSize() }
+
+// NodeSpan returns how many NUMA nodes job's partition touches.
+func (m *Machine) NodeSpan(job int) int {
+	seen := map[int]bool{}
+	for _, cpu := range m.jobCPUs[job] {
+		seen[m.NodeOf(cpu)] = true
+	}
+	return len(seen)
+}
+
+// Locality returns the compactness of job's partition: the minimal number
+// of nodes that could hold it divided by the number it actually spans
+// (1 = perfectly compact, smaller = fragmented). Jobs with no processors
+// score 1.
+func (m *Machine) Locality(job int) float64 {
+	n := len(m.jobCPUs[job])
+	if n == 0 {
+		return 1
+	}
+	size := m.nodeSize()
+	minNodes := (n + size - 1) / size
+	span := m.NodeSpan(job)
+	if span == 0 {
+		return 1
+	}
+	return float64(minNodes) / float64(span)
+}
+
+// pickFreeCPUs returns want free CPUs for job, preferring nodes the job
+// already occupies, then the nodes with the most free processors (packing
+// new jobs compactly), then CPU order. It returns fewer if the machine has
+// fewer free.
+func (m *Machine) pickFreeCPUs(job, want int) []int {
+	size := m.nodeSize()
+	if size <= 1 {
+		// Flat machine: first-free order.
+		out := make([]int, 0, want)
+		for cpu := 0; cpu < m.ncpu && len(out) < want; cpu++ {
+			if m.owner[cpu] == Free {
+				out = append(out, cpu)
+			}
+		}
+		return out
+	}
+	nodes := m.Nodes()
+	freeOn := make([][]int, nodes)
+	for cpu := 0; cpu < m.ncpu; cpu++ {
+		if m.owner[cpu] == Free {
+			n := m.NodeOf(cpu)
+			freeOn[n] = append(freeOn[n], cpu)
+		}
+	}
+	occupied := make(map[int]bool)
+	for _, cpu := range m.jobCPUs[job] {
+		occupied[m.NodeOf(cpu)] = true
+	}
+	order := make([]int, 0, nodes)
+	for n := 0; n < nodes; n++ {
+		if len(freeOn[n]) > 0 {
+			order = append(order, n)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		na, nb := order[a], order[b]
+		// Nodes the job already uses come first.
+		if occupied[na] != occupied[nb] {
+			return occupied[na]
+		}
+		// Then emptier-for-us nodes (more free CPUs) to keep partitions
+		// compact.
+		if len(freeOn[na]) != len(freeOn[nb]) {
+			return len(freeOn[na]) > len(freeOn[nb])
+		}
+		return na < nb
+	})
+	out := make([]int, 0, want)
+	for _, n := range order {
+		for _, cpu := range freeOn[n] {
+			if len(out) == want {
+				return out
+			}
+			out = append(out, cpu)
+		}
+	}
+	return out
+}

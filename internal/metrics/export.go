@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteCSV writes the per-job results as CSV, one row per job, with a
+// header. The columns are the raw material of every figure in the paper.
+func (r *RunResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"job", "app", "request", "submit_s", "start_s", "end_s",
+		"response_s", "execution_s", "cpu_seconds", "avg_processors",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, j := range r.Jobs {
+		row := []string{
+			fmt.Sprint(j.ID),
+			j.Class.String(),
+			fmt.Sprint(j.Request),
+			fmt.Sprintf("%.3f", j.Submit.Seconds()),
+			fmt.Sprintf("%.3f", j.Start.Seconds()),
+			fmt.Sprintf("%.3f", j.End.Seconds()),
+			fmt.Sprintf("%.3f", j.Response().Seconds()),
+			fmt.Sprintf("%.3f", j.Execution().Seconds()),
+			fmt.Sprintf("%.1f", j.CPUSeconds),
+			fmt.Sprintf("%.2f", j.AvgAlloc),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Export is the JSON-friendly form of a RunResult.
+type Export struct {
+	Policy     string             `json:"policy"`
+	Workload   string             `json:"workload"`
+	Load       float64            `json:"load"`
+	MPL        int                `json:"mpl"`
+	NCPU       int                `json:"ncpu"`
+	Seed       int64              `json:"seed"`
+	MakespanS  float64            `json:"makespan_s"`
+	MaxMPL     int                `json:"max_mpl"`
+	AvgMPL     float64            `json:"avg_mpl"`
+	Migrations int                `json:"migrations"`
+	AvgBurstMS float64            `json:"avg_burst_ms"`
+	Util       float64            `json:"utilization"`
+	Response   map[string]float64 `json:"response_s_by_app"`
+	Execution  map[string]float64 `json:"execution_s_by_app"`
+	Jobs       []ExportJob        `json:"jobs"`
+}
+
+// ExportJob is one job in the JSON export.
+type ExportJob struct {
+	ID         int     `json:"id"`
+	App        string  `json:"app"`
+	Request    int     `json:"request"`
+	SubmitS    float64 `json:"submit_s"`
+	StartS     float64 `json:"start_s"`
+	EndS       float64 `json:"end_s"`
+	ResponseS  float64 `json:"response_s"`
+	ExecutionS float64 `json:"execution_s"`
+	CPUSeconds float64 `json:"cpu_seconds"`
+	AvgProcs   float64 `json:"avg_processors"`
+}
+
+// ToExport converts the result to its serializable form.
+func (r *RunResult) ToExport() Export {
+	e := Export{
+		Policy:     r.Policy,
+		Workload:   r.Workload,
+		Load:       r.Load,
+		MPL:        r.MPL,
+		NCPU:       r.NCPU,
+		Seed:       r.Seed,
+		MakespanS:  r.Makespan.Seconds(),
+		MaxMPL:     r.MaxMPL,
+		AvgMPL:     r.AvgMPL,
+		Migrations: r.Stability.Migrations,
+		AvgBurstMS: r.Stability.AvgBurst.Seconds() * 1000,
+		Util:       r.Stability.Utilization,
+		Response:   map[string]float64{},
+		Execution:  map[string]float64{},
+	}
+	for c, v := range r.ResponseByClass() {
+		e.Response[c.String()] = v
+	}
+	for c, v := range r.ExecutionByClass() {
+		e.Execution[c.String()] = v
+	}
+	for _, j := range r.Jobs {
+		e.Jobs = append(e.Jobs, ExportJob{
+			ID:         j.ID,
+			App:        j.Class.String(),
+			Request:    j.Request,
+			SubmitS:    j.Submit.Seconds(),
+			StartS:     j.Start.Seconds(),
+			EndS:       j.End.Seconds(),
+			ResponseS:  j.Response().Seconds(),
+			ExecutionS: j.Execution().Seconds(),
+			CPUSeconds: j.CPUSeconds,
+			AvgProcs:   j.AvgAlloc,
+		})
+	}
+	return e
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *RunResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.ToExport())
+}

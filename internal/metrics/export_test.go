@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pdpasim/internal/app"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/trace"
+)
+
+func exportFixture() *RunResult {
+	return &RunResult{
+		Policy: "PDPA", Workload: "w3", Load: 1.0, MPL: 4, NCPU: 60, Seed: 7,
+		Jobs: []JobResult{
+			{ID: 0, Class: app.BT, Request: 30, Submit: 0, Start: sim.Second,
+				End: 11 * sim.Second, CPUSeconds: 200, AvgAlloc: 20},
+			{ID: 1, Class: app.Apsi, Request: 2, Submit: 2 * sim.Second,
+				Start: 3 * sim.Second, End: 9 * sim.Second, CPUSeconds: 12, AvgAlloc: 2},
+		},
+		Makespan: 11 * sim.Second,
+		MaxMPL:   2,
+		AvgMPL:   1.5,
+		Stability: trace.Stats{
+			Migrations: 3, AvgBurst: 1500 * sim.Millisecond, Utilization: 0.8,
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportFixture().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "job" || rows[0][6] != "response_s" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[1][1] != "bt.A" || rows[1][6] != "11.000" {
+		t.Fatalf("row1 = %v", rows[1])
+	}
+	if rows[2][1] != "apsi" || rows[2][7] != "6.000" {
+		t.Fatalf("row2 = %v", rows[2])
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportFixture().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var e Export
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Policy != "PDPA" || e.MakespanS != 11 || e.Migrations != 3 {
+		t.Fatalf("export = %+v", e)
+	}
+	if len(e.Jobs) != 2 || e.Jobs[0].App != "bt.A" || e.Jobs[1].ResponseS != 7 {
+		t.Fatalf("jobs = %+v", e.Jobs)
+	}
+	if e.Response["bt.A"] != 11 {
+		t.Fatalf("response map = %v", e.Response)
+	}
+	if e.AvgBurstMS != 1500 {
+		t.Fatalf("avg burst = %v", e.AvgBurstMS)
+	}
+}
+
+func TestWriteJSONStable(t *testing.T) {
+	var a, b bytes.Buffer
+	r := exportFixture()
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("JSON export not deterministic")
+	}
+	if !strings.Contains(a.String(), "\"avg_processors\": 20") {
+		t.Fatalf("missing field: %s", a.String())
+	}
+}

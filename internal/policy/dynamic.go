@@ -1,0 +1,119 @@
+package policy
+
+import (
+	"sort"
+
+	"pdpasim/internal/sched"
+	"pdpasim/internal/sim"
+)
+
+// Dynamic implements the processor allocation policy of McCann, Vaswani, and
+// Zahorjan (TOCS 1993), one of the policies the paper's related work
+// discusses: processors move eagerly to wherever they can be used, driven by
+// each application's reported ability to use them, with no efficiency
+// target. "Their approach considers the idleness ... and results in a large
+// number of reallocations" (Section 2).
+//
+// This implementation estimates each application's marginal speedup from its
+// recent measurements (the same fitted model Equal_efficiency uses) and
+// water-fills processors by marginal speedup: every processor goes to the
+// application whose total speedup it raises most. It replans on every
+// report, arrival, and completion — maximizing instantaneous utilization at
+// the price of constant reallocation.
+type Dynamic struct {
+	// Window is how many recent reports the curve fit uses.
+	Window int
+	alpha  map[sched.JobID]float64
+}
+
+// NewDynamic returns a Dynamic policy.
+func NewDynamic() *Dynamic {
+	return &Dynamic{Window: 3, alpha: map[sched.JobID]float64{}}
+}
+
+// Name implements sched.Policy.
+func (d *Dynamic) Name() string { return "Dynamic" }
+
+// JobStarted implements sched.Policy.
+func (d *Dynamic) JobStarted(now sim.Time, job *sched.JobView) { d.alpha[job.ID] = 0 }
+
+// JobFinished implements sched.Policy.
+func (d *Dynamic) JobFinished(now sim.Time, id sched.JobID) { delete(d.alpha, id) }
+
+// ReportPerformance implements sched.Policy.
+func (d *Dynamic) ReportPerformance(now sim.Time, job *sched.JobView, r sched.Report) {
+	reports := job.Reports
+	if len(reports) > d.Window {
+		reports = reports[len(reports)-d.Window:]
+	}
+	sum, n := 0.0, 0
+	for _, rep := range reports {
+		if rep.Procs <= 1 || rep.Speedup <= 0 {
+			continue
+		}
+		sum += (float64(rep.Procs)/rep.Speedup - 1) / float64(rep.Procs-1)
+		n++
+	}
+	if n > 0 {
+		d.alpha[job.ID] = sum / float64(n)
+	}
+}
+
+// fitted returns the modeled speedup of job at p processors.
+func (d *Dynamic) fitted(id sched.JobID, p int) float64 {
+	if p < 1 {
+		return 0
+	}
+	a := d.alpha[id]
+	den := 1 + a*float64(p-1)
+	if den < 0.05 {
+		den = 0.05
+	}
+	return float64(p) / den
+}
+
+// Plan implements sched.Policy: marginal-speedup water-filling. Each job
+// gets one processor (run-to-completion); each further processor goes to the
+// job with the largest fitted speedup gain.
+func (d *Dynamic) Plan(v sched.View) map[sched.JobID]int {
+	plan := make(map[sched.JobID]int, len(v.Jobs))
+	if len(v.Jobs) == 0 {
+		return plan
+	}
+	jobs := make([]*sched.JobView, len(v.Jobs))
+	copy(jobs, v.Jobs)
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+
+	remaining := v.NCPU
+	for _, j := range jobs {
+		if remaining == 0 {
+			plan[j.ID] = 0
+			continue
+		}
+		plan[j.ID] = 1
+		remaining--
+	}
+	for remaining > 0 {
+		var best *sched.JobView
+		bestGain := 0.0
+		for _, j := range jobs {
+			if plan[j.ID] >= j.Request {
+				continue
+			}
+			gain := d.fitted(j.ID, plan[j.ID]+1) - d.fitted(j.ID, plan[j.ID])
+			if gain > bestGain {
+				best, bestGain = j, gain
+			}
+		}
+		if best == nil {
+			break
+		}
+		plan[best.ID]++
+		remaining--
+	}
+	return plan
+}
+
+// WantsNewJob implements sched.Policy: Dynamic runs under a fixed
+// multiprogramming level enforced by the queuing system.
+func (d *Dynamic) WantsNewJob(v sched.View) bool { return true }

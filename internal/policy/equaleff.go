@@ -1,0 +1,137 @@
+package policy
+
+import (
+	"sort"
+
+	"pdpasim/internal/sched"
+	"pdpasim/internal/sim"
+)
+
+// EqualEfficiency implements the Equal_efficiency policy of Nguyen et al.:
+// it extrapolates each application's efficiency curve from its runtime
+// measurements and gives processors, one at a time, to the application whose
+// extrapolated efficiency at its next processor is highest — equalizing
+// marginal efficiency across the machine.
+//
+// Faithful to the paper's critique (Section 5.1), the policy reallocates on
+// every performance report and extrapolates from a short window of noisy
+// samples, so small measurement variations translate into large allocation
+// swings, and superlinear applications (whose fitted serialization parameter
+// goes negative) can capture wildly different allocations across instances.
+type EqualEfficiency struct {
+	// Window is how many recent reports the curve fit uses.
+	Window int
+	// alpha is the fitted serialization parameter per job: the model is
+	// S(p) = p / (1 + alpha·(p-1)), i.e. eff(p) = 1 / (1 + alpha·(p-1)).
+	// alpha 0 = perfect scaling; negative = superlinear.
+	alpha map[sched.JobID]float64
+}
+
+// NewEqualEfficiency returns an Equal_efficiency policy extrapolating from
+// the most recent report — the per-measurement sensitivity the paper
+// criticizes ('too sensitive to small changes in the efficiency
+// measurements'). Raise Window to damp it.
+func NewEqualEfficiency() *EqualEfficiency {
+	return &EqualEfficiency{Window: 1, alpha: map[sched.JobID]float64{}}
+}
+
+// Name implements sched.Policy.
+func (e *EqualEfficiency) Name() string { return "Equal_eff" }
+
+// JobStarted implements sched.Policy. New jobs are assumed to scale
+// perfectly until measured — the optimistic extrapolation the original
+// policy uses.
+func (e *EqualEfficiency) JobStarted(now sim.Time, job *sched.JobView) {
+	e.alpha[job.ID] = 0
+}
+
+// JobFinished implements sched.Policy.
+func (e *EqualEfficiency) JobFinished(now sim.Time, id sched.JobID) {
+	delete(e.alpha, id)
+}
+
+// ReportPerformance implements sched.Policy: refit the job's efficiency
+// curve from its recent reports.
+func (e *EqualEfficiency) ReportPerformance(now sim.Time, job *sched.JobView, r sched.Report) {
+	reports := job.Reports
+	if len(reports) > e.Window {
+		reports = reports[len(reports)-e.Window:]
+	}
+	sum, n := 0.0, 0
+	for _, rep := range reports {
+		if rep.Procs <= 1 || rep.Speedup <= 0 {
+			continue
+		}
+		// Invert the model at the sample: alpha = (p/S - 1) / (p - 1).
+		a := (float64(rep.Procs)/rep.Speedup - 1) / float64(rep.Procs-1)
+		sum += a
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	e.alpha[job.ID] = sum / float64(n)
+}
+
+// extrapolatedEff returns the fitted efficiency of the job at p processors.
+// The denominator is floored to keep superlinear (negative-alpha) fits from
+// diverging.
+func (e *EqualEfficiency) extrapolatedEff(id sched.JobID, p int) float64 {
+	a := e.alpha[id]
+	den := 1 + a*float64(p-1)
+	if den < 0.05 {
+		den = 0.05
+	}
+	return 1 / den
+}
+
+// Plan implements sched.Policy: water-filling by extrapolated efficiency.
+// Every job gets one processor (run-to-completion); each remaining processor
+// goes to the job, below its request, with the highest extrapolated
+// efficiency at its next processor.
+func (e *EqualEfficiency) Plan(v sched.View) map[sched.JobID]int {
+	plan := make(map[sched.JobID]int, len(v.Jobs))
+	if len(v.Jobs) == 0 {
+		return plan
+	}
+	jobs := make([]*sched.JobView, len(v.Jobs))
+	copy(jobs, v.Jobs)
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+
+	remaining := v.NCPU
+	for _, j := range jobs {
+		if remaining == 0 {
+			plan[j.ID] = 0
+			continue
+		}
+		plan[j.ID] = 1
+		remaining--
+	}
+	for remaining > 0 {
+		var best *sched.JobView
+		bestEff := -1.0
+		for _, j := range jobs {
+			if plan[j.ID] >= j.Request {
+				continue
+			}
+			eff := e.extrapolatedEff(j.ID, plan[j.ID]+1)
+			if eff > bestEff {
+				best, bestEff = j, eff
+			}
+		}
+		if best == nil {
+			break
+		}
+		plan[best.ID]++
+		remaining--
+	}
+	return plan
+}
+
+// WantsNewJob implements sched.Policy: Equal_efficiency runs under a fixed
+// multiprogramming level enforced by the queuing system.
+func (e *EqualEfficiency) WantsNewJob(v sched.View) bool { return true }
+
+// Alpha returns the fitted serialization parameter for a job (0 when
+// unknown) — exposed for tests and diagnostics.
+func (e *EqualEfficiency) Alpha(id sched.JobID) float64 { return e.alpha[id] }

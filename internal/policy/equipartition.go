@@ -1,0 +1,126 @@
+// Package policy implements the baseline space-sharing processor allocation
+// policies the paper compares PDPA against: Equipartition (McCann, Vaswani,
+// Zahorjan) and Equal_efficiency (Nguyen, Zahorjan, Vaswani). The native
+// IRIX scheduler model — a time-sharing manager, not a space-sharing
+// policy — lives in internal/rm.
+package policy
+
+import (
+	"sort"
+
+	"pdpasim/internal/sched"
+	"pdpasim/internal/sim"
+)
+
+// Equipartition divides the machine equally among running jobs, capping each
+// job at its request and redistributing the leftovers. Reallocations happen
+// only at job arrival and completion (Section 3.3), which keeps the
+// schedule stable but ignores how well applications use their processors.
+type Equipartition struct {
+	// plan is the current allocation, recomputed only when the job set
+	// changes.
+	plan  map[sched.JobID]int
+	dirty bool
+}
+
+// NewEquipartition returns an Equipartition policy.
+func NewEquipartition() *Equipartition {
+	return &Equipartition{plan: map[sched.JobID]int{}, dirty: true}
+}
+
+// Name implements sched.Policy.
+func (e *Equipartition) Name() string { return "Equip" }
+
+// JobStarted implements sched.Policy: arrival triggers reallocation.
+func (e *Equipartition) JobStarted(now sim.Time, job *sched.JobView) { e.dirty = true }
+
+// JobFinished implements sched.Policy: completion triggers reallocation.
+func (e *Equipartition) JobFinished(now sim.Time, id sched.JobID) {
+	delete(e.plan, id)
+	e.dirty = true
+}
+
+// ReportPerformance implements sched.Policy. Equipartition ignores
+// application performance.
+func (e *Equipartition) ReportPerformance(now sim.Time, job *sched.JobView, r sched.Report) {}
+
+// Plan implements sched.Policy.
+func (e *Equipartition) Plan(v sched.View) map[sched.JobID]int {
+	if !e.dirty {
+		return e.plan
+	}
+	e.dirty = false
+	e.plan = Equipartitioned(v.NCPU, v.Jobs)
+	return e.plan
+}
+
+// WantsNewJob implements sched.Policy: Equipartition runs under a fixed
+// multiprogramming level enforced by the queuing system.
+func (e *Equipartition) WantsNewJob(v sched.View) bool { return true }
+
+// Equipartitioned computes an equal division of ncpu processors among jobs,
+// capping each at its request: repeatedly give every unsatisfied job an
+// equal share of what remains, with ties broken toward earlier arrivals
+// (lower IDs). Every job receives at least one processor when possible.
+func Equipartitioned(ncpu int, jobs []*sched.JobView) map[sched.JobID]int {
+	out := make(map[sched.JobID]int, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	type item struct {
+		id  sched.JobID
+		req int
+	}
+	items := make([]item, 0, len(jobs))
+	for _, j := range jobs {
+		req := j.Request
+		if req < 1 {
+			req = 1
+		}
+		items = append(items, item{id: j.ID, req: req})
+		out[j.ID] = 0
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].id < items[j].id })
+
+	remaining := ncpu
+	unsat := items
+	for remaining > 0 && len(unsat) > 0 {
+		share := remaining / len(unsat)
+		if share == 0 {
+			// Fewer processors than jobs: one each to the earliest until
+			// exhausted.
+			for i := 0; i < remaining; i++ {
+				out[unsat[i].id]++
+			}
+			remaining = 0
+			break
+		}
+		progressed := false
+		next := unsat[:0]
+		for _, it := range unsat {
+			if it.req-out[it.id] <= share {
+				// Fully satisfiable within the fair share.
+				remaining -= it.req - out[it.id]
+				out[it.id] = it.req
+				progressed = true
+			} else {
+				next = append(next, it)
+			}
+		}
+		unsat = next
+		if !progressed {
+			// Everyone wants more than the share: split evenly, leftovers
+			// to the earliest jobs.
+			extra := remaining % len(unsat)
+			for i, it := range unsat {
+				out[it.id] += share
+				if i < extra {
+					out[it.id]++
+				}
+			}
+			remaining = 0
+			break
+		}
+	}
+	return out
+}

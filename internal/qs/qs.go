@@ -1,0 +1,151 @@
+// Package qs implements the NANOS Queuing System (Section 3.2): the
+// user-level submission tool that replays a workload trace, holds arriving
+// jobs in a FIFO queue, and starts them subject to the multiprogramming
+// level — either a fixed level (the traditional regime IRIX, Equipartition,
+// and Equal_efficiency run under) or the resource manager's coordinated
+// admission decision (PDPA).
+//
+// The queuing system selects *which* job to start (FIFO); the processor
+// scheduling policy decides *when* a new job may start — the split of
+// responsibilities Section 4.3 proposes.
+package qs
+
+import (
+	"sort"
+
+	"pdpasim/internal/app"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/trace"
+	"pdpasim/internal/workload"
+)
+
+// QueuingSystem replays job submissions and controls job starts.
+type QueuingSystem struct {
+	eng *sim.Engine
+	// fixedMPL caps concurrently running jobs; 0 means no fixed cap (the
+	// resource manager's admission alone decides).
+	fixedMPL int
+	canAdmit func() bool
+	start    func(job workload.Job)
+	rec      *trace.Recorder
+
+	queue   []workload.Job
+	less    func(a, b workload.Job) bool
+	running int
+	maxMPL  int
+	started int
+
+	inTryStart bool
+}
+
+// New returns a queuing system. canAdmit is the resource manager's admission
+// check (may be nil, meaning always allowed); start launches a job.
+func New(eng *sim.Engine, fixedMPL int, canAdmit func() bool, start func(job workload.Job), rec *trace.Recorder) *QueuingSystem {
+	if start == nil {
+		panic("qs: nil start function")
+	}
+	if fixedMPL < 0 {
+		fixedMPL = 0
+	}
+	return &QueuingSystem{
+		eng:      eng,
+		fixedMPL: fixedMPL,
+		canAdmit: canAdmit,
+		start:    start,
+		rec:      rec,
+	}
+}
+
+// SubmitAll schedules the arrival of every job in the workload.
+func (q *QueuingSystem) SubmitAll(w *workload.Workload) {
+	for _, job := range w.Jobs {
+		job := job
+		q.eng.At(job.Submit, "qs/arrival", func() { q.Enqueue(job) })
+	}
+}
+
+// SetOrder installs a queue discipline: less reports whether a should start
+// before b. Nil (the default) keeps FIFO submission order. The discipline
+// re-sorts the queue at every enqueue; the paper's NANOS QS is FIFO, but
+// shortest-job-first variants are a classic alternative (see SJFByWork).
+func (q *QueuingSystem) SetOrder(less func(a, b workload.Job) bool) {
+	q.less = less
+}
+
+// SJFByWork orders the queue by each job's estimated serial work — the
+// shortest-job-first discipline, using the same per-class knowledge a site's
+// historical accounting would provide.
+func SJFByWork(a, b workload.Job) bool {
+	wa := app.ProfileFor(a.Class).TotalSerialWork()
+	wb := app.ProfileFor(b.Class).TotalSerialWork()
+	if wa != wb {
+		return wa < wb
+	}
+	return a.ID < b.ID // stable tie-break: submission order
+}
+
+// Enqueue adds one job to the queue (at its submission time) and attempts to
+// start jobs.
+func (q *QueuingSystem) Enqueue(job workload.Job) {
+	q.queue = append(q.queue, job)
+	if q.less != nil {
+		sort.SliceStable(q.queue, func(i, j int) bool { return q.less(q.queue[i], q.queue[j]) })
+	}
+	q.TryStart()
+}
+
+// JobCompleted informs the queuing system that a running job finished.
+func (q *QueuingSystem) JobCompleted() {
+	q.running--
+	q.observeMPL()
+	q.TryStart()
+}
+
+// TryStart launches queued jobs while the multiprogramming level and the
+// resource manager's admission allow. It is safe to call reentrantly (a
+// started job's manager callback may poke it again).
+func (q *QueuingSystem) TryStart() {
+	if q.inTryStart {
+		return
+	}
+	q.inTryStart = true
+	defer func() { q.inTryStart = false }()
+	for len(q.queue) > 0 {
+		if q.fixedMPL > 0 && q.running >= q.fixedMPL {
+			break
+		}
+		if q.canAdmit != nil && !q.canAdmit() {
+			break
+		}
+		job := q.queue[0]
+		q.queue = q.queue[1:]
+		q.running++
+		q.started++
+		q.observeMPL()
+		q.start(job)
+	}
+}
+
+func (q *QueuingSystem) observeMPL() {
+	if q.running > q.maxMPL {
+		q.maxMPL = q.running
+	}
+	if q.rec != nil {
+		q.rec.ObserveMPL(q.eng.Now(), q.running)
+	}
+}
+
+// Running returns the number of running jobs.
+func (q *QueuingSystem) Running() int { return q.running }
+
+// Queued returns the number of jobs waiting.
+func (q *QueuingSystem) Queued() int { return len(q.queue) }
+
+// Started returns how many jobs have been started in total.
+func (q *QueuingSystem) Started() int { return q.started }
+
+// MaxMPL returns the highest multiprogramming level reached.
+func (q *QueuingSystem) MaxMPL() int { return q.maxMPL }
+
+// Drained reports whether every submitted job has been started and finished.
+func (q *QueuingSystem) Drained() bool { return len(q.queue) == 0 && q.running == 0 }

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"pdpasim/internal/experiments"
+	"pdpasim/internal/sim"
+)
+
+func quickOpts() experiments.Options {
+	o := experiments.Quick()
+	o.Window = 300 * sim.Second
+	return o
+}
+
+func TestScorecardAllPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scorecard")
+	}
+	results := Scorecard(quickOpts())
+	if len(results) < 8 {
+		t.Fatalf("only %d claims", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: error: %v", r.Claim.ID, r.Err)
+			continue
+		}
+		if !r.Pass {
+			t.Errorf("%s FAILED: %s (%s)", r.Claim.ID, r.Claim.Statement, r.Detail)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	results := []Result{
+		{Claim: Claim{ID: "x", Statement: "s"}, Pass: true, Detail: "d"},
+		{Claim: Claim{ID: "y", Statement: "t"}, Pass: false, Detail: "e"},
+	}
+	out := Render(results)
+	for _, want := range []string{"[PASS] x", "[FAIL] y", "1/2 claims reproduced"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestClaimsHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Claims() {
+		if c.ID == "" || c.Statement == "" || c.Check == nil {
+			t.Fatalf("incomplete claim %+v", c)
+		}
+		if seen[c.ID] {
+			t.Fatalf("duplicate claim id %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}

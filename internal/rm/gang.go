@@ -1,0 +1,269 @@
+package rm
+
+import (
+	"sort"
+
+	"pdpasim/internal/machine"
+	"pdpasim/internal/nthlib"
+	"pdpasim/internal/sched"
+	"pdpasim/internal/selfanalyzer"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/trace"
+)
+
+// GangConfig parameterizes the gang-scheduling manager.
+type GangConfig struct {
+	// Slot is the time slice each row of the Ousterhout matrix runs
+	// (default 2 s — coarse enough to amortize the switch).
+	Slot sim.Time
+	// SwitchPenalty is the dead time an application pays when its gang is
+	// scheduled in after being switched out (cache/TLB refill on the
+	// CC-NUMA machine). Default 50 ms.
+	SwitchPenalty sim.Time
+}
+
+// DefaultGangConfig returns the standard configuration.
+func DefaultGangConfig() GangConfig {
+	return GangConfig{Slot: 2 * sim.Second, SwitchPenalty: 50 * sim.Millisecond}
+}
+
+func (c *GangConfig) applyDefaults() {
+	d := DefaultGangConfig()
+	if c.Slot <= 0 {
+		c.Slot = d.Slot
+	}
+	if c.SwitchPenalty < 0 {
+		c.SwitchPenalty = d.SwitchPenalty
+	}
+}
+
+type gangJob struct {
+	id  sched.JobID
+	rt  *nthlib.Runtime
+	row int
+	// cpus are the machine CPUs the gang occupies while its row runs.
+	cpus []int
+	// wasRunning tracks whether the job ran in the previous slot (to charge
+	// the switch penalty only on actual switches).
+	wasRunning bool
+}
+
+// GangManager implements classic gang scheduling (Ousterhout matrix): jobs
+// are packed into rows first-fit by their full processor request; time is
+// sliced into slots and rows run round-robin, each job running with all of
+// its threads simultaneously or not at all. Gang scheduling is the classic
+// alternative to space sharing for parallel workloads: it gives every job
+// dedicated-machine behaviour while it runs, at the price of time-dilation
+// by the number of rows and of fragmentation inside rows — the trade-off
+// the paper's Section 4.3 discussion of rigid allocations describes.
+type GangManager struct {
+	eng  *sim.Engine
+	mach *machine.Machine
+	rec  *trace.Recorder
+	cfg  GangConfig
+
+	jobs          map[sched.JobID]*gangJob
+	rows          [][]sched.JobID
+	activeRow     int
+	tickScheduled bool
+	admission     func()
+}
+
+// NewGangManager returns a gang scheduler over mach.
+func NewGangManager(eng *sim.Engine, mach *machine.Machine, rec *trace.Recorder, cfg GangConfig) *GangManager {
+	cfg.applyDefaults()
+	return &GangManager{
+		eng:  eng,
+		mach: mach,
+		rec:  rec,
+		cfg:  cfg,
+		jobs: make(map[sched.JobID]*gangJob),
+	}
+}
+
+// Name implements Manager.
+func (m *GangManager) Name() string { return "Gang" }
+
+// Running implements Manager.
+func (m *GangManager) Running() int { return len(m.jobs) }
+
+// CanAdmit implements Manager: the fixed multiprogramming level governs.
+func (m *GangManager) CanAdmit() bool { return true }
+
+// SetAdmissionChanged implements Manager.
+func (m *GangManager) SetAdmissionChanged(fn func()) { m.admission = fn }
+
+// ReportPerformance implements Manager: gang scheduling ignores measured
+// performance.
+func (m *GangManager) ReportPerformance(id sched.JobID, meas selfanalyzer.Measurement) {}
+
+// StartJob implements Manager: pack the job into the first row with enough
+// spare capacity, or open a new row.
+func (m *GangManager) StartJob(id sched.JobID, rt *nthlib.Runtime) {
+	j := &gangJob{id: id, rt: rt}
+	request := rt.Request()
+	if request > m.mach.NCPU() {
+		request = m.mach.NCPU()
+	}
+	j.row = m.placeInRow(id, request)
+	m.jobs[id] = j
+	m.assignCPUs(j, request)
+	m.applySlot()
+	m.ensureTick()
+}
+
+// placeInRow finds the first row whose occupancy leaves room for request.
+func (m *GangManager) placeInRow(id sched.JobID, request int) int {
+	for r := range m.rows {
+		if m.rowOccupancy(r)+request <= m.mach.NCPU() {
+			m.rows[r] = append(m.rows[r], id)
+			return r
+		}
+	}
+	m.rows = append(m.rows, []sched.JobID{id})
+	return len(m.rows) - 1
+}
+
+func (m *GangManager) rowOccupancy(row int) int {
+	total := 0
+	for _, id := range m.rows[row] {
+		if j, ok := m.jobs[id]; ok {
+			total += len(j.cpus)
+		}
+	}
+	return total
+}
+
+// assignCPUs fixes the CPU set a gang occupies within its row (disjoint from
+// its row-mates).
+func (m *GangManager) assignCPUs(j *gangJob, request int) {
+	used := make([]bool, m.mach.NCPU())
+	for _, id := range m.rows[j.row] {
+		if other, ok := m.jobs[id]; ok && other != j {
+			for _, cpu := range other.cpus {
+				used[cpu] = true
+			}
+		}
+	}
+	for cpu := 0; cpu < len(used) && len(j.cpus) < request; cpu++ {
+		if !used[cpu] {
+			j.cpus = append(j.cpus, cpu)
+		}
+	}
+}
+
+// JobFinished implements Manager.
+func (m *GangManager) JobFinished(id sched.JobID) {
+	j, ok := m.jobs[id]
+	if !ok {
+		return
+	}
+	delete(m.jobs, id)
+	row := m.rows[j.row]
+	for i, rid := range row {
+		if rid == id {
+			m.rows[j.row] = append(row[:i], row[i+1:]...)
+			break
+		}
+	}
+	m.compactRows()
+	m.mach.ForgetThreads(int(id))
+	m.applySlot()
+	if m.admission != nil {
+		m.admission()
+	}
+}
+
+// compactRows drops empty rows so completed workloads do not slow the
+// remaining jobs.
+func (m *GangManager) compactRows() {
+	rows := m.rows[:0]
+	for _, row := range m.rows {
+		if len(row) > 0 {
+			rows = append(rows, row)
+		}
+	}
+	m.rows = rows
+	for r, row := range m.rows {
+		for _, id := range row {
+			if j, ok := m.jobs[id]; ok {
+				j.row = r
+			}
+		}
+	}
+	if len(m.rows) > 0 {
+		m.activeRow %= len(m.rows)
+	} else {
+		m.activeRow = 0
+	}
+}
+
+func (m *GangManager) ensureTick() {
+	if m.tickScheduled {
+		return
+	}
+	m.tickScheduled = true
+	m.eng.After(m.cfg.Slot, "gang/slot", m.tick)
+}
+
+func (m *GangManager) tick() {
+	m.tickScheduled = false
+	if len(m.jobs) == 0 {
+		return
+	}
+	if len(m.rows) > 0 {
+		m.activeRow = (m.activeRow + 1) % len(m.rows)
+	}
+	m.applySlot()
+	m.ensureTick()
+}
+
+// applySlot runs the active row's gangs at full speed and stops everyone
+// else.
+func (m *GangManager) applySlot() {
+	now := m.eng.Now()
+	var placements []machine.Placement
+	ids := make([]sched.JobID, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, id := range ids {
+		j := m.jobs[id]
+		active := len(m.rows) > 0 && j.row == m.activeRow
+		if !active {
+			j.rt.SetRawRate(0, 0)
+			j.wasRunning = false
+			if m.rec != nil {
+				m.rec.ObserveAllocation(now, int(id), 0)
+			}
+			continue
+		}
+		for i, cpu := range j.cpus {
+			placements = append(placements, machine.Placement{
+				CPU:    cpu,
+				Thread: machine.ThreadID{Job: int(id), Thread: i},
+			})
+		}
+		procs := len(j.cpus)
+		speedup := j.rt.Profile().SpeedupAt(j.rt.IterationsDone()).Speedup(procs)
+		if !j.wasRunning && m.cfg.SwitchPenalty > 0 {
+			// Charge the gang-switch cost as a rate reduction over the slot.
+			loss := float64(m.cfg.SwitchPenalty) / float64(m.cfg.Slot)
+			if loss > 0.9 {
+				loss = 0.9
+			}
+			speedup *= 1 - loss
+		}
+		j.rt.SetRawRate(speedup, procs)
+		j.wasRunning = true
+		if m.rec != nil {
+			m.rec.ObserveAllocation(now, int(id), procs)
+		}
+	}
+	m.mach.PlaceQuantum(now, placements)
+}
+
+// Rows returns the current number of rows in the scheduling matrix.
+func (m *GangManager) Rows() int { return len(m.rows) }

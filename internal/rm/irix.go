@@ -1,0 +1,285 @@
+package rm
+
+import (
+	"sort"
+
+	"pdpasim/internal/machine"
+	"pdpasim/internal/nthlib"
+	"pdpasim/internal/sched"
+	"pdpasim/internal/selfanalyzer"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/trace"
+)
+
+// IRIXConfig parameterizes the native-scheduler model.
+type IRIXConfig struct {
+	// Quantum is the time-sharing quantum (default 100 ms).
+	Quantum sim.Time
+	// BusyWaitFactor is the efficiency multiplier applied while the machine
+	// is oversubscribed: preempted OpenMP threads leave their siblings
+	// spinning at barriers (MP_BLOCKTIME) and holding pages the runs need.
+	// Default 0.7.
+	BusyWaitFactor float64
+	// MigrationCost is the dead time one thread migration costs its
+	// application (cache/page locality loss on the CC-NUMA machine).
+	// Default 2 ms.
+	MigrationCost sim.Time
+	// AdjustEvery is how often the SGI-MP runtime's OMP_DYNAMIC adaptation
+	// runs, in quanta — deliberately slow ("unresponsiveness of the native
+	// runtime to changes in the system load", Section 5.1.1). Default 100
+	// (10 s per single-thread adjustment).
+	AdjustEvery int
+}
+
+// DefaultIRIXConfig returns the configuration used by the evaluation.
+func DefaultIRIXConfig() IRIXConfig {
+	return IRIXConfig{
+		Quantum:        100 * sim.Millisecond,
+		BusyWaitFactor: 0.7,
+		MigrationCost:  2 * sim.Millisecond,
+		AdjustEvery:    100,
+	}
+}
+
+func (c *IRIXConfig) applyDefaults() {
+	d := DefaultIRIXConfig()
+	if c.Quantum <= 0 {
+		c.Quantum = d.Quantum
+	}
+	if c.BusyWaitFactor <= 0 || c.BusyWaitFactor > 1 {
+		c.BusyWaitFactor = d.BusyWaitFactor
+	}
+	if c.MigrationCost < 0 {
+		c.MigrationCost = d.MigrationCost
+	}
+	if c.AdjustEvery <= 0 {
+		c.AdjustEvery = d.AdjustEvery
+	}
+}
+
+type irixJob struct {
+	id      sched.JobID
+	rt      *nthlib.Runtime
+	threads int // kernel threads (OMP_NUM_THREADS, adapted by OMP_DYNAMIC)
+}
+
+// IRIXManager models the native IRIX scheduler with the SGI-MP runtime:
+// applications create as many kernel threads as processors they request, and
+// every quantum the scheduler assigns threads to CPUs preferring affinity
+// (a thread's previous CPU) but rotating runnable threads when the machine
+// is oversubscribed — producing the migrations, short bursts, and chaotic
+// execution views of Fig. 5 and Table 2.
+type IRIXManager struct {
+	eng  *sim.Engine
+	mach *machine.Machine
+	rec  *trace.Recorder
+	cfg  IRIXConfig
+
+	jobs          map[sched.JobID]*irixJob
+	cursor        int
+	quantumCount  int
+	tickScheduled bool
+	admission     func()
+}
+
+// NewIRIXManager returns the native-scheduler model over mach.
+func NewIRIXManager(eng *sim.Engine, mach *machine.Machine, rec *trace.Recorder, cfg IRIXConfig) *IRIXManager {
+	cfg.applyDefaults()
+	return &IRIXManager{
+		eng:  eng,
+		mach: mach,
+		rec:  rec,
+		cfg:  cfg,
+		jobs: make(map[sched.JobID]*irixJob),
+	}
+}
+
+// Name implements Manager.
+func (m *IRIXManager) Name() string { return "IRIX" }
+
+// Running implements Manager.
+func (m *IRIXManager) Running() int { return len(m.jobs) }
+
+// CanAdmit implements Manager: the native scheduler has no coordination with
+// the queuing system; the fixed multiprogramming level alone governs.
+func (m *IRIXManager) CanAdmit() bool { return true }
+
+// SetAdmissionChanged implements Manager.
+func (m *IRIXManager) SetAdmissionChanged(fn func()) { m.admission = fn }
+
+// ReportPerformance implements Manager. The native runtime takes no
+// measurements; nothing flows here.
+func (m *IRIXManager) ReportPerformance(id sched.JobID, meas selfanalyzer.Measurement) {}
+
+// StartJob implements Manager.
+func (m *IRIXManager) StartJob(id sched.JobID, rt *nthlib.Runtime) {
+	m.jobs[id] = &irixJob{id: id, rt: rt, threads: rt.Request()}
+	m.place()
+	m.ensureTick()
+}
+
+// JobFinished implements Manager.
+func (m *IRIXManager) JobFinished(id sched.JobID) {
+	if _, ok := m.jobs[id]; !ok {
+		return
+	}
+	delete(m.jobs, id)
+	m.mach.ForgetThreads(int(id))
+	m.place()
+	if m.admission != nil {
+		m.admission()
+	}
+}
+
+func (m *IRIXManager) ensureTick() {
+	if m.tickScheduled {
+		return
+	}
+	m.tickScheduled = true
+	m.eng.After(m.cfg.Quantum, "irix/quantum", m.tick)
+}
+
+func (m *IRIXManager) tick() {
+	m.tickScheduled = false
+	if len(m.jobs) == 0 {
+		return
+	}
+	m.quantumCount++
+	if m.quantumCount%m.cfg.AdjustEvery == 0 {
+		m.adjustThreads()
+	}
+	m.place()
+	m.ensureTick()
+}
+
+func (m *IRIXManager) sortedJobs() []*irixJob {
+	out := make([]*irixJob, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// adjustThreads is the OMP_DYNAMIC model: the SGI-MP runtime adapts thread
+// counts toward the machine capacity, but slowly — a single thread across
+// the whole machine per adjustment interval, long after the load changed
+// (the "unresponsiveness of the native runtime system to changes in the
+// system load" of Section 5.1.1).
+func (m *IRIXManager) adjustThreads() {
+	total := 0
+	for _, j := range m.jobs {
+		total += j.threads
+	}
+	ncpu := m.mach.NCPU()
+	jobs := m.sortedJobs()
+	switch {
+	case total > ncpu:
+		var victim *irixJob
+		for _, j := range jobs {
+			if j.threads > 1 && (victim == nil || j.threads > victim.threads) {
+				victim = j
+			}
+		}
+		if victim != nil {
+			victim.threads--
+		}
+	case total < ncpu:
+		var beneficiary *irixJob
+		for _, j := range jobs {
+			if j.threads < j.rt.Request() && (beneficiary == nil || j.threads < beneficiary.threads) {
+				beneficiary = j
+			}
+		}
+		if beneficiary != nil {
+			beneficiary.threads++
+		}
+	}
+}
+
+// place computes this quantum's thread-to-CPU assignment and the resulting
+// per-application progress rates.
+func (m *IRIXManager) place() {
+	now := m.eng.Now()
+	jobs := m.sortedJobs()
+	if len(jobs) == 0 {
+		m.mach.PlaceQuantum(now, nil)
+		return
+	}
+	// Global thread list in stable (job, thread) order.
+	var threads []machine.ThreadID
+	for _, j := range jobs {
+		for i := 0; i < j.threads; i++ {
+			threads = append(threads, machine.ThreadID{Job: int(j.id), Thread: i})
+		}
+	}
+	ncpu := m.mach.NCPU()
+	selected := threads
+	if len(threads) > ncpu {
+		// Round-robin rotation across quanta: each quantum runs the next
+		// window of runnable threads.
+		if m.cursor >= len(threads) {
+			m.cursor %= len(threads)
+		}
+		selected = make([]machine.ThreadID, 0, ncpu)
+		for i := 0; i < ncpu; i++ {
+			selected = append(selected, threads[(m.cursor+i)%len(threads)])
+		}
+		m.cursor = (m.cursor + ncpu) % len(threads)
+	}
+
+	// Affinity pass: threads keep their previous CPU when possible.
+	claimed := make([]bool, ncpu)
+	placements := make([]machine.Placement, 0, len(selected))
+	var homeless []machine.ThreadID
+	for _, tid := range selected {
+		if cpu, ok := m.mach.LastCPU(tid); ok && !claimed[cpu] {
+			claimed[cpu] = true
+			placements = append(placements, machine.Placement{CPU: cpu, Thread: tid})
+			continue
+		}
+		homeless = append(homeless, tid)
+	}
+	cpu := 0
+	for _, tid := range homeless {
+		for cpu < ncpu && claimed[cpu] {
+			cpu++
+		}
+		if cpu >= ncpu {
+			break
+		}
+		claimed[cpu] = true
+		placements = append(placements, machine.Placement{CPU: cpu, Thread: tid})
+	}
+	migs := m.mach.PlaceQuantum(now, placements)
+
+	// Per-application effective rate for the coming quantum.
+	running := map[int]int{}
+	for _, p := range placements {
+		running[p.Thread.Job]++
+	}
+	oversubscribed := len(threads) > ncpu
+	for _, j := range jobs {
+		k := running[int(j.id)]
+		if m.rec != nil {
+			m.rec.ObserveAllocation(now, int(j.id), k)
+		}
+		if k == 0 {
+			j.rt.SetRawRate(0, 0)
+			continue
+		}
+		s := j.rt.Profile().SpeedupAt(j.rt.IterationsDone()).Speedup(j.threads)
+		rate := s * float64(k) / float64(j.threads)
+		if oversubscribed {
+			rate *= m.cfg.BusyWaitFactor
+		}
+		if mg := migs[int(j.id)]; mg > 0 && m.cfg.MigrationCost > 0 {
+			loss := float64(mg) * float64(m.cfg.MigrationCost) / float64(m.cfg.Quantum)
+			if loss > 0.9 {
+				loss = 0.9
+			}
+			rate *= 1 - loss
+		}
+		j.rt.SetRawRate(rate, k)
+	}
+}

@@ -1,0 +1,41 @@
+// Package rm implements the NANOS Resource Manager (Section 3.3): the
+// user-level processor scheduler that decides how many processors each
+// application receives and enforces the decision on the machine.
+//
+// Two managers exist:
+//
+//   - SpaceManager drives a sched.Policy (PDPA, Equipartition,
+//     Equal_efficiency): disjoint per-job CPU partitions, resized when the
+//     policy replans.
+//   - IRIXManager models the native IRIX scheduler: every job runs as many
+//     kernel threads as it requested and a per-quantum, affinity-preferring
+//     time-sharing placement assigns threads to CPUs.
+package rm
+
+import (
+	"pdpasim/internal/nthlib"
+	"pdpasim/internal/sched"
+	"pdpasim/internal/selfanalyzer"
+)
+
+// Manager is what the system driver and queuing system need from a resource
+// manager.
+type Manager interface {
+	// Name identifies the scheduling regime in results.
+	Name() string
+	// StartJob places a new application under the manager's control.
+	StartJob(id sched.JobID, rt *nthlib.Runtime)
+	// ReportPerformance delivers a SelfAnalyzer measurement for a job.
+	ReportPerformance(id sched.JobID, m selfanalyzer.Measurement)
+	// JobFinished removes a completed application.
+	JobFinished(id sched.JobID)
+	// CanAdmit reports whether the queuing system may start another job —
+	// the processor-scheduler side of the coordinated multiprogramming
+	// level (Section 4.3).
+	CanAdmit() bool
+	// Running returns the number of jobs under control.
+	Running() int
+	// SetAdmissionChanged registers a callback invoked whenever admission
+	// conditions may have improved (allocations settled, jobs finished).
+	SetAdmissionChanged(func())
+}

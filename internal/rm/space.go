@@ -1,0 +1,298 @@
+package rm
+
+import (
+	"sort"
+
+	"pdpasim/internal/machine"
+	"pdpasim/internal/nthlib"
+	"pdpasim/internal/sched"
+	"pdpasim/internal/selfanalyzer"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/trace"
+)
+
+type managedJob struct {
+	view *sched.JobView
+	rt   *nthlib.Runtime
+}
+
+// SpaceManager enforces a dynamic space-sharing policy: each running job
+// owns a disjoint CPU partition, resized whenever the policy replans (job
+// arrival, job completion, or a performance report — the activations
+// Section 4.1 lists).
+type SpaceManager struct {
+	eng  *sim.Engine
+	mach *machine.Machine
+	pol  sched.Policy
+	rec  *trace.Recorder
+
+	jobs             map[sched.JobID]*managedJob
+	admissionChanged func()
+	queued           func() int
+	replanning       bool
+	replanPending    bool
+}
+
+// SetQueuedFunc wires the queuing system's queue-depth accessor into the
+// views handed to the policy (load-adaptive policies read it).
+func (m *SpaceManager) SetQueuedFunc(fn func() int) { m.queued = fn }
+
+// NewSpaceManager returns a manager driving pol over mach. rec may be nil.
+func NewSpaceManager(eng *sim.Engine, mach *machine.Machine, pol sched.Policy, rec *trace.Recorder) *SpaceManager {
+	return &SpaceManager{
+		eng:  eng,
+		mach: mach,
+		pol:  pol,
+		rec:  rec,
+		jobs: make(map[sched.JobID]*managedJob),
+	}
+}
+
+// Name implements Manager.
+func (m *SpaceManager) Name() string { return m.pol.Name() }
+
+// Policy returns the policy being driven.
+func (m *SpaceManager) Policy() sched.Policy { return m.pol }
+
+// Running implements Manager.
+func (m *SpaceManager) Running() int { return len(m.jobs) }
+
+// SetAdmissionChanged implements Manager.
+func (m *SpaceManager) SetAdmissionChanged(fn func()) { m.admissionChanged = fn }
+
+// StartJob implements Manager.
+func (m *SpaceManager) StartJob(id sched.JobID, rt *nthlib.Runtime) {
+	view := &sched.JobView{
+		ID:      id,
+		Name:    rt.Profile().Name,
+		Request: rt.Request(),
+		Gran:    rt.Granularity(),
+		Arrived: m.eng.Now(),
+	}
+	m.jobs[id] = &managedJob{view: view, rt: rt}
+	m.pol.JobStarted(m.eng.Now(), view)
+	m.replan()
+}
+
+// ReportPerformance implements Manager.
+func (m *SpaceManager) ReportPerformance(id sched.JobID, meas selfanalyzer.Measurement) {
+	j, ok := m.jobs[id]
+	if !ok {
+		return
+	}
+	r := sched.Report{
+		At:         m.eng.Now(),
+		Procs:      meas.Procs,
+		Speedup:    meas.Speedup,
+		Efficiency: meas.Efficiency,
+		IterTime:   meas.IterTime,
+	}
+	j.view.Reports = append(j.view.Reports, r)
+	m.pol.ReportPerformance(m.eng.Now(), j.view, r)
+	m.replan()
+}
+
+// JobFinished implements Manager.
+func (m *SpaceManager) JobFinished(id sched.JobID) {
+	if _, ok := m.jobs[id]; !ok {
+		return
+	}
+	m.mach.Release(m.eng.Now(), int(id))
+	m.pol.JobFinished(m.eng.Now(), id)
+	delete(m.jobs, id)
+	m.replan()
+}
+
+// CanAdmit implements Manager.
+func (m *SpaceManager) CanAdmit() bool {
+	return m.pol.WantsNewJob(m.snapshot())
+}
+
+func (m *SpaceManager) snapshot() sched.View {
+	v := sched.View{
+		Now:  m.eng.Now(),
+		NCPU: m.mach.NCPU(),
+		Jobs: make([]*sched.JobView, 0, len(m.jobs)),
+	}
+	if m.queued != nil {
+		v.Queued = m.queued()
+	}
+	for _, j := range m.jobs {
+		v.Jobs = append(v.Jobs, j.view)
+	}
+	v.SortJobs()
+	return v
+}
+
+// replan asks the policy for the desired allocation and applies it to the
+// machine: shrinks first (freeing processors), then grows (clamped by what
+// is free), and finally the run-to-completion guarantee — every running job
+// keeps at least one processor, preempted from the largest partition if the
+// machine is full.
+func (m *SpaceManager) replan() {
+	if m.replanning {
+		// A policy callback triggered a nested replan (e.g. admission
+		// started a job while applying allocations); fold it into one more
+		// pass instead of recursing.
+		m.replanPending = true
+		return
+	}
+	m.replanning = true
+	for {
+		m.replanPending = false
+		m.replanOnce()
+		if !m.replanPending {
+			break
+		}
+	}
+	m.replanning = false
+	if m.admissionChanged != nil {
+		m.admissionChanged()
+	}
+}
+
+func (m *SpaceManager) replanOnce() {
+	if len(m.jobs) == 0 {
+		return
+	}
+	now := m.eng.Now()
+	view := m.snapshot()
+	plan := m.pol.Plan(view)
+
+	ids := make([]sched.JobID, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Shrinks release processors before any growth claims them.
+	for _, id := range ids {
+		j := m.jobs[id]
+		want, ok := plan[id]
+		if !ok {
+			continue
+		}
+		want = m.roundToGranularity(j, want)
+		if want < j.view.Allocated {
+			m.apply(now, j, want)
+		}
+	}
+	for _, id := range ids {
+		j := m.jobs[id]
+		want, ok := plan[id]
+		if !ok {
+			continue
+		}
+		want = m.roundToGranularity(j, want)
+		if want > j.view.Allocated {
+			m.applyGrow(now, j, want)
+		}
+	}
+
+	// Backfill: a granular (MPI) job that could not start because its fair
+	// share is less than one whole multiple of its process count takes what
+	// actually fits from the free processors — otherwise rigid jobs starve
+	// forever on a machine whose policy plans in smaller units. (A policy
+	// that plans below a rigid job's request can never run it; the paper's
+	// Section 4.3 calls this the fragmentation cost of rigidity.)
+	for _, id := range ids {
+		j := m.jobs[id]
+		g := j.rt.Granularity()
+		if g <= 1 || j.view.Allocated >= g {
+			continue
+		}
+		fit := m.mach.FreeCPUs() / g * g
+		if fit > j.view.Request {
+			fit = j.view.Request
+		}
+		if fit >= g {
+			m.apply(now, j, fit)
+		}
+	}
+
+	// Run-to-completion: a malleable job starved to zero takes one
+	// processor from the largest partition. Granular (MPI) jobs instead
+	// wait for a whole multiple of their process count — the fragmentation
+	// cost of rigidity (Section 4.3).
+	for _, id := range ids {
+		starving := m.jobs[id]
+		if starving.rt.Granularity() > 1 {
+			continue
+		}
+		for starving.view.Allocated < 1 {
+			victim := m.largestPartition(id)
+			if victim == nil || victim.view.Allocated <= 1 {
+				break
+			}
+			m.apply(now, victim, victim.view.Allocated-1)
+			m.apply(now, starving, 1)
+		}
+	}
+}
+
+// roundToGranularity clamps a planned allocation to what the job can
+// actually use: non-negative, capped at the request, and a whole multiple of
+// the job's granularity. A running granular job is never shrunk below one
+// processor per process.
+func (m *SpaceManager) roundToGranularity(j *managedJob, want int) int {
+	if want < 0 {
+		want = 0
+	}
+	if want > j.view.Request {
+		want = j.view.Request
+	}
+	g := j.rt.Granularity()
+	if g <= 1 {
+		return want
+	}
+	want = want / g * g
+	if want < g && j.view.Allocated >= g {
+		want = g
+	}
+	return want
+}
+
+// applyGrow grows a partition, all-or-nothing in granularity units: the
+// grant is pre-clamped to the free processors so a rigid job never receives
+// a fraction of a process.
+func (m *SpaceManager) applyGrow(now sim.Time, j *managedJob, want int) {
+	g := j.rt.Granularity()
+	if g > 1 {
+		available := j.view.Allocated + m.mach.FreeCPUs()
+		if want > available {
+			want = available / g * g
+		}
+		if want <= j.view.Allocated {
+			return
+		}
+	}
+	m.apply(now, j, want)
+}
+
+func (m *SpaceManager) largestPartition(excluding sched.JobID) *managedJob {
+	var best *managedJob
+	bestID := sched.JobID(-1)
+	for id, j := range m.jobs {
+		if id == excluding {
+			continue
+		}
+		if best == nil || j.view.Allocated > best.view.Allocated ||
+			(j.view.Allocated == best.view.Allocated && id < bestID) {
+			best = j
+			bestID = id
+		}
+	}
+	return best
+}
+
+func (m *SpaceManager) apply(now sim.Time, j *managedJob, want int) {
+	granted := m.mach.Resize(now, int(j.view.ID), want)
+	if granted == j.view.Allocated {
+		return
+	}
+	j.view.Allocated = granted
+	j.rt.SetAllocation(granted)
+	if m.rec != nil {
+		m.rec.ObserveAllocation(now, int(j.view.ID), granted)
+	}
+}

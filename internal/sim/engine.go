@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Handler is the body of a scheduled event. It runs at the event's time with
+// the engine clock already advanced.
+type Handler func()
+
+// Event is a pending occurrence in the simulation. Events are ordered by
+// time, with ties broken by scheduling order, so the execution order of
+// simultaneous events is deterministic.
+type Event struct {
+	when    Time
+	seq     uint64
+	index   int // heap index; -1 once removed
+	name    string
+	handler Handler
+}
+
+// When returns the time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Name returns the label given at scheduling time (for debugging).
+func (e *Event) Name() string { return e.name }
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulation core: a clock and a pending-event
+// queue. The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	// Executed counts events run so far (for diagnostics and tests).
+	Executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules handler to run at time t. Scheduling in the past panics: it
+// would silently reorder causality. Returns the event so the caller may
+// cancel it.
+func (e *Engine) At(t Time, name string, handler Handler) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, t, e.now))
+	}
+	if handler == nil {
+		panic("sim: nil handler for event " + name)
+	}
+	e.seq++
+	ev := &Event{when: t, seq: e.seq, name: name, handler: handler}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules handler to run d after the current time.
+func (e *Engine) After(d Time, name string, handler Handler) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, name, handler)
+}
+
+// Cancel removes a pending event. Cancelling a nil, already-run, or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue empties, the clock passes
+// deadline, or Stop is called. It returns the final clock value. Events
+// scheduled exactly at the deadline still run.
+func (e *Engine) Run(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.when > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.when
+		e.Executed++
+		next.handler()
+	}
+	if e.now < deadline && deadline != Forever {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// RunUntilIdle executes events until none remain or Stop is called.
+func (e *Engine) RunUntilIdle() Time { return e.Run(Forever) }
+
+// Step executes exactly one event if any is pending and reports whether one
+// ran.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.queue).(*Event)
+	e.now = next.when
+	e.Executed++
+	next.handler()
+	return true
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if (Second).String() != "1.000s" {
+		t.Fatalf("String = %q", Second.String())
+	}
+	if Forever.String() != "forever" {
+		t.Fatalf("Forever.String = %q", Forever.String())
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3*Second, "c", func() { order = append(order, 3) })
+	e.At(1*Second, "a", func() { order = append(order, 1) })
+	e.At(2*Second, "b", func() { order = append(order, 2) })
+	e.RunUntilIdle()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3*Second {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(Second, "first", func() { order = append(order, "first") })
+	e.At(Second, "second", func() { order = append(order, "second") })
+	e.RunUntilIdle()
+	if order[0] != "first" || order[1] != "second" {
+		t.Fatalf("tie broken wrongly: %v", order)
+	}
+}
+
+func TestEngineDeadline(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1*Second, "in", func() { ran++ })
+	e.At(2*Second, "at", func() { ran++ })
+	e.At(3*Second, "out", func() { ran++ })
+	e.Run(2 * Second)
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2 (deadline inclusive)", ran)
+	}
+	if e.Now() != 2*Second {
+		t.Fatalf("Now = %v, want clock advanced to deadline", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.At(Second, "x", func() { ran = true })
+	if !ev.Scheduled() {
+		t.Fatal("event should be scheduled")
+	}
+	e.Cancel(ev)
+	if ev.Scheduled() {
+		t.Fatal("event should be cancelled")
+	}
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+	e.RunUntilIdle()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.At(Time(i)*Second, "n", func() { order = append(order, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.RunUntilIdle()
+	if len(order) != 8 {
+		t.Fatalf("order = %v", order)
+	}
+	for _, v := range order {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d ran", v)
+		}
+	}
+}
+
+func TestEngineScheduleDuringRun(t *testing.T) {
+	e := NewEngine()
+	var hit []Time
+	e.At(Second, "outer", func() {
+		e.After(Second, "inner", func() { hit = append(hit, e.Now()) })
+	})
+	e.RunUntilIdle()
+	if len(hit) != 1 || hit[0] != 2*Second {
+		t.Fatalf("hit = %v", hit)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5*Second, "later", func() {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(Second, "past", func() {})
+}
+
+func TestEngineNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	NewEngine().At(0, "nil", nil)
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1*Second, "a", func() { ran++; e.Stop() })
+	e.At(2*Second, "b", func() { ran++ })
+	e.RunUntilIdle()
+	if ran != 1 {
+		t.Fatalf("ran = %d after Stop", ran)
+	}
+	// Run can resume afterwards.
+	e.RunUntilIdle()
+	if ran != 2 {
+		t.Fatalf("ran = %d after resume", ran)
+	}
+}
+
+func TestEngineAfterClampsNegative(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(-5*Second, "neg", func() { ran = true })
+	e.RunUntilIdle()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("negative After mishandled: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue should be false")
+	}
+	e.At(Second, "x", func() {})
+	if !e.Step() {
+		t.Fatal("Step should run the event")
+	}
+	if e.Executed != 1 {
+		t.Fatalf("Executed = %d", e.Executed)
+	}
+}
+
+// Property: for any set of scheduled times, execution order is sorted.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		var seen []Time
+		for _, off := range offsets {
+			tt := Time(off) * Millisecond
+			e.At(tt, "p", func() { seen = append(seen, e.Now()) })
+		}
+		e.RunUntilIdle()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

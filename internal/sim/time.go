@@ -1,0 +1,49 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// underlying the whole system.
+//
+// The engine is single threaded: events are executed strictly in (time,
+// sequence-number) order, which makes every run reproducible. Scheduling
+// components (the resource manager, queuing system, and application models)
+// are ordinary callbacks; no goroutines are involved, so processor-allocation
+// semantics are explicit rather than hidden behind the Go runtime.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a simulation timestamp in microseconds. Using a fixed-point
+// integer representation keeps event ordering exact (no floating-point
+// drift) across hundreds of thousands of events.
+type Time int64
+
+// Common durations.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Forever is a sentinel meaning "no deadline".
+const Forever Time = 1<<63 - 1
+
+// FromSeconds converts seconds to a Time, rounding to the nearest
+// microsecond.
+func FromSeconds(s float64) Time {
+	return Time(s*float64(Second) + 0.5)
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts t, interpreted as a span, to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) * time.Microsecond }
+
+// String formats t as seconds with millisecond precision.
+func (t Time) String() string {
+	if t == Forever {
+		return "forever"
+	}
+	return fmt.Sprintf("%.3fs", t.Seconds())
+}

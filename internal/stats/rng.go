@@ -1,0 +1,127 @@
+// Package stats provides the deterministic random-number streams and the
+// summary statistics used across the simulator.
+//
+// All randomness in a simulation run flows from a single 64-bit seed through
+// named streams (see NewRNG and RNG.Stream), so that two runs with the same
+// seed — or the same workload replayed under two scheduling policies — see
+// byte-identical random sequences. This is the repeatability property the
+// paper obtains with workload trace files.
+package stats
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random stream. It wraps math/rand with the
+// distributions the simulator needs (exponential interarrivals, normally
+// distributed measurement noise) and supports deriving independent named
+// substreams.
+type RNG struct {
+	seed int64
+	src  *rand.Rand
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{seed: seed, src: rand.New(rand.NewSource(seed))}
+}
+
+// Stream derives an independent substream identified by name. The substream
+// seed depends only on the parent seed and the name, never on how much of the
+// parent stream has been consumed, so adding a consumer does not perturb the
+// draws seen by existing consumers.
+func (r *RNG) Stream(name string) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	derived := int64(h.Sum64() ^ (uint64(r.seed)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019))
+	return NewRNG(derived)
+}
+
+// Seed returns the seed this stream was created with.
+func (r *RNG) Seed() int64 { return r.seed }
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform draw in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Exp returns an exponential draw with the given mean. The mean must be
+// positive.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("stats: Exp requires positive mean")
+	}
+	return r.src.ExpFloat64() * mean
+}
+
+// Normal returns a normal draw with the given mean and standard deviation.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	return r.src.NormFloat64()*stddev + mean
+}
+
+// LogNormalFactor returns a multiplicative noise factor with median 1 whose
+// log has standard deviation sigma. Used for measurement noise: multiplying
+// a duration by the factor keeps it positive regardless of sigma.
+func (r *RNG) LogNormalFactor(sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	return math.Exp(r.src.NormFloat64() * sigma)
+}
+
+// Poisson returns a Poisson draw with the given mean, using inversion for
+// small means and a normal approximation for large ones.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		n := int(math.Round(r.Normal(mean, math.Sqrt(mean))))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.src.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Pick returns an index in [0, len(weights)) drawn proportionally to the
+// weights. Non-positive weights are treated as zero. If all weights are
+// zero it returns 0.
+func (r *RNG) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := r.src.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}

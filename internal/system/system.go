@@ -1,0 +1,379 @@
+// Package system wires the whole NANOS execution environment together — the
+// discrete-event engine, the machine model, the queuing system, a resource
+// manager, and one runtime + SelfAnalyzer per job — and runs a workload to
+// completion under a chosen scheduling policy, producing a metrics.RunResult.
+//
+// This is the simulation counterpart of the paper's testbed: an SGI Origin
+// 2000 running the NANOS QS/RM with IRIX, Equipartition, Equal_efficiency,
+// or PDPA (Section 5).
+package system
+
+import (
+	"fmt"
+
+	"pdpasim/internal/app"
+	"pdpasim/internal/core"
+	"pdpasim/internal/machine"
+	"pdpasim/internal/memory"
+	"pdpasim/internal/metrics"
+	"pdpasim/internal/nthlib"
+	"pdpasim/internal/policy"
+	"pdpasim/internal/qs"
+	"pdpasim/internal/rm"
+	"pdpasim/internal/sched"
+	"pdpasim/internal/selfanalyzer"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/stats"
+	"pdpasim/internal/trace"
+	"pdpasim/internal/workload"
+)
+
+// PolicyKind selects the scheduling regime for a run.
+type PolicyKind string
+
+// The four regimes of the evaluation, plus two extended baselines from the
+// related-work literature.
+const (
+	PDPA            PolicyKind = "pdpa"
+	Equipartition   PolicyKind = "equip"
+	EqualEfficiency PolicyKind = "equal_eff"
+	IRIX            PolicyKind = "irix"
+	// Dynamic is McCann/Vaswani/Zahorjan's eager reallocation policy
+	// (related work, Section 2).
+	Dynamic PolicyKind = "dynamic"
+	// Gang is classic gang scheduling (Ousterhout matrix).
+	Gang PolicyKind = "gang"
+	// AdaptivePDPA is PDPA with a load-driven target efficiency — the
+	// paper's "alternatively, it is dynamically set depending on the load
+	// of the system" (Section 4.1).
+	AdaptivePDPA PolicyKind = "pdpa_adaptive"
+)
+
+// PolicyKinds lists the paper's four regimes in presentation order.
+func PolicyKinds() []PolicyKind {
+	return []PolicyKind{IRIX, Equipartition, EqualEfficiency, PDPA}
+}
+
+// ExtendedPolicyKinds adds the related-work baselines this repository also
+// implements.
+func ExtendedPolicyKinds() []PolicyKind {
+	return []PolicyKind{IRIX, Gang, Equipartition, EqualEfficiency, Dynamic, PDPA}
+}
+
+// Config parameterizes one run.
+type Config struct {
+	// Workload is the job stream to execute (required).
+	Workload *workload.Workload
+	// Policy selects the scheduling regime (required).
+	Policy PolicyKind
+	// PDPAParams overrides the PDPA parameters (nil = DefaultParams).
+	PDPAParams *core.Params
+	// FixedMPL is the queuing system's fixed multiprogramming level for
+	// IRIX, Equipartition, and Equal_efficiency (default 4, the paper's
+	// setting). PDPA runs with no fixed level: its own admission policy
+	// governs.
+	FixedMPL int
+	// NoiseSigma is the SelfAnalyzer measurement noise (default 0.01).
+	// Negative disables noise entirely.
+	NoiseSigma float64
+	// Seed drives measurement noise.
+	Seed int64
+	// KeepBursts stores the full burst history for trace rendering (Fig. 5).
+	// Aggregate stability statistics are collected regardless.
+	KeepBursts bool
+	// IRIXConfig overrides the native-scheduler model parameters.
+	IRIXConfig *rm.IRIXConfig
+	// MaxSimTime aborts runs that fail to drain (default 50000 s).
+	MaxSimTime sim.Time
+	// Profiles overrides the application profiles (nil = app.ProfileFor).
+	Profiles func(app.Class) *app.Profile
+	// NUMANodeSize groups the machine's CPUs into NUMA nodes of this size
+	// (the Origin 2000's node boards); 0 or 1 keeps a flat SMP. Space
+	// sharing then packs partitions compactly per node.
+	NUMANodeSize int
+	// Memory enables the CC-NUMA page-placement model (requires
+	// NUMANodeSize > 1 and a space-sharing policy): applications slow down
+	// while their pages are remote, and the migration daemon heals
+	// placement over time — the paper's Section 5.1.1 stability argument.
+	Memory *MemoryConfig
+	// BinaryOnly runs every application through the binary-only monitoring
+	// path (Section 3.1): the outer-loop structure must first be discovered
+	// by the Dynamic Periodicity Detector, so measurements — and the
+	// policy's knowledge — arrive later than with compiler-inserted
+	// instrumentation.
+	BinaryOnly bool
+	// QueueOrder selects the queuing discipline: "" or "fifo" (the paper's
+	// NANOS QS), or "sjf" (shortest job first by estimated work).
+	QueueOrder string
+}
+
+// MemoryConfig parameterizes the page-placement model.
+type MemoryConfig struct {
+	// RemotePenalty is the slowdown of a fully-remote working set
+	// (default 1.3, the Origin 2000's modest NUMA ratio).
+	RemotePenalty float64
+	// MigrationRate is the fraction of misplaced pages the daemon moves
+	// per second (default 0.2 — hot pages migrate within seconds).
+	MigrationRate float64
+	// Tick is how often locality is re-evaluated (default 1 s).
+	Tick sim.Time
+}
+
+func (m *MemoryConfig) applyDefaults() {
+	if m.RemotePenalty < 1 {
+		m.RemotePenalty = 1.3
+	}
+	if m.MigrationRate <= 0 || m.MigrationRate > 1 {
+		m.MigrationRate = 0.2
+	}
+	if m.Tick <= 0 {
+		m.Tick = sim.Second
+	}
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Workload == nil || len(out.Workload.Jobs) == 0 {
+		return out, fmt.Errorf("system: empty workload")
+	}
+	switch out.Policy {
+	case PDPA, Equipartition, EqualEfficiency, IRIX, Dynamic, Gang, AdaptivePDPA:
+	default:
+		return out, fmt.Errorf("system: unknown policy %q", out.Policy)
+	}
+	if out.FixedMPL == 0 {
+		out.FixedMPL = 4
+	}
+	if out.NoiseSigma == 0 {
+		out.NoiseSigma = 0.01
+	}
+	if out.NoiseSigma < 0 {
+		out.NoiseSigma = 0
+	}
+	if out.MaxSimTime <= 0 {
+		out.MaxSimTime = 50000 * sim.Second
+	}
+	if out.Profiles == nil {
+		out.Profiles = app.ProfileFor
+	}
+	return out, nil
+}
+
+// Run executes the workload under the configured policy and returns the
+// measured results. The same workload (same trace) run under different
+// policies sees identical submissions, the paper's repeatability setup.
+func Run(cfg Config) (*metrics.RunResult, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	w := c.Workload
+	eng := sim.NewEngine()
+	rec := trace.NewRecorder(w.NCPU)
+	rec.KeepBursts = c.KeepBursts
+	mach := machine.New(w.NCPU, rec)
+	if c.NUMANodeSize > 1 {
+		mach.SetNodeSize(c.NUMANodeSize)
+	}
+	noise := stats.NewRNG(c.Seed).Stream("selfanalyzer-noise")
+
+	var mgr rm.Manager
+	fixedMPL := c.FixedMPL
+	switch c.Policy {
+	case PDPA, AdaptivePDPA:
+		params := core.DefaultParams()
+		if c.PDPAParams != nil {
+			params = *c.PDPAParams
+		}
+		var pol sched.Policy
+		if c.Policy == AdaptivePDPA {
+			pol, err = core.NewAdaptive(params, 0.5, 0.85, 10)
+		} else {
+			pol, err = core.New(params)
+		}
+		if err != nil {
+			return nil, err
+		}
+		mgr = rm.NewSpaceManager(eng, mach, pol, rec)
+		fixedMPL = 0 // coordinated admission, no fixed level
+	case Equipartition:
+		mgr = rm.NewSpaceManager(eng, mach, policy.NewEquipartition(), rec)
+	case EqualEfficiency:
+		mgr = rm.NewSpaceManager(eng, mach, policy.NewEqualEfficiency(), rec)
+	case Dynamic:
+		mgr = rm.NewSpaceManager(eng, mach, policy.NewDynamic(), rec)
+	case Gang:
+		mgr = rm.NewGangManager(eng, mach, rec, rm.GangConfig{})
+	case IRIX:
+		irixCfg := rm.IRIXConfig{}
+		if c.IRIXConfig != nil {
+			irixCfg = *c.IRIXConfig
+		}
+		mgr = rm.NewIRIXManager(eng, mach, rec, irixCfg)
+	}
+
+	type jobTrack struct {
+		job   workload.Job
+		rt    *nthlib.Runtime
+		start sim.Time
+		end   sim.Time
+		done  bool
+	}
+	tracks := make(map[int]*jobTrack, len(w.Jobs))
+
+	var queue *qs.QueuingSystem
+	completedJobs := 0
+
+	// Optional CC-NUMA memory model (space sharing only; the IRIX model's
+	// migration cost already folds locality loss in).
+	memStart := func(id int) {}
+	memDone := func(id int) {}
+	if c.Memory != nil && c.NUMANodeSize > 1 && c.Policy != IRIX && c.Policy != Gang {
+		mc := *c.Memory
+		mc.applyDefaults()
+		mem, err := memory.New(mach.Nodes(), mc.RemotePenalty, mc.MigrationRate)
+		if err != nil {
+			return nil, err
+		}
+		nodeShare := func(job int) []float64 {
+			share := make([]float64, mach.Nodes())
+			cpus := mach.CPUs(job)
+			if len(cpus) == 0 {
+				return share
+			}
+			for _, cpu := range cpus {
+				share[mach.NodeOf(cpu)] += 1 / float64(len(cpus))
+			}
+			return share
+		}
+		lastFactor := map[int]float64{}
+		var tick func()
+		tick = func() {
+			for id, tr := range tracks {
+				if tr.done || tr.rt == nil || tr.rt.Allocated() == 0 {
+					continue
+				}
+				f := mem.Advance(eng.Now(), id, nodeShare(id))
+				if f < 0.01 {
+					f = 0.01
+				}
+				// Hysteresis: tiny locality drift must not dirty every
+				// measurement.
+				if last, ok := lastFactor[id]; !ok || f > last+0.02 || f < last-0.02 {
+					lastFactor[id] = f
+					tr.rt.SetRateFactor(f)
+				}
+			}
+			if completedJobs < len(w.Jobs) {
+				eng.After(mc.Tick, "memory/tick", tick)
+			}
+		}
+		eng.After(mc.Tick, "memory/tick", tick)
+		memStart = func(id int) { mem.JobStarted(eng.Now(), id, nodeShare(id)) }
+		memDone = func(id int) { mem.JobFinished(id) }
+	}
+	start := func(job workload.Job) {
+		id := sched.JobID(job.ID)
+		prof := c.Profiles(job.Class)
+		var an *selfanalyzer.Analyzer
+		if c.Policy != IRIX {
+			// The NANOS runtime instruments applications; the native IRIX
+			// regime runs them unmodified.
+			sacfg := selfanalyzer.ConfigFor(prof, c.NoiseSigma)
+			an = selfanalyzer.MustNew(sacfg, noise.Stream(fmt.Sprintf("job/%d", job.ID)))
+		}
+		track := &jobTrack{job: job, start: eng.Now()}
+		tracks[job.ID] = track
+		var rt *nthlib.Runtime
+		rt = nthlib.New(eng, prof, job.Request, an, nthlib.Hooks{
+			OnPerformance: func(m selfanalyzer.Measurement) {
+				mgr.ReportPerformance(id, m)
+			},
+			OnDone: func() {
+				track.end = eng.Now()
+				track.done = true
+				completedJobs++
+				memDone(job.ID)
+				mgr.JobFinished(id)
+				queue.JobCompleted()
+			},
+		})
+		rt.SetGranularity(job.Granularity())
+		rt.SetBinaryOnly(c.BinaryOnly && c.Policy != IRIX)
+		track.rt = rt
+		mgr.StartJob(id, rt)
+		memStart(job.ID)
+	}
+	queue = qs.New(eng, fixedMPL, mgr.CanAdmit, start, rec)
+	if sm, ok := mgr.(*rm.SpaceManager); ok {
+		sm.SetQueuedFunc(queue.Queued)
+	}
+	switch c.QueueOrder {
+	case "", "fifo":
+	case "sjf":
+		queue.SetOrder(qs.SJFByWork)
+	default:
+		return nil, fmt.Errorf("system: unknown queue order %q", c.QueueOrder)
+	}
+	mgr.SetAdmissionChanged(queue.TryStart)
+	queue.SubmitAll(w)
+
+	eng.Run(c.MaxSimTime)
+	if !queue.Drained() {
+		return nil, fmt.Errorf("system: %s/%s did not drain within %v (%d queued, %d running)",
+			c.Policy, w.Name, c.MaxSimTime, queue.Queued(), queue.Running())
+	}
+	// The engine clock advances to the deadline once idle; the run really
+	// ended at the last completion.
+	var end sim.Time
+	for _, tr := range tracks {
+		if tr.done && tr.end > end {
+			end = tr.end
+		}
+	}
+	rec.Close(end)
+
+	res := &metrics.RunResult{
+		Policy:   mgr.Name(),
+		Workload: w.Name,
+		Load:     w.TargetLoad,
+		MPL:      c.FixedMPL,
+		NCPU:     w.NCPU,
+		Seed:     c.Seed,
+		MaxMPL:   queue.MaxMPL(),
+	}
+	if c.KeepBursts {
+		res.Recorder = rec
+	}
+	for _, job := range w.Jobs {
+		tr := tracks[job.ID]
+		if tr == nil || !tr.done {
+			return nil, fmt.Errorf("system: job %d not completed", job.ID)
+		}
+		cpuSec := metrics.IntegrateAllocation(rec.AllocationHistory(job.ID), tr.end)
+		jr := metrics.JobResult{
+			ID:         job.ID,
+			Class:      job.Class,
+			Request:    job.Request,
+			Submit:     job.Submit,
+			Start:      tr.start,
+			End:        tr.end,
+			CPUSeconds: cpuSec,
+		}
+		if exec := jr.Execution().Seconds(); exec > 0 {
+			jr.AvgAlloc = cpuSec / exec
+		}
+		if ded := c.Profiles(job.Class).DedicatedTime(job.Request); ded > 0 {
+			jr.Slowdown = float64(jr.Response()) / float64(ded)
+		}
+		if jr.End > res.Makespan {
+			res.Makespan = jr.End
+		}
+		res.Jobs = append(res.Jobs, jr)
+	}
+	res.SortJobs()
+	res.MPLTimeline = rec.MPLTimeline()
+	res.AvgMPL = metrics.TimeWeightedMPL(res.MPLTimeline, res.Makespan)
+	res.Stability = rec.Stats()
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome-tracing export: the modern counterpart of the Paraver views. The
+// output loads in chrome://tracing or Perfetto (ui.perfetto.dev): one track
+// per CPU, one complete event per burst, labeled with the job.
+
+// chromeEvent is one entry of the Chrome tracing JSON array ("X" = complete
+// event; timestamps and durations in microseconds).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTracing writes the burst history in the Chrome trace-event
+// format. label maps a job id to a display name (nil uses "job N"). The
+// recording must be closed and must have kept its bursts.
+func (r *Recorder) WriteChromeTracing(w io.Writer, label func(job int) string) error {
+	if !r.closed {
+		return fmt.Errorf("trace: close the recorder before exporting")
+	}
+	if label == nil {
+		label = func(job int) string { return fmt.Sprintf("job %d", job) }
+	}
+	events := make([]chromeEvent, 0, r.ncpu+len(r.bursts))
+	// Track-name metadata: tid = CPU index.
+	for cpu := 0; cpu < r.ncpu; cpu++ {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: cpu,
+			Args: map[string]any{"name": fmt.Sprintf("cpu%02d", cpu)},
+		})
+	}
+	for _, b := range r.bursts {
+		events = append(events, chromeEvent{
+			Name: label(b.Job), Ph: "X",
+			Ts: int64(b.Start), Dur: int64(b.Duration()),
+			Pid: 1, Tid: b.CPU,
+			Args: map[string]any{"job": b.Job},
+		})
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(events); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

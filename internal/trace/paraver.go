@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Paraver export: the paper visualizes its scpus traces with the Paraver
+// tool (Labarta et al.). This writer emits the recorder's burst history in
+// the Paraver trace format (.prv) so the views of Fig. 5 can be opened in
+// the real tool: a header describing the resource hierarchy, then one state
+// record per burst.
+//
+// The subset written here:
+//
+//	#Paraver (dd/mm/yy at hh:mm):ftime:nNodes(nCPUs):nAppl:appl1,...
+//	1:cpu:appl:task:thread:begin:end:state
+//
+// Record type 1 is a state record; state 1 means "running". CPUs,
+// applications, tasks, and threads are numbered from 1. Idle periods carry
+// no records (Paraver renders them as idle). Times are in microseconds, the
+// recorder's native resolution.
+
+// paraverRunning is the Paraver state value for a running burst.
+const paraverRunning = 1
+
+// WriteParaver writes the recorded history as a .prv trace. Jobs become
+// Paraver applications with a single task whose thread count is the number
+// of CPUs the job ever used. The recording must be closed first.
+func (r *Recorder) WriteParaver(w io.Writer) error {
+	if !r.closed {
+		return fmt.Errorf("trace: close the recorder before exporting")
+	}
+	bw := bufio.NewWriter(w)
+
+	jobs := r.JobsSeen()
+	jobIndex := make(map[int]int, len(jobs)) // job id -> 1-based appl number
+	for i, j := range jobs {
+		jobIndex[j] = i + 1
+	}
+
+	// Header: date placeholder, total time, one node with NCPU CPUs, and
+	// the application list (each: 1 task with n threads mapped to node 1).
+	fmt.Fprintf(bw, "#Paraver (01/01/00 at 00:00):%d_ns:1(%d):%d", int64(r.end), r.ncpu, len(jobs))
+	cpusOf := make(map[int]map[int]bool, len(jobs))
+	for _, b := range r.bursts {
+		if cpusOf[b.Job] == nil {
+			cpusOf[b.Job] = map[int]bool{}
+		}
+		cpusOf[b.Job][b.CPU] = true
+	}
+	for _, j := range jobs {
+		fmt.Fprintf(bw, ":1(%d:1)", len(cpusOf[j]))
+	}
+	fmt.Fprintln(bw)
+
+	// State records, sorted by begin time for well-formedness.
+	bursts := make([]Burst, len(r.bursts))
+	copy(bursts, r.bursts)
+	sort.Slice(bursts, func(i, j int) bool {
+		if bursts[i].Start != bursts[j].Start {
+			return bursts[i].Start < bursts[j].Start
+		}
+		return bursts[i].CPU < bursts[j].CPU
+	})
+	// Thread numbering per job: a burst's thread is the rank of its CPU in
+	// the job's CPU set (stable across the run).
+	threadOf := make(map[int]map[int]int, len(jobs))
+	for _, j := range jobs {
+		cpus := make([]int, 0, len(cpusOf[j]))
+		for cpu := range cpusOf[j] {
+			cpus = append(cpus, cpu)
+		}
+		sort.Ints(cpus)
+		threadOf[j] = make(map[int]int, len(cpus))
+		for rank, cpu := range cpus {
+			threadOf[j][cpu] = rank + 1
+		}
+	}
+	for _, b := range bursts {
+		fmt.Fprintf(bw, "1:%d:%d:1:%d:%d:%d:%d\n",
+			b.CPU+1, jobIndex[b.Job], threadOf[b.Job][b.CPU],
+			int64(b.Start), int64(b.End), paraverRunning)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pdpasim/internal/sim"
+)
+
+func TestWriteParaverGolden(t *testing.T) {
+	r := NewRecorder(2)
+	r.Assign(0, 0, 10)
+	r.Assign(0, 1, 20)
+	r.Assign(5*sim.Second, 0, 20)
+	r.Close(10 * sim.Second)
+
+	var buf bytes.Buffer
+	if err := r.WriteParaver(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "#Paraver (01/01/00 at 00:00):10000000_ns:1(2):2:1(1:1):1(2:1)\n" +
+		"1:1:1:1:1:0:5000000:1\n" +
+		"1:2:2:1:2:0:10000000:1\n" +
+		"1:1:2:1:1:5000000:10000000:1\n"
+	if got != want {
+		t.Fatalf("paraver output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteParaverRequiresClosed(t *testing.T) {
+	r := NewRecorder(1)
+	var buf bytes.Buffer
+	if err := r.WriteParaver(&buf); err == nil {
+		t.Fatal("export of an open recording accepted")
+	}
+}
+
+// TestWriteParaverWellFormed checks structural invariants on a larger trace:
+// every record has 8 fields, begins <= ends, CPUs and applications are
+// 1-based and in range, and records are sorted by begin time.
+func TestWriteParaverWellFormed(t *testing.T) {
+	r := NewRecorder(4)
+	// A churny assignment pattern.
+	for i := 0; i < 50; i++ {
+		cpu := i % 4
+		job := (i / 2) % 3
+		r.Assign(sim.Time(i)*sim.Second, cpu, job)
+	}
+	r.Close(60 * sim.Second)
+
+	var buf bytes.Buffer
+	if err := r.WriteParaver(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("no header")
+	}
+	if !strings.HasPrefix(sc.Text(), "#Paraver") {
+		t.Fatalf("header = %q", sc.Text())
+	}
+	prevBegin := int64(-1)
+	records := 0
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), ":")
+		if len(fields) != 8 {
+			t.Fatalf("record has %d fields: %q", len(fields), sc.Text())
+		}
+		if fields[0] != "1" {
+			t.Fatalf("record type %q", fields[0])
+		}
+		cpu, _ := strconv.Atoi(fields[1])
+		appl, _ := strconv.Atoi(fields[2])
+		begin, _ := strconv.ParseInt(fields[5], 10, 64)
+		end, _ := strconv.ParseInt(fields[6], 10, 64)
+		if cpu < 1 || cpu > 4 {
+			t.Fatalf("cpu %d out of range", cpu)
+		}
+		if appl < 1 || appl > 3 {
+			t.Fatalf("appl %d out of range", appl)
+		}
+		if begin >= end {
+			t.Fatalf("empty or inverted record: %q", sc.Text())
+		}
+		if begin < prevBegin {
+			t.Fatal("records not sorted by begin time")
+		}
+		prevBegin = begin
+		records++
+	}
+	if records != len(r.Bursts()) {
+		t.Fatalf("records = %d, bursts = %d", records, len(r.Bursts()))
+	}
+}
+
+func TestWriteChromeTracing(t *testing.T) {
+	r := NewRecorder(2)
+	r.Assign(0, 0, 1)
+	r.Assign(0, 1, 2)
+	r.Assign(5*sim.Second, 0, 2)
+	r.Close(10 * sim.Second)
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTracing(&buf, func(job int) string {
+		return map[int]string{1: "swim", 2: "bt"}[job]
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 2 metadata + 3 bursts.
+	if len(events) != 5 {
+		t.Fatalf("events = %d", len(events))
+	}
+	var complete int
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			complete++
+			if e["dur"].(float64) <= 0 {
+				t.Fatalf("non-positive duration: %v", e)
+			}
+			if name := e["name"].(string); name != "swim" && name != "bt" {
+				t.Fatalf("label %q", name)
+			}
+		case "M":
+			if e["name"] != "thread_name" {
+				t.Fatalf("metadata %v", e)
+			}
+		}
+	}
+	if complete != 3 {
+		t.Fatalf("complete events = %d", complete)
+	}
+}
+
+func TestWriteChromeTracingRequiresClosed(t *testing.T) {
+	r := NewRecorder(1)
+	if err := r.WriteChromeTracing(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("open recording accepted")
+	}
+}
+
+func TestWriteChromeTracingEmpty(t *testing.T) {
+	r := NewRecorder(1)
+	r.Close(0)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTracing(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON for empty trace: %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSWF checks the parser never panics and, when it accepts input,
+// produces a well-formed workload. Run with `go test -fuzz FuzzParseSWF`;
+// plain `go test` exercises the seed corpus.
+func FuzzParseSWF(f *testing.F) {
+	f.Add("; Version: 2\n1 0 -1 -1 -1 -1 -1 4 -1 -1 -1 -1 -1 0 -1 -1 -1 -1\n")
+	f.Add("; MaxProcs: 64\n")
+	f.Add("1 10 -1 -1 -1 -1 -1 30 -1 -1 -1 -1 -1 1 -1 -1 -1 -1\n" +
+		"2 20 -1 -1 -1 -1 -1 2 -1 -1 -1 -1 -1 3 -1 -1 -1 -1\n")
+	f.Add("garbage line\n")
+	f.Add("1 -5 -1 -1 -1 -1 -1 4 -1 -1 -1 -1 -1 0 -1 -1 -1 -1\n")
+	f.Add("; TargetLoad: 0.8\n; Workload: fuzz\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		w, err := ParseSWF(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		prev := int64(-1)
+		for i, j := range w.Jobs {
+			if j.ID != i {
+				t.Fatalf("job ids not sequential: %d at %d", j.ID, i)
+			}
+			if j.Request < 1 {
+				t.Fatalf("accepted request %d", j.Request)
+			}
+			if int64(j.Submit) < prev {
+				t.Fatal("accepted unsorted submissions")
+			}
+			prev = int64(j.Submit)
+		}
+		// An accepted workload must round-trip through the writer.
+		var buf bytes.Buffer
+		if err := w.WriteSWF(&buf); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		if _, err := ParseSWF(&buf); err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+	})
+}

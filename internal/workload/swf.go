@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pdpasim/internal/app"
+	"pdpasim/internal/sim"
+)
+
+// The Standard Workload Format (SWF, Feitelson et al., version 2) describes
+// one job per line with 18 whitespace-separated integer fields. This package
+// uses the subset an *input* trace needs:
+//
+//	field  2: submit time (seconds)
+//	field  8: requested number of processors
+//	field 14: executable (application) number — we store the app.Class
+//
+// plus field 1 (job number). Unknown or inapplicable fields are -1, as the
+// format specifies. Header comment lines start with ';'.
+
+// WriteSWF serializes the workload as an SWF version 2 trace.
+func (w *Workload) WriteSWF(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, "; Version: 2\n")
+	fmt.Fprintf(bw, "; Computer: pdpasim simulated SGI Origin 2000\n")
+	fmt.Fprintf(bw, "; MaxProcs: %d\n", w.NCPU)
+	fmt.Fprintf(bw, "; Workload: %s\n", w.Name)
+	fmt.Fprintf(bw, "; TargetLoad: %.2f\n", w.TargetLoad)
+	fmt.Fprintf(bw, "; Note: executable number (field 14) encodes the application class:\n")
+	for _, c := range app.AllClasses() {
+		fmt.Fprintf(bw, ";   %d = %s\n", int(c), c)
+	}
+	for _, j := range w.Jobs {
+		// 18 fields: jobnum submit wait run procs cpu mem reqprocs reqtime
+		// reqmem status uid gid exe queue partition prec think
+		fmt.Fprintf(bw, "%d %d -1 -1 -1 -1 -1 %d -1 -1 -1 -1 -1 %d -1 -1 -1 -1\n",
+			j.ID+1, int64(j.Submit.Seconds()+0.5), j.Request, int(j.Class))
+	}
+	return bw.Flush()
+}
+
+// ParseSWF reads an SWF trace written by WriteSWF (or any SWF v2 input trace
+// using the same field conventions). Header directives MaxProcs, Workload,
+// and TargetLoad are honored when present.
+func ParseSWF(in io.Reader) (*Workload, error) {
+	w := &Workload{NCPU: 64}
+	sc := bufio.NewScanner(in)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			parseHeader(w, line)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 14 {
+			return nil, fmt.Errorf("workload: swf line %d: %d fields, want >= 14", lineno, len(fields))
+		}
+		submit, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || submit < 0 {
+			return nil, fmt.Errorf("workload: swf line %d: bad submit time %q", lineno, fields[1])
+		}
+		req, err := strconv.Atoi(fields[7])
+		if err != nil || req < 1 {
+			return nil, fmt.Errorf("workload: swf line %d: bad requested processors %q", lineno, fields[7])
+		}
+		exe, err := strconv.Atoi(fields[13])
+		if err != nil || exe < 0 || exe >= app.NumClasses {
+			return nil, fmt.Errorf("workload: swf line %d: bad executable number %q", lineno, fields[13])
+		}
+		w.Jobs = append(w.Jobs, Job{
+			ID:      len(w.Jobs),
+			Class:   app.Class(exe),
+			Submit:  sim.FromSeconds(submit),
+			Request: req,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading swf: %w", err)
+	}
+	for i := 1; i < len(w.Jobs); i++ {
+		if w.Jobs[i].Submit < w.Jobs[i-1].Submit {
+			return nil, fmt.Errorf("workload: swf jobs not sorted by submit time at line for job %d", i+1)
+		}
+	}
+	return w, nil
+}
+
+func parseHeader(w *Workload, line string) {
+	body := strings.TrimSpace(strings.TrimPrefix(line, ";"))
+	key, val, ok := strings.Cut(body, ":")
+	if !ok {
+		return
+	}
+	val = strings.TrimSpace(val)
+	switch strings.TrimSpace(key) {
+	case "MaxProcs":
+		if n, err := strconv.Atoi(val); err == nil && n > 0 {
+			w.NCPU = n
+		}
+	case "Workload":
+		w.Name = val
+	case "TargetLoad":
+		if f, err := strconv.ParseFloat(val, 64); err == nil && f > 0 {
+			w.TargetLoad = f
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pdpasim/internal/app"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/stats"
+)
+
+func genW(t *testing.T, mix Mix, load float64, seed int64) *Workload {
+	t.Helper()
+	w, err := Generate(GenConfig{
+		Mix: mix, Load: load, NCPU: 60, Window: 300 * sim.Second, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestMixesMatchTable1(t *testing.T) {
+	for _, m := range []Mix{W1(), W2(), W3(), W4()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", m.Name, err)
+		}
+	}
+	if W1().Shares[app.Swim] != 0.5 || W1().Shares[app.BT] != 0.5 {
+		t.Fatal("w1 shares wrong")
+	}
+	if len(W4().Shares) != 4 {
+		t.Fatal("w4 must contain all classes")
+	}
+	for _, c := range app.AllClasses() {
+		if W4().Shares[c] != 0.25 {
+			t.Fatalf("w4 share for %v = %v", c, W4().Shares[c])
+		}
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for _, name := range []string{"w1", "w2", "w3", "w4"} {
+		m, err := MixByName(name)
+		if err != nil || m.Name != name {
+			t.Fatalf("MixByName(%q) = %v, %v", name, m.Name, err)
+		}
+	}
+	if _, err := MixByName("w9"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	bad := Mix{Name: "bad", Shares: map[app.Class]float64{app.Swim: 0.6}}
+	if bad.Validate() == nil {
+		t.Fatal("shares not summing to 1 accepted")
+	}
+	neg := Mix{Name: "neg", Shares: map[app.Class]float64{app.Swim: -0.5, app.BT: 1.5}}
+	if neg.Validate() == nil {
+		t.Fatal("negative share accepted")
+	}
+}
+
+func TestGenerateCalibration(t *testing.T) {
+	// Average over seeds: the realized demand should be near the target.
+	for _, load := range []float64{0.6, 0.8, 1.0} {
+		total := 0.0
+		const seeds = 20
+		for s := int64(0); s < seeds; s++ {
+			w := genW(t, W1(), load, s)
+			total += w.EstimatedLoad(300 * sim.Second)
+		}
+		avg := total / seeds
+		if math.Abs(avg-load) > 0.15*load {
+			t.Errorf("load %.0f%%: realized %.3f", load*100, avg)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genW(t, W2(), 0.8, 7)
+	b := genW(t, W2(), 0.8, 7)
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+}
+
+func TestGenerateEveryClassPresent(t *testing.T) {
+	for s := int64(0); s < 10; s++ {
+		w := genW(t, W4(), 0.6, s)
+		counts := w.CountByClass()
+		for c, share := range W4().Shares {
+			if share > 0 && counts[c] == 0 {
+				t.Fatalf("seed %d: class %v absent", s, c)
+			}
+		}
+	}
+}
+
+func TestGenerateSortedAndNumbered(t *testing.T) {
+	w := genW(t, W3(), 1.0, 3)
+	for i, j := range w.Jobs {
+		if j.ID != i {
+			t.Fatalf("job %d has ID %d", i, j.ID)
+		}
+		if i > 0 && j.Submit < w.Jobs[i-1].Submit {
+			t.Fatal("jobs not sorted by submit")
+		}
+		if j.Submit < 0 || j.Submit > 300*sim.Second {
+			t.Fatalf("submit %v outside window", j.Submit)
+		}
+	}
+}
+
+func TestGenerateTunedRequests(t *testing.T) {
+	w := genW(t, W3(), 0.6, 1)
+	for _, j := range w.Jobs {
+		want := app.ProfileFor(j.Class).Request
+		if j.Request != want {
+			t.Fatalf("%v request = %d, want %d", j.Class, j.Request, want)
+		}
+	}
+}
+
+func TestWithUniformRequest(t *testing.T) {
+	w := genW(t, W3(), 0.6, 1)
+	u := w.WithUniformRequest(30)
+	if len(u.Jobs) != len(w.Jobs) {
+		t.Fatal("job count changed")
+	}
+	for i, j := range u.Jobs {
+		if j.Request != 30 {
+			t.Fatalf("request = %d", j.Request)
+		}
+		if j.Submit != w.Jobs[i].Submit || j.Class != w.Jobs[i].Class {
+			t.Fatal("untuned variant changed submissions")
+		}
+	}
+	// Original untouched.
+	for _, j := range w.Jobs {
+		if j.Class == app.Apsi && j.Request != 2 {
+			t.Fatal("original workload mutated")
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenConfig{Mix: W1(), Load: 0, NCPU: 60, Window: sim.Second}); err == nil {
+		t.Fatal("zero load accepted")
+	}
+	if _, err := Generate(GenConfig{Mix: W1(), Load: 1, NCPU: 0, Window: sim.Second}); err == nil {
+		t.Fatal("zero NCPU accepted")
+	}
+	if _, err := Generate(GenConfig{Mix: Mix{Name: "x", Shares: map[app.Class]float64{app.Swim: 2}}, Load: 1, NCPU: 60, Window: sim.Second}); err == nil {
+		t.Fatal("invalid mix accepted")
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	w := genW(t, W4(), 0.8, 11)
+	var buf bytes.Buffer
+	if err := w.WriteSWF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NCPU != w.NCPU || got.TargetLoad != w.TargetLoad || got.Name != w.Name {
+		t.Fatalf("header lost: %+v", got)
+	}
+	if len(got.Jobs) != len(w.Jobs) {
+		t.Fatalf("jobs = %d, want %d", len(got.Jobs), len(w.Jobs))
+	}
+	for i := range got.Jobs {
+		a, b := got.Jobs[i], w.Jobs[i]
+		if a.Class != b.Class || a.Request != b.Request || a.ID != b.ID {
+			t.Fatalf("job %d: %+v vs %+v", i, a, b)
+		}
+		// Submit survives at 1-second granularity (SWF stores seconds).
+		if math.Abs(a.Submit.Seconds()-b.Submit.Seconds()) > 0.51 {
+			t.Fatalf("job %d submit: %v vs %v", i, a.Submit, b.Submit)
+		}
+	}
+}
+
+func TestParseSWFErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line":    "1 2 3\n",
+		"bad submit":    "1 x -1 -1 -1 -1 -1 4 -1 -1 -1 -1 -1 0 -1 -1 -1 -1\n",
+		"bad request":   "1 0 -1 -1 -1 -1 -1 0 -1 -1 -1 -1 -1 0 -1 -1 -1 -1\n",
+		"bad class":     "1 0 -1 -1 -1 -1 -1 4 -1 -1 -1 -1 -1 99 -1 -1 -1 -1\n",
+		"unsorted jobs": "1 10 -1 -1 -1 -1 -1 4 -1 -1 -1 -1 -1 0 -1 -1 -1 -1\n2 5 -1 -1 -1 -1 -1 4 -1 -1 -1 -1 -1 0 -1 -1 -1 -1\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseSWF(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestParseSWFIgnoresBlanksAndComments(t *testing.T) {
+	in := "; Version: 2\n\n; stray comment without colon form\n1 0 -1 -1 -1 -1 -1 4 -1 -1 -1 -1 -1 1 -1 -1 -1 -1\n"
+	w, err := ParseSWF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 1 || w.Jobs[0].Class != app.BT {
+		t.Fatalf("jobs = %+v", w.Jobs)
+	}
+}
+
+func TestDemandUntunedDiffers(t *testing.T) {
+	w := genW(t, W3(), 0.6, 2)
+	u := w.WithUniformRequest(30)
+	// apsi at 30 CPUs wastes ~28 of them; untuned demand must be far higher.
+	if u.Demand(nil) < 1.5*w.Demand(nil) {
+		t.Fatalf("untuned demand %v not >> tuned %v", u.Demand(nil), w.Demand(nil))
+	}
+}
+
+// Property: generation never emits jobs outside the window, with invalid
+// requests, or unsorted, for any seed/load.
+func TestGenerateProperty(t *testing.T) {
+	f := func(seed int64, loadRaw uint8) bool {
+		load := 0.2 + float64(loadRaw%100)/100
+		w, err := Generate(GenConfig{Mix: W4(), Load: load, NCPU: 60, Window: 300 * sim.Second, Seed: seed})
+		if err != nil {
+			return false
+		}
+		prev := sim.Time(0)
+		for _, j := range w.Jobs {
+			if j.Submit < prev || j.Submit > 300*sim.Second || j.Request < 1 {
+				return false
+			}
+			prev = j.Submit
+		}
+		return len(w.Jobs) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBurstyArrivalsCluster(t *testing.T) {
+	gen := func(burstiness float64) *Workload {
+		w, err := Generate(GenConfig{
+			Mix: W3(), Load: 1.0, NCPU: 60, Window: 300 * sim.Second,
+			Seed: 5, Burstiness: burstiness,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	// Burstiness concentrates arrivals: the coefficient of variation of
+	// interarrival gaps must grow markedly.
+	cv := func(w *Workload) float64 {
+		var s stats.Summary
+		for i := 1; i < len(w.Jobs); i++ {
+			s.Add((w.Jobs[i].Submit - w.Jobs[i-1].Submit).Seconds())
+		}
+		return s.CoefficientOfVariation()
+	}
+	smooth := gen(1)
+	bursty := gen(8)
+	if cv(bursty) < 1.3*cv(smooth) {
+		t.Fatalf("bursty cv %.2f not much above smooth cv %.2f", cv(bursty), cv(smooth))
+	}
+	// Job count (demand) stays calibrated.
+	ratio := float64(len(bursty.Jobs)) / float64(len(smooth.Jobs))
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("burstiness changed the job count: %d vs %d", len(bursty.Jobs), len(smooth.Jobs))
+	}
+	// All arrivals stay inside the window and sorted.
+	for i, j := range bursty.Jobs {
+		if j.Submit < 0 || j.Submit >= 300*sim.Second {
+			t.Fatalf("job %d outside window: %v", i, j.Submit)
+		}
+		if i > 0 && j.Submit < bursty.Jobs[i-1].Submit {
+			t.Fatal("unsorted")
+		}
+	}
+}
+
+func TestBurstyDeterministic(t *testing.T) {
+	gen := func() *Workload {
+		w, err := Generate(GenConfig{
+			Mix: W1(), Load: 0.8, NCPU: 60, Window: 300 * sim.Second,
+			Seed: 6, Burstiness: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	a, b := gen(), gen()
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+}
