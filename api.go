@@ -1,6 +1,7 @@
 package pdpasim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -53,6 +54,16 @@ func ExtendedPolicies() []Policy {
 	return []Policy{IRIX, Gang, Equipartition, EqualEfficiency, Dynamic, PDPA}
 }
 
+// Validate reports whether p names a known scheduling regime. Both cmd/
+// pdpasim and the pdpad daemon reject specs through this single check.
+func (p Policy) Validate() error {
+	switch p {
+	case PDPA, Equipartition, EqualEfficiency, IRIX, Dynamic, Gang, AdaptivePDPA:
+		return nil
+	}
+	return fmt.Errorf("pdpasim: unknown policy %q (valid: irix, gang, equip, equal_eff, dynamic, pdpa, pdpa_adaptive)", string(p))
+}
+
 // PDPAParams mirrors the paper's policy parameters (Section 4.2).
 type PDPAParams struct {
 	// TargetEff is the efficiency allocated processors must sustain (0.7).
@@ -103,7 +114,31 @@ type WorkloadSpec struct {
 	UniformRequest int
 }
 
+// Validate checks the spec without generating the workload: the mix must be
+// known and every numeric field non-negative. It is the validation path
+// shared by cmd/pdpasim flag checking and the pdpad daemon's request
+// admission.
+func (s WorkloadSpec) Validate() error {
+	if _, err := workload.MixByName(s.Mix); err != nil {
+		return err
+	}
+	switch {
+	case s.Load < 0:
+		return fmt.Errorf("pdpasim: negative load %v", s.Load)
+	case s.NCPU < 0:
+		return fmt.Errorf("pdpasim: negative machine size %d", s.NCPU)
+	case s.Window < 0:
+		return fmt.Errorf("pdpasim: negative submission window %v", s.Window)
+	case s.UniformRequest < 0:
+		return fmt.Errorf("pdpasim: negative uniform request %d", s.UniformRequest)
+	}
+	return nil
+}
+
 func (s WorkloadSpec) build() (*workload.Workload, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	mix, err := workload.MixByName(s.Mix)
 	if err != nil {
 		return nil, err
@@ -164,6 +199,44 @@ type Options struct {
 	NUMANodeSize int
 }
 
+// Validate checks the options: the policy must be known, numeric fields
+// non-negative, and explicit PDPA parameters self-consistent.
+func (o Options) Validate() error {
+	if err := o.Policy.Validate(); err != nil {
+		return err
+	}
+	if o.FixedMPL < 0 {
+		return fmt.Errorf("pdpasim: negative multiprogramming level %d", o.FixedMPL)
+	}
+	if o.NUMANodeSize < 0 {
+		return fmt.Errorf("pdpasim: negative NUMA node size %d", o.NUMANodeSize)
+	}
+	if (o.Policy == PDPA || o.Policy == AdaptivePDPA) && o.PDPA != (PDPAParams{}) {
+		if err := o.PDPA.internal().Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// config translates the options into the internal system configuration.
+func (o Options) config(w *workload.Workload) system.Config {
+	cfg := system.Config{
+		Workload:     w,
+		Policy:       system.PolicyKind(o.Policy),
+		FixedMPL:     o.FixedMPL,
+		NoiseSigma:   o.NoiseSigma,
+		Seed:         o.Seed,
+		KeepBursts:   o.KeepTrace,
+		NUMANodeSize: o.NUMANodeSize,
+	}
+	if (o.Policy == PDPA || o.Policy == AdaptivePDPA) && o.PDPA != (PDPAParams{}) {
+		params := o.PDPA.internal()
+		cfg.PDPAParams = &params
+	}
+	return cfg
+}
+
 // JobOutcome is the result of one job.
 type JobOutcome struct {
 	ID        int
@@ -202,25 +275,28 @@ type Outcome struct {
 // Run generates the workload described by spec and executes it under the
 // given options. The identical spec replayed under different policies sees
 // identical submissions.
+//
+// Deprecated: new code should call RunContext, which supports cancellation
+// and deadlines; Run is RunContext with a background context and is kept for
+// compatibility.
 func Run(spec WorkloadSpec, opts Options) (*Outcome, error) {
+	return RunContext(context.Background(), spec, opts)
+}
+
+// RunContext generates the workload described by spec and executes it under
+// the given options, aborting promptly — mid-simulation — when ctx is
+// cancelled or its deadline passes. The returned error then wraps ctx.Err().
+// A run that completes is byte-identical to the same run without a context:
+// cancellation checks never perturb the event order.
+func RunContext(ctx context.Context, spec WorkloadSpec, opts Options) (*Outcome, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	w, err := spec.build()
 	if err != nil {
 		return nil, err
 	}
-	cfg := system.Config{
-		Workload:     w,
-		Policy:       system.PolicyKind(opts.Policy),
-		FixedMPL:     opts.FixedMPL,
-		NoiseSigma:   opts.NoiseSigma,
-		Seed:         opts.Seed,
-		KeepBursts:   opts.KeepTrace,
-		NUMANodeSize: opts.NUMANodeSize,
-	}
-	if opts.Policy == PDPA && opts.PDPA != (PDPAParams{}) {
-		params := opts.PDPA.internal()
-		cfg.PDPAParams = &params
-	}
-	res, err := system.Run(cfg)
+	res, err := system.RunContext(ctx, opts.config(w))
 	if err != nil {
 		return nil, err
 	}
@@ -230,25 +306,25 @@ func Run(spec WorkloadSpec, opts Options) (*Outcome, error) {
 // RunSWF replays a Standard Workload Format trace (as produced by
 // WorkloadSpec.WriteSWF, or any SWF v2 input trace using the same field
 // conventions) under the given options.
+//
+// Deprecated: new code should call RunSWFContext, which supports
+// cancellation and deadlines; RunSWF is RunSWFContext with a background
+// context and is kept for compatibility.
 func RunSWF(in io.Reader, opts Options) (*Outcome, error) {
+	return RunSWFContext(context.Background(), in, opts)
+}
+
+// RunSWFContext is RunSWF with cancellation, with the same contract as
+// RunContext.
+func RunSWFContext(ctx context.Context, in io.Reader, opts Options) (*Outcome, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	w, err := workload.ParseSWF(in)
 	if err != nil {
 		return nil, err
 	}
-	cfg := system.Config{
-		Workload:     w,
-		Policy:       system.PolicyKind(opts.Policy),
-		FixedMPL:     opts.FixedMPL,
-		NoiseSigma:   opts.NoiseSigma,
-		Seed:         opts.Seed,
-		KeepBursts:   opts.KeepTrace,
-		NUMANodeSize: opts.NUMANodeSize,
-	}
-	if opts.Policy == PDPA && opts.PDPA != (PDPAParams{}) {
-		params := opts.PDPA.internal()
-		cfg.PDPAParams = &params
-	}
-	res, err := system.Run(cfg)
+	res, err := system.RunContext(ctx, opts.config(w))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,103 @@
+// Command pdpad is the simulation-as-a-service daemon: a long-running HTTP
+// server that accepts WorkloadSpec+Options payloads, executes them on a
+// bounded worker pool whose admission controller applies PDPA's coordinated
+// multiprogramming-level rule to the service itself, dedupes identical specs
+// through a canonical-config-hash result cache, streams per-run progress as
+// server-sent events, and exposes live Prometheus metrics.
+//
+// Usage:
+//
+//	pdpad -addr :8080 -base 4 -max 8 -warmup 500ms
+//
+// Quickstart:
+//
+//	curl -s localhost:8080/v1/runs -d '{"workload":{"mix":"w3"},"options":{"policy":"pdpa"}}'
+//	curl -s localhost:8080/v1/runs/run-000001
+//	curl -N localhost:8080/v1/runs/run-000001/events
+//	curl -s localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight and
+// queued runs, and exits; a second signal (or -drain-timeout) cancels the
+// stragglers.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pdpasim/internal/runqueue"
+	"pdpasim/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		base         = flag.Int("base", 4, "base worker concurrency: below it admission is unconditional (PDPA's base MPL)")
+		max          = flag.Int("max", 0, "max concurrent simulations (0 = 2×base)")
+		warmup       = flag.Duration("warmup", 500*time.Millisecond, "how long a new run is considered settling; above base, admission waits for a stable running set")
+		queueLimit   = flag.Int("queue", 256, "maximum queued runs")
+		cacheSize    = flag.Int("cache", 128, "result cache entries")
+		deadline     = flag.Duration("deadline", 0, "default per-run deadline, queue wait included (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for runs to finish before cancelling them")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "pdpad: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *base < 1 || *max < 0 || *queueLimit < 1 || *cacheSize < 1 || *warmup < 0 || *deadline < 0 || *drainTimeout <= 0 {
+		fmt.Fprintln(os.Stderr, "pdpad: flag values must be positive")
+		os.Exit(2)
+	}
+	if *max == 0 {
+		*max = 2 * *base
+	}
+
+	pool := runqueue.New(runqueue.Config{
+		BaseWorkers:     *base,
+		MaxWorkers:      *max,
+		Warmup:          *warmup,
+		QueueLimit:      *queueLimit,
+		CacheSize:       *cacheSize,
+		DefaultDeadline: *deadline,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: server.New(pool)}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	log.Printf("pdpad: serving on %s (base %d, max %d, warmup %v)", *addr, *base, *max, *warmup)
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("pdpad: serve: %v", err)
+	case sig := <-sigs:
+		log.Printf("pdpad: %v: draining (in-flight and queued runs complete; again to force)", sig)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sigs
+		log.Print("pdpad: second signal: cancelling remaining runs")
+		cancel()
+	}()
+	if err := pool.Drain(drainCtx); err != nil {
+		log.Printf("pdpad: drain cut short: %v", err)
+	}
+	cancel()
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("pdpad: http shutdown: %v", err)
+	}
+	log.Print("pdpad: bye")
+}

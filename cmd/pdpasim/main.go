@@ -39,6 +39,9 @@ func main() {
 		chrOut  = flag.String("chrome", "", "write the execution trace in Chrome trace-event format to this file")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usageError(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
 
 	params := pdpasim.DefaultPDPAParams()
 	params.TargetEff = *target
@@ -53,6 +56,19 @@ func main() {
 		Seed:       *seed,
 		KeepTrace:  *showTr || *prvOut != "" || *chrOut != "",
 	}
+	spec := pdpasim.WorkloadSpec{
+		Mix: *mix, Load: *load, NCPU: *ncpu, Seed: *seed, UniformRequest: *untuned,
+	}
+	// Reject bad flag combinations before simulating, through the same
+	// validation path the pdpad daemon applies to incoming specs.
+	if err := opts.Validate(); err != nil {
+		usageError(err)
+	}
+	if *swf == "" {
+		if err := spec.Validate(); err != nil {
+			usageError(err)
+		}
+	}
 
 	var (
 		out *pdpasim.Outcome
@@ -66,9 +82,6 @@ func main() {
 		defer f.Close()
 		out, err = pdpasim.RunSWF(f, opts)
 	} else {
-		spec := pdpasim.WorkloadSpec{
-			Mix: *mix, Load: *load, NCPU: *ncpu, Seed: *seed, UniformRequest: *untuned,
-		}
 		out, err = pdpasim.Run(spec, opts)
 	}
 	if err != nil {
@@ -106,4 +119,12 @@ func writeFile(path string, fn func(io.Writer) error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pdpasim:", err)
 	os.Exit(1)
+}
+
+// usageError reports a bad flag value and exits with the conventional usage
+// status.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "pdpasim:", err)
+	fmt.Fprintln(os.Stderr, "run with -h for usage")
+	os.Exit(2)
 }

@@ -21,4 +21,14 @@
 // RunExperiment (or `go test -bench .` / cmd/experiments); see DESIGN.md for
 // the per-experiment index and EXPERIMENTS.md for measured-versus-paper
 // results.
+//
+// Long-lived callers should prefer RunContext/RunSWFContext, which abort a
+// simulation mid-flight when the context is cancelled or times out; the
+// context-free Run/RunSWF remain as compatibility wrappers. Simulations can
+// also be served as a service: cmd/pdpad is an HTTP daemon (see the README's
+// quickstart) whose worker pool reuses PDPA's own admission rule, backed by
+// internal/runqueue (PDPA-governed admission, canonical-config-hash result
+// cache, singleflight dedup, per-run deadlines, graceful drain) and
+// internal/server (JSON API, server-sent progress events, Prometheus
+// metrics).
 package pdpasim

@@ -1,0 +1,114 @@
+// Example serverclient starts the pdpad service in-process, then acts as an
+// HTTP client against it: it submits a simulation run, follows its progress
+// over the server-sent-events stream, fetches the final result, shows that
+// resubmitting the identical spec is a cache hit, and reads the live
+// Prometheus metrics — the full simulation-as-a-service round trip.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"pdpasim/internal/runqueue"
+	"pdpasim/internal/server"
+)
+
+func main() {
+	// Serve: in production this is `pdpad -addr :8080`; here the daemon's
+	// handler runs on an ephemeral in-process listener.
+	pool := runqueue.New(runqueue.Config{BaseWorkers: 2})
+	ts := httptest.NewServer(server.New(pool))
+	defer ts.Close()
+
+	// Submit workload 3 under PDPA.
+	payload := `{"workload":{"mix":"w3","load":1.0,"seed":7},"options":{"policy":"pdpa"}}`
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var submitted struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	decode(resp, &submitted)
+	fmt.Printf("submitted %s (state %s)\n", submitted.ID, submitted.State)
+
+	// Stream progress: one SSE message per lifecycle transition.
+	events, err := http.Get(ts.URL + "/v1/runs/" + submitted.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scanner := bufio.NewScanner(events.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var ev struct {
+				State string `json:"state"`
+			}
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("event: %s\n", ev.State)
+		}
+	}
+	events.Body.Close()
+
+	// Fetch the finished run, result included.
+	status, err := http.Get(ts.URL + "/v1/runs/" + submitted.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var run struct {
+		State       string  `json:"state"`
+		WallSeconds float64 `json:"wall_seconds"`
+		Result      struct {
+			Policy   string `json:"policy"`
+			Workload string `json:"workload"`
+			MaxMPL   int    `json:"max_mpl"`
+			Jobs     []any  `json:"jobs"`
+		} `json:"result"`
+	}
+	decode(status, &run)
+	fmt.Printf("%s on %s: %d jobs, max MPL %d, simulated in %.0f ms\n",
+		run.Result.Policy, run.Result.Workload, len(run.Result.Jobs),
+		run.Result.MaxMPL, run.WallSeconds*1000)
+
+	// The identical spec never simulates twice: the canonical-config-hash
+	// cache answers instead.
+	again, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dup struct {
+		ID       string `json:"id"`
+		CacheHit bool   `json:"cache_hit"`
+	}
+	decode(again, &dup)
+	fmt.Printf("resubmitted: joined %s, cache hit %v\n", dup.ID, dup.CacheHit)
+
+	// Live metrics, Prometheus text format.
+	metrics, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer metrics.Body.Close()
+	mscan := bufio.NewScanner(metrics.Body)
+	for mscan.Scan() {
+		line := mscan.Text()
+		if strings.HasPrefix(line, "pdpad_cache_") || strings.HasPrefix(line, "pdpad_run_wall_seconds_count") {
+			fmt.Println(line)
+		}
+	}
+}
+
+func decode(resp *http.Response, v any) {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,646 @@
+package runqueue
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pdpasim"
+)
+
+// State is a run's lifecycle state.
+type State string
+
+// The run lifecycle: Queued → Running → one of the terminal states.
+const (
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Canceled
+}
+
+// Sentinel errors returned by Submit and the lookup methods.
+var (
+	ErrNotFound  = errors.New("runqueue: no such run")
+	ErrDraining  = errors.New("runqueue: pool is draining, not accepting work")
+	ErrQueueFull = errors.New("runqueue: queue is full")
+)
+
+// SimulateFunc executes one spec; tests substitute it to control timing.
+type SimulateFunc func(ctx context.Context, spec Spec) (*pdpasim.Outcome, error)
+
+// Config parameterizes a Pool. The zero value gets sensible defaults.
+type Config struct {
+	// BaseWorkers is the concurrency below which admission is unconditional
+	// — the analogue of PDPA's base multiprogramming level (default 2).
+	BaseWorkers int
+	// MaxWorkers caps concurrent simulations (default 2×BaseWorkers).
+	MaxWorkers int
+	// Warmup is how long a freshly started run is considered "settling".
+	// Above BaseWorkers, a queued run is admitted only when every in-flight
+	// run is past warm-up — PDPA's stability condition (default 250 ms).
+	Warmup time.Duration
+	// QueueLimit bounds the FIFO queue; Submit fails with ErrQueueFull
+	// beyond it (default 256).
+	QueueLimit int
+	// CacheSize bounds the completed-result cache (default 128 entries,
+	// LRU eviction).
+	CacheSize int
+	// HistoryLimit bounds how many finished runs stay addressable by ID
+	// (default 2048; oldest uncached runs are forgotten first).
+	HistoryLimit int
+	// DefaultDeadline bounds each run's total latency (queue wait plus
+	// simulation) when the submitter sets none; 0 means no deadline.
+	DefaultDeadline time.Duration
+	// Simulate overrides the simulation function (default: the real
+	// simulator via pdpasim.RunContext).
+	Simulate SimulateFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.BaseWorkers <= 0 {
+		c.BaseWorkers = 2
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 2 * c.BaseWorkers
+	}
+	if c.MaxWorkers < c.BaseWorkers {
+		c.MaxWorkers = c.BaseWorkers
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 250 * time.Millisecond
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 256
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.HistoryLimit <= 0 {
+		c.HistoryLimit = 2048
+	}
+	if c.Simulate == nil {
+		c.Simulate = func(ctx context.Context, spec Spec) (*pdpasim.Outcome, error) {
+			ws, opts := spec.Facade()
+			return pdpasim.RunContext(ctx, ws, opts)
+		}
+	}
+	return c
+}
+
+// Event is one lifecycle transition, streamed to subscribers (the daemon's
+// SSE endpoint).
+type Event struct {
+	RunID   string    `json:"run_id"`
+	State   State     `json:"state"`
+	At      time.Time `json:"at"`
+	Message string    `json:"message,omitempty"`
+}
+
+// run is the pool's record of one submission. All mutable fields are
+// guarded by the pool mutex.
+type run struct {
+	id  string
+	key string
+
+	spec       Spec
+	state      State
+	err        error
+	resultJSON []byte
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	deadline   time.Duration
+
+	cancel          context.CancelFunc
+	cancelRequested bool
+	subs            []chan Event
+	done            chan struct{}
+}
+
+// Snapshot is a consistent copy of a run's externally visible state.
+type Snapshot struct {
+	ID        string
+	Key       string
+	Spec      Spec
+	State     State
+	Err       error
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	// ResultJSON is the full serialized result once the run is Done.
+	ResultJSON []byte
+}
+
+// SubmitResult reports how a submission was resolved.
+type SubmitResult struct {
+	ID    string
+	State State
+	// CacheHit: an identical spec had already completed; its result is
+	// served without re-simulating.
+	CacheHit bool
+	// Deduped: an identical spec is queued or in flight; the submission
+	// joined it (singleflight).
+	Deduped bool
+}
+
+// wallBuckets are the histogram bucket upper bounds (seconds) for per-run
+// simulation wall time.
+var wallBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// WallHistogram is a Prometheus-style cumulative histogram of per-run
+// simulation wall time.
+type WallHistogram struct {
+	// Counts[i] counts runs with wall time ≤ wallBuckets[i]; the implicit
+	// +Inf bucket is Count.
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// BucketBounds returns the bucket upper bounds in seconds.
+func (WallHistogram) BucketBounds() []float64 { return wallBuckets }
+
+func (h *WallHistogram) observe(seconds float64) {
+	if h.Counts == nil {
+		h.Counts = make([]uint64, len(wallBuckets))
+	}
+	for i, le := range wallBuckets {
+		if seconds <= le {
+			h.Counts[i]++
+		}
+	}
+	h.Sum += seconds
+	h.Count++
+}
+
+// Stats is a consistent snapshot of the pool's counters, the source for the
+// daemon's /metrics endpoint.
+type Stats struct {
+	QueueDepth  int
+	Inflight    int
+	CachedRuns  int
+	Draining    bool
+	Submitted   uint64
+	Started     uint64
+	Done        uint64
+	Failed      uint64
+	Canceled    uint64
+	CacheHits   uint64
+	CacheMisses uint64
+	DedupHits   uint64
+	Wall        WallHistogram
+}
+
+// Pool is the simulation worker pool. Create with New; all methods are safe
+// for concurrent use.
+type Pool struct {
+	cfg Config
+
+	mu       sync.Mutex
+	seq      uint64
+	runs     map[string]*run
+	queue    []*run
+	byKey    map[string]*run // singleflight index + result cache
+	cacheLRU []string        // keys of Done runs, oldest first
+	history  []string        // finished run IDs, oldest first
+	running  map[*run]struct{}
+	draining bool
+	idle     chan struct{} // closed when draining and no work remains
+	recheck  *time.Timer   // pending warm-up re-evaluation
+
+	stats Stats
+}
+
+// New returns a ready pool.
+func New(cfg Config) *Pool {
+	return &Pool{
+		cfg:     cfg.withDefaults(),
+		runs:    make(map[string]*run),
+		byKey:   make(map[string]*run),
+		running: make(map[*run]struct{}),
+		idle:    make(chan struct{}),
+	}
+}
+
+// Submit enqueues a spec. An identical spec already queued, running, or
+// completed is joined instead of re-simulated (singleflight / cache hit).
+// deadline bounds the run's total latency; 0 uses the pool default.
+func (p *Pool) Submit(spec Spec, deadline time.Duration) (SubmitResult, error) {
+	if err := spec.Validate(); err != nil {
+		return SubmitResult{}, err
+	}
+	key := spec.Key()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Submitted++
+	if existing, ok := p.byKey[key]; ok {
+		if existing.state == Done {
+			p.stats.CacheHits++
+			p.touchCacheLocked(key)
+			return SubmitResult{ID: existing.id, State: Done, CacheHit: true}, nil
+		}
+		p.stats.DedupHits++
+		return SubmitResult{ID: existing.id, State: existing.state, Deduped: true}, nil
+	}
+	if p.draining {
+		return SubmitResult{}, ErrDraining
+	}
+	if len(p.queue) >= p.cfg.QueueLimit {
+		return SubmitResult{}, ErrQueueFull
+	}
+	p.stats.CacheMisses++
+	if deadline <= 0 {
+		deadline = p.cfg.DefaultDeadline
+	}
+	p.seq++
+	r := &run{
+		id:        fmt.Sprintf("run-%06d", p.seq),
+		key:       key,
+		spec:      spec,
+		state:     Queued,
+		submitted: time.Now(),
+		deadline:  deadline,
+		done:      make(chan struct{}),
+	}
+	p.runs[r.id] = r
+	p.byKey[key] = r
+	p.queue = append(p.queue, r)
+	p.broadcastLocked(r, "")
+	p.admitLocked()
+	return SubmitResult{ID: r.id, State: r.state}, nil
+}
+
+// canStartLocked is the PDPA admission rule applied to the pool: below the
+// base concurrency admit unconditionally; above it, require a free slot AND
+// a stable running set (every in-flight run past warm-up).
+func (p *Pool) canStartLocked() bool {
+	if len(p.running) < p.cfg.BaseWorkers {
+		return true
+	}
+	if len(p.running) >= p.cfg.MaxWorkers {
+		return false
+	}
+	now := time.Now()
+	for r := range p.running {
+		if now.Sub(r.started) < p.cfg.Warmup {
+			return false
+		}
+	}
+	return true
+}
+
+// admitLocked starts queued runs while admission allows, and arranges a
+// re-check when the only obstacle is warm-up.
+func (p *Pool) admitLocked() {
+	for len(p.queue) > 0 && p.canStartLocked() {
+		r := p.queue[0]
+		p.queue = p.queue[1:]
+		p.startLocked(r)
+	}
+	if len(p.queue) > 0 && len(p.running) < p.cfg.MaxWorkers {
+		p.scheduleRecheckLocked()
+	}
+}
+
+// scheduleRecheckLocked arms a timer for the moment the youngest in-flight
+// run exits warm-up, so a held run is admitted without any new event.
+func (p *Pool) scheduleRecheckLocked() {
+	if p.recheck != nil {
+		return
+	}
+	var wait time.Duration
+	now := time.Now()
+	for r := range p.running {
+		if left := p.cfg.Warmup - now.Sub(r.started); left > wait {
+			wait = left
+		}
+	}
+	p.recheck = time.AfterFunc(wait+time.Millisecond, func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.recheck = nil
+		p.admitLocked()
+	})
+}
+
+func (p *Pool) startLocked(r *run) {
+	now := time.Now()
+	ctx, cancel := context.WithCancel(context.Background())
+	if r.deadline > 0 {
+		remaining := r.deadline - now.Sub(r.submitted)
+		if remaining <= 0 {
+			cancel()
+			r.state = Failed
+			r.err = fmt.Errorf("runqueue: deadline %v expired while queued: %w",
+				r.deadline, context.DeadlineExceeded)
+			p.finishLocked(r, "")
+			return
+		}
+		ctx, cancel = context.WithTimeout(ctx, remaining)
+	}
+	r.state = Running
+	r.started = now
+	r.cancel = cancel
+	p.running[r] = struct{}{}
+	p.stats.Started++
+	p.broadcastLocked(r, "")
+	go p.execute(ctx, cancel, r)
+}
+
+// execute runs the simulation outside the lock and records the outcome.
+func (p *Pool) execute(ctx context.Context, cancel context.CancelFunc, r *run) {
+	defer cancel()
+	out, err := p.cfg.Simulate(ctx, r.spec)
+	var buf bytes.Buffer
+	if err == nil {
+		if out == nil {
+			err = errors.New("runqueue: simulation returned no outcome")
+		} else {
+			err = out.WriteJSON(&buf)
+		}
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.running, r)
+	p.stats.Wall.observe(time.Since(r.started).Seconds())
+	switch {
+	case err == nil:
+		r.state = Done
+		r.resultJSON = buf.Bytes()
+	case r.cancelRequested || errors.Is(err, context.Canceled):
+		r.state = Canceled
+		r.err = err
+	default:
+		r.state = Failed
+		r.err = err
+	}
+	msg := ""
+	if r.err != nil {
+		msg = r.err.Error()
+	}
+	p.finishLocked(r, msg)
+	p.admitLocked()
+}
+
+// finishLocked settles a terminal run: cache bookkeeping, history eviction,
+// subscriber notification, drain signalling.
+func (p *Pool) finishLocked(r *run, msg string) {
+	r.finished = time.Now()
+	switch r.state {
+	case Done:
+		p.stats.Done++
+		p.insertCacheLocked(r)
+	case Failed:
+		p.stats.Failed++
+	case Canceled:
+		p.stats.Canceled++
+	}
+	if r.state != Done && p.byKey[r.key] == r {
+		// Failed and cancelled runs must not satisfy future submissions.
+		delete(p.byKey, r.key)
+	}
+	p.broadcastLocked(r, msg)
+	close(r.done)
+	for _, ch := range r.subs {
+		close(ch)
+	}
+	r.subs = nil
+	p.history = append(p.history, r.id)
+	p.evictHistoryLocked()
+	p.signalIdleLocked()
+}
+
+// insertCacheLocked records a completed run in the LRU result cache.
+func (p *Pool) insertCacheLocked(r *run) {
+	p.cacheLRU = append(p.cacheLRU, r.key)
+	for len(p.cacheLRU) > p.cfg.CacheSize {
+		oldest := p.cacheLRU[0]
+		p.cacheLRU = p.cacheLRU[1:]
+		if cached, ok := p.byKey[oldest]; ok && cached.state == Done {
+			delete(p.byKey, oldest)
+		}
+	}
+}
+
+// touchCacheLocked moves key to the LRU's fresh end.
+func (p *Pool) touchCacheLocked(key string) {
+	for i, k := range p.cacheLRU {
+		if k == key {
+			p.cacheLRU = append(append(p.cacheLRU[:i:i], p.cacheLRU[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// evictHistoryLocked forgets the oldest finished runs beyond HistoryLimit,
+// keeping cached ones addressable.
+func (p *Pool) evictHistoryLocked() {
+	for len(p.history) > p.cfg.HistoryLimit {
+		id := p.history[0]
+		r, ok := p.runs[id]
+		if ok && p.byKey[r.key] == r {
+			// Still serving cache hits; spare it this round by rotating.
+			p.history = append(p.history[1:], id)
+			return
+		}
+		p.history = p.history[1:]
+		delete(p.runs, id)
+	}
+}
+
+func (p *Pool) signalIdleLocked() {
+	if p.draining && len(p.running) == 0 && len(p.queue) == 0 {
+		select {
+		case <-p.idle:
+		default:
+			close(p.idle)
+		}
+	}
+}
+
+// broadcastLocked fans the run's current state out to subscribers. Sends
+// never block: a slow subscriber drops intermediate events (the SSE handler
+// re-reads the final state via Get).
+func (p *Pool) broadcastLocked(r *run, msg string) {
+	if len(r.subs) == 0 {
+		return
+	}
+	ev := Event{RunID: r.id, State: r.state, At: time.Now(), Message: msg}
+	for _, ch := range r.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Subscribe returns a channel of lifecycle events for a run, beginning with
+// its current state. The channel closes once the run is terminal (or when
+// the returned cancel function is called).
+func (p *Pool) Subscribe(id string) (<-chan Event, func(), error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.runs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan Event, 16)
+	ch <- Event{RunID: r.id, State: r.state, At: time.Now()}
+	if r.state.Terminal() {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	r.subs = append(r.subs, ch)
+	unsub := func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		for i, c := range r.subs {
+			if c == ch {
+				r.subs = append(r.subs[:i], r.subs[i+1:]...)
+				close(ch)
+				return
+			}
+		}
+	}
+	return ch, unsub, nil
+}
+
+func (r *run) snapshotLocked() Snapshot {
+	return Snapshot{
+		ID:         r.id,
+		Key:        r.key,
+		Spec:       r.spec,
+		State:      r.state,
+		Err:        r.err,
+		Submitted:  r.submitted,
+		Started:    r.started,
+		Finished:   r.finished,
+		ResultJSON: r.resultJSON,
+	}
+}
+
+// Get returns a snapshot of a run.
+func (p *Pool) Get(id string) (Snapshot, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.runs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return r.snapshotLocked(), nil
+}
+
+// Runs lists snapshots of every known run, newest first.
+func (p *Pool) Runs() []Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Snapshot, 0, len(p.runs))
+	for _, r := range p.runs {
+		out = append(out, r.snapshotLocked())
+	}
+	// Newest first: IDs are zero-padded sequence numbers, so they compare
+	// lexicographically.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	return out
+}
+
+// Done returns a channel closed when the run reaches a terminal state.
+func (p *Pool) Done(id string) (<-chan struct{}, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.runs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return r.done, nil
+}
+
+// Cancel aborts a run: a queued run is removed immediately, a running one
+// has its context cancelled and the simulation aborts at its next interrupt
+// check. Cancelling a terminal run is a no-op. The returned snapshot
+// reflects the state at return.
+func (p *Pool) Cancel(id string) (Snapshot, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.runs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	switch r.state {
+	case Queued:
+		for i, q := range p.queue {
+			if q == r {
+				p.queue = append(p.queue[:i], p.queue[i+1:]...)
+				break
+			}
+		}
+		r.state = Canceled
+		r.err = context.Canceled
+		p.finishLocked(r, "cancelled while queued")
+	case Running:
+		r.cancelRequested = true
+		r.cancel()
+	}
+	return r.snapshotLocked(), nil
+}
+
+// Drain gracefully shuts the pool down: new submissions are rejected, the
+// queue keeps draining, and Drain returns once every run has finished. If
+// ctx expires first, all remaining work is cancelled and ctx's error is
+// returned.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	p.draining = true
+	p.signalIdleLocked()
+	idle := p.idle
+	p.mu.Unlock()
+
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+	}
+
+	// Forced: cancel everything still moving, then wait for the workers to
+	// observe it.
+	p.mu.Lock()
+	for _, r := range p.queue {
+		r.state = Canceled
+		r.err = context.Canceled
+		p.finishLocked(r, "cancelled at shutdown")
+	}
+	p.queue = nil
+	for r := range p.running {
+		r.cancelRequested = true
+		r.cancel()
+	}
+	p.mu.Unlock()
+	<-idle
+	return ctx.Err()
+}
+
+// Stats returns a consistent snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.QueueDepth = len(p.queue)
+	s.Inflight = len(p.running)
+	s.CachedRuns = len(p.cacheLRU)
+	s.Draining = p.draining
+	s.Wall.Counts = append([]uint64(nil), p.stats.Wall.Counts...)
+	return s
+}

@@ -1,0 +1,620 @@
+package runqueue
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdpasim"
+)
+
+// tinySpec is a fast real-simulation spec; vary seed to get distinct keys.
+func tinySpec(seed int64) Spec {
+	return Spec{
+		Workload: WorkloadSpec{Mix: "w1", Load: 0.6, WindowS: 60, Seed: seed},
+		Options:  RunOptions{Policy: "equip", Seed: seed},
+	}
+}
+
+// stubOutcome runs one real tiny simulation so stubbed SimulateFuncs can
+// return a structurally valid Outcome.
+var stubOutcome = sync.OnceValues(func() (*pdpasim.Outcome, error) {
+	return pdpasim.Run(
+		pdpasim.WorkloadSpec{Mix: "w1", Load: 0.4, Window: 30 * time.Second, Seed: 1},
+		pdpasim.Options{Policy: pdpasim.Equipartition},
+	)
+})
+
+// blockingSim returns a SimulateFunc that blocks until release is closed
+// (or ctx is cancelled) and counts invocations.
+func blockingSim(t *testing.T, calls *atomic.Int64, release <-chan struct{}) SimulateFunc {
+	t.Helper()
+	return func(ctx context.Context, spec Spec) (*pdpasim.Outcome, error) {
+		calls.Add(1)
+		select {
+		case <-release:
+			return stubOutcome()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// waitState polls until the run reaches want or the deadline passes.
+func waitState(t *testing.T, p *Pool, id string, want State) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State == want {
+			return snap
+		}
+		if snap.State.Terminal() {
+			t.Fatalf("run %s reached terminal state %s (err %v), want %s",
+				id, snap.State, snap.Err, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("run %s never reached state %s", id, want)
+	return Snapshot{}
+}
+
+func TestSpecKeyCanonicalization(t *testing.T) {
+	// Spelling the defaults explicitly must not change the key.
+	implicit := Spec{Workload: WorkloadSpec{Mix: "w3"}, Options: RunOptions{Policy: "pdpa"}}
+	explicit := Spec{
+		Workload: WorkloadSpec{Mix: "w3", Load: 1.0, NCPU: 60, WindowS: 300},
+		Options: RunOptions{
+			Policy: "pdpa", TargetEff: 0.7, HighEff: 0.9, Step: 4, BaseMPL: 4,
+			MaxStableTransitions: 4, NoiseSigma: 0.01,
+		},
+	}
+	if implicit.Key() != explicit.Key() {
+		t.Fatal("explicit defaults changed the canonical key")
+	}
+	// PDPA parameters are irrelevant — and must not split the cache — for
+	// non-PDPA policies.
+	a := Spec{Workload: WorkloadSpec{Mix: "w1"}, Options: RunOptions{Policy: "irix"}}
+	b := Spec{Workload: WorkloadSpec{Mix: "w1"}, Options: RunOptions{Policy: "irix", TargetEff: 0.5}}
+	if a.Key() != b.Key() {
+		t.Fatal("PDPA params changed an IRIX spec's key")
+	}
+	// Anything that changes the result changes the key.
+	c := Spec{Workload: WorkloadSpec{Mix: "w1", Seed: 9}, Options: RunOptions{Policy: "irix"}}
+	if a.Key() == c.Key() {
+		t.Fatal("different seeds share a key")
+	}
+}
+
+func TestSpecValidateSharedPath(t *testing.T) {
+	bad := []Spec{
+		{Workload: WorkloadSpec{Mix: "w9"}, Options: RunOptions{Policy: "pdpa"}},
+		{Workload: WorkloadSpec{Mix: "w1"}, Options: RunOptions{Policy: "bogus"}},
+		{Workload: WorkloadSpec{Mix: "w1", Load: -1}, Options: RunOptions{Policy: "pdpa"}},
+		{Workload: WorkloadSpec{Mix: "w1", WindowS: -5}, Options: RunOptions{Policy: "pdpa"}},
+		{Workload: WorkloadSpec{Mix: "w1"}, Options: RunOptions{Policy: "pdpa", TargetEff: 0.95, HighEff: 0.8}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	if err := tinySpec(1).Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	p := New(Config{})
+	if _, err := p.Submit(Spec{Workload: WorkloadSpec{Mix: "w9"}, Options: RunOptions{Policy: "pdpa"}}, 0); err == nil {
+		t.Fatal("Submit accepted an invalid spec")
+	}
+}
+
+// TestCacheHitIdenticalSpec: the second submission of an identical spec
+// returns without re-simulating.
+func TestCacheHitIdenticalSpec(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	close(release) // never block: complete immediately
+	p := New(Config{Simulate: blockingSim(t, &calls, release)})
+
+	first, err := p.Submit(tinySpec(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit || first.Deduped {
+		t.Fatalf("first submit misclassified: %+v", first)
+	}
+	done, err := p.Done(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	second, err := p.Submit(tinySpec(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit || second.ID != first.ID || second.State != Done {
+		t.Fatalf("second submit not served from cache: %+v", second)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("simulated %d times, want 1", got)
+	}
+	snap, err := p.Get(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.ResultJSON) == 0 {
+		t.Fatal("cached run has no result")
+	}
+	s := p.Stats()
+	if s.CacheHits != 1 || s.CacheMisses != 1 {
+		t.Fatalf("stats: hits %d misses %d, want 1/1", s.CacheHits, s.CacheMisses)
+	}
+}
+
+// TestSingleflightConcurrentSubmits: concurrent identical submissions join
+// one in-flight run.
+func TestSingleflightConcurrentSubmits(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	p := New(Config{Simulate: blockingSim(t, &calls, release)})
+
+	const n = 16
+	results := make([]SubmitResult, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := p.Submit(tinySpec(7), 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	close(release)
+
+	deduped := 0
+	for _, r := range results {
+		if r.ID != results[0].ID {
+			t.Fatalf("submissions split across runs: %s vs %s", r.ID, results[0].ID)
+		}
+		if r.Deduped {
+			deduped++
+		}
+	}
+	if deduped != n-1 {
+		t.Fatalf("%d of %d submissions deduped, want %d", deduped, n, n-1)
+	}
+	done, err := p.Done(results[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("simulated %d times, want 1", got)
+	}
+}
+
+// TestRealSimulationCacheRoundTrip exercises the default SimulateFunc end to
+// end: a real simulation populates the cache, and the cached bytes match a
+// direct facade run (determinism).
+func TestRealSimulationCacheRoundTrip(t *testing.T) {
+	p := New(Config{})
+	res, err := p.Submit(tinySpec(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := p.Done(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	snap, err := p.Get(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Done {
+		t.Fatalf("state %s (err %v), want done", snap.State, snap.Err)
+	}
+	ws, opts := tinySpec(3).Facade()
+	direct, err := pdpasim.Run(ws, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := direct.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != string(snap.ResultJSON) {
+		t.Fatal("pool result differs from direct facade run")
+	}
+}
+
+// TestCancellationAbortsRealSimulation: cancelling a running run aborts the
+// real simulator mid-flight, promptly.
+func TestCancellationAbortsRealSimulation(t *testing.T) {
+	p := New(Config{})
+	// A deliberately heavy spec: a multi-hour submission window is seconds
+	// of real compute, far longer than the cancellation latency.
+	heavy := Spec{
+		Workload: WorkloadSpec{Mix: "w2", Load: 1.0, WindowS: 4 * 3600, Seed: 11},
+		Options:  RunOptions{Policy: "pdpa"},
+	}
+	res, err := p.Submit(heavy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, p, res.ID, Running)
+	start := time.Now()
+	if _, err := p.Cancel(res.ID); err != nil {
+		t.Fatal(err)
+	}
+	done, err := p.Done(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	latency := time.Since(start)
+	snap, err := p.Get(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Canceled {
+		t.Fatalf("state %s, want canceled", snap.State)
+	}
+	if !errors.Is(snap.Err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", snap.Err)
+	}
+	if latency > 5*time.Second {
+		t.Fatalf("cancellation took %v; not prompt", latency)
+	}
+	// A cancelled run must not poison the cache.
+	again, err := p.Submit(heavy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHit || again.Deduped {
+		t.Fatalf("cancelled run satisfied a new submission: %+v", again)
+	}
+	if _, err := p.Cancel(again.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelQueuedRun: a queued run cancels without ever starting.
+func TestCancelQueuedRun(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	defer close(release)
+	p := New(Config{BaseWorkers: 1, MaxWorkers: 1, Simulate: blockingSim(t, &calls, release)})
+	blocker, err := p.Submit(tinySpec(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := p.Submit(tinySpec(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Canceled {
+		t.Fatalf("state %s, want canceled", snap.State)
+	}
+	if _, err := p.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	done, err := p.Done(blocker.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if got := calls.Load(); got > 1 {
+		t.Fatalf("queued run simulated despite cancellation (%d calls)", got)
+	}
+}
+
+// TestAdmissionHoldsDuringWarmup is the PDPA MPL rule applied to the pool:
+// above base concurrency, a queued run is held while any in-flight run is
+// still warming up, and admitted once the running set is stable.
+func TestAdmissionHoldsDuringWarmup(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	defer close(release)
+	const warmup = 400 * time.Millisecond
+	p := New(Config{
+		BaseWorkers: 1, MaxWorkers: 2, Warmup: warmup,
+		Simulate: blockingSim(t, &calls, release),
+	})
+
+	first, err := p.Submit(tinySpec(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, p, first.ID, Running)
+
+	second, err := p.Submit(tinySpec(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base concurrency is saturated and the first run is inside warm-up:
+	// the second must be held even though a slot (max=2) is free.
+	time.Sleep(warmup / 4)
+	if snap, err := p.Get(second.ID); err != nil || snap.State != Queued {
+		t.Fatalf("run admitted during warm-up: state %v err %v", snap.State, err)
+	}
+	if d := p.Stats().QueueDepth; d != 1 {
+		t.Fatalf("queue depth %d, want 1", d)
+	}
+	// Once the first run is past warm-up the free slot may be handed out —
+	// with no new submission or completion to trigger it.
+	waitState(t, p, second.ID, Running)
+	if got := p.Stats().Inflight; got != 2 {
+		t.Fatalf("inflight %d, want 2", got)
+	}
+}
+
+// TestAdmissionUnconditionalBelowBase: below the base level, admission never
+// waits for warm-up (PDPA admits unconditionally below BaseMPL).
+func TestAdmissionUnconditionalBelowBase(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	defer close(release)
+	p := New(Config{
+		BaseWorkers: 3, MaxWorkers: 3, Warmup: time.Hour,
+		Simulate: blockingSim(t, &calls, release),
+	})
+	ids := make([]string, 3)
+	for i := range ids {
+		r, err := p.Submit(tinySpec(int64(i+1)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = r.ID
+	}
+	for _, id := range ids {
+		waitState(t, p, id, Running)
+	}
+}
+
+// TestDeadlineWhileRunning: a per-run deadline aborts an overlong simulation.
+func TestDeadlineWhileRunning(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{}) // never released: only the deadline can end it
+	defer close(release)
+	p := New(Config{Simulate: blockingSim(t, &calls, release)})
+	res, err := p.Submit(tinySpec(1), 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := p.Done(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	snap, err := p.Get(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Failed || !errors.Is(snap.Err, context.DeadlineExceeded) {
+		t.Fatalf("state %s err %v, want failed/deadline", snap.State, snap.Err)
+	}
+}
+
+// TestGracefulDrain: drain completes in-flight and queued runs, then
+// rejects new work.
+func TestGracefulDrain(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	p := New(Config{BaseWorkers: 1, MaxWorkers: 1, Simulate: blockingSim(t, &calls, release)})
+	a, err := p.Submit(tinySpec(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Submit(tinySpec(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, p, a.ID, Running)
+
+	drained := make(chan error, 1)
+	go func() { drained <- p.Drain(context.Background()) }()
+	time.Sleep(20 * time.Millisecond) // let Drain flip the draining flag
+	if _, err := p.Submit(tinySpec(3), 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: err %v, want ErrDraining", err)
+	}
+	close(release) // let the workers finish
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		snap, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State != Done {
+			t.Fatalf("run %s state %s after graceful drain, want done", id, snap.State)
+		}
+	}
+}
+
+// TestForcedDrain: an expired drain context cancels the stragglers.
+func TestForcedDrain(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	defer close(release)
+	p := New(Config{BaseWorkers: 1, MaxWorkers: 1, Simulate: blockingSim(t, &calls, release)})
+	a, err := p.Submit(tinySpec(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Submit(tinySpec(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, p, a.ID, Running)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain err %v", err)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		snap, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State != Canceled {
+			t.Fatalf("run %s state %s after forced drain, want canceled", id, snap.State)
+		}
+	}
+}
+
+// TestEventsLifecycle: subscribers see queued → running → done in order.
+func TestEventsLifecycle(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	p := New(Config{BaseWorkers: 1, MaxWorkers: 1, Simulate: blockingSim(t, &calls, release)})
+	blocker, err := p.Submit(tinySpec(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Submit(tinySpec(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, unsub, err := p.Subscribe(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub()
+	close(release)
+
+	var states []State
+	for ev := range ch {
+		if ev.RunID != res.ID {
+			t.Fatalf("event for wrong run %s", ev.RunID)
+		}
+		states = append(states, ev.State)
+		if ev.State.Terminal() {
+			break
+		}
+	}
+	want := []State{Queued, Running, Done}
+	if len(states) != len(want) {
+		t.Fatalf("states %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("states %v, want %v", states, want)
+		}
+	}
+	done, err := p.Done(blocker.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// Subscribing to a finished run yields its terminal state immediately.
+	ch2, unsub2, err := p.Subscribe(blocker.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub2()
+	ev, ok := <-ch2
+	if !ok || ev.State != Done {
+		t.Fatalf("late subscription: %+v ok=%v", ev, ok)
+	}
+	if _, ok := <-ch2; ok {
+		t.Fatal("late subscription channel not closed")
+	}
+}
+
+// TestCacheEviction: the LRU bound holds and evicted keys re-simulate.
+func TestCacheEviction(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	close(release)
+	p := New(Config{CacheSize: 2, Simulate: blockingSim(t, &calls, release)})
+	for seed := int64(1); seed <= 3; seed++ {
+		r, err := p.Submit(tinySpec(seed), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err := p.Done(r.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-done
+	}
+	if got := p.Stats().CachedRuns; got != 2 {
+		t.Fatalf("cache holds %d entries, want 2", got)
+	}
+	// Seed 1 was evicted (oldest): resubmitting simulates again.
+	r, err := p.Submit(tinySpec(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit {
+		t.Fatal("evicted entry served a cache hit")
+	}
+	done, _ := p.Done(r.ID)
+	<-done
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("simulated %d times, want 4", got)
+	}
+}
+
+// TestQueueLimit: the FIFO bound is enforced.
+func TestQueueLimit(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	defer close(release)
+	p := New(Config{BaseWorkers: 1, MaxWorkers: 1, QueueLimit: 1, Simulate: blockingSim(t, &calls, release)})
+	if _, err := p.Submit(tinySpec(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Give the first submission time to be admitted so the second occupies
+	// the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Inflight == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := p.Submit(tinySpec(2), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit(tinySpec(3), 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err %v, want ErrQueueFull", err)
+	}
+}
+
+// TestStatsWallHistogram: completed runs land in the wall-time histogram.
+func TestStatsWallHistogram(t *testing.T) {
+	p := New(Config{})
+	r, err := p.Submit(tinySpec(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := p.Done(r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	s := p.Stats()
+	if s.Wall.Count != 1 || s.Wall.Sum <= 0 {
+		t.Fatalf("wall histogram count %d sum %v", s.Wall.Count, s.Wall.Sum)
+	}
+	if len(s.Wall.Counts) != len(s.Wall.BucketBounds()) {
+		t.Fatalf("bucket mismatch: %d counts, %d bounds", len(s.Wall.Counts), len(s.Wall.BucketBounds()))
+	}
+}

@@ -1,0 +1,205 @@
+// Package runqueue turns the one-shot simulator into a servable unit of
+// work: a bounded worker pool whose admission controller dogfoods PDPA's
+// coordinated multiprogramming-level rule (admit below a base concurrency
+// unconditionally; above it, only when a slot is free and every in-flight
+// run is past warm-up), a canonical-config-hash result cache with
+// singleflight deduplication so identical specs never simulate twice, a FIFO
+// queue with per-run deadlines, and graceful drain for shutdown.
+//
+// The admission rule is the paper's Section 4.3 insight applied to the
+// service itself: starting new work while the running set is still settling
+// (here: warming up, hot caches being built, memory being touched) degrades
+// everyone; once the running set is stable, free capacity may be handed out.
+package runqueue
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"pdpasim"
+)
+
+// WorkloadSpec is the wire form of pdpasim.WorkloadSpec: what workload to
+// generate. Field semantics and defaults match the facade (load 1.0, 60
+// CPUs, 300 s window).
+type WorkloadSpec struct {
+	// Mix is "w1", "w2", "w3", or "w4" (Table 1 of the paper).
+	Mix string `json:"mix"`
+	// Load is the estimated processor demand fraction; 0 means 1.0.
+	Load float64 `json:"load,omitempty"`
+	// NCPU is the machine size; 0 means 60.
+	NCPU int `json:"ncpu,omitempty"`
+	// WindowS is the submission window in seconds; 0 means 300.
+	WindowS float64 `json:"window_s,omitempty"`
+	// Seed drives the arrival process.
+	Seed int64 `json:"seed,omitempty"`
+	// UniformRequest forces every job's processor request (the paper's
+	// "not tuned" experiments use 30); 0 keeps tuned requests.
+	UniformRequest int `json:"uniform_request,omitempty"`
+}
+
+// RunOptions is the wire form of pdpasim.Options: how to schedule the
+// workload. PDPA parameters left zero take the paper's defaults.
+type RunOptions struct {
+	// Policy is the scheduling regime: irix, gang, equip, equal_eff,
+	// dynamic, pdpa, or pdpa_adaptive.
+	Policy string `json:"policy"`
+	// TargetEff, HighEff, Step, BaseMPL, and MaxStableTransitions override
+	// individual PDPA parameters; zero fields keep the paper's values.
+	TargetEff            float64 `json:"target_eff,omitempty"`
+	HighEff              float64 `json:"high_eff,omitempty"`
+	Step                 int     `json:"step,omitempty"`
+	BaseMPL              int     `json:"base_mpl,omitempty"`
+	MaxStableTransitions int     `json:"max_stable_transitions,omitempty"`
+	// FixedMPL is the fixed multiprogramming level for the non-PDPA
+	// regimes; 0 means 4.
+	FixedMPL int `json:"fixed_mpl,omitempty"`
+	// NoiseSigma is the SelfAnalyzer measurement noise; 0 means the default
+	// 1%, negative disables noise.
+	NoiseSigma float64 `json:"noise_sigma,omitempty"`
+	// Seed drives measurement noise.
+	Seed int64 `json:"seed,omitempty"`
+	// NUMANodeSize groups CPUs into NUMA nodes; 0 or 1 keeps a flat SMP.
+	NUMANodeSize int `json:"numa_node_size,omitempty"`
+}
+
+// Spec is one unit of servable work: a workload plus scheduling options.
+type Spec struct {
+	Workload WorkloadSpec `json:"workload"`
+	Options  RunOptions   `json:"options"`
+}
+
+// isPDPA reports whether the options select a PDPA regime (whose parameters
+// therefore matter for identity).
+func (o RunOptions) isPDPA() bool {
+	p := pdpasim.Policy(o.Policy)
+	return p == pdpasim.PDPA || p == pdpasim.AdaptivePDPA
+}
+
+// Facade translates the wire spec into the facade types the simulator
+// accepts. Zero PDPA fields inherit the paper's defaults individually, so a
+// request may override just target_eff.
+func (s Spec) Facade() (pdpasim.WorkloadSpec, pdpasim.Options) {
+	ws := pdpasim.WorkloadSpec{
+		Mix:            s.Workload.Mix,
+		Load:           s.Workload.Load,
+		NCPU:           s.Workload.NCPU,
+		Window:         time.Duration(s.Workload.WindowS * float64(time.Second)),
+		Seed:           s.Workload.Seed,
+		UniformRequest: s.Workload.UniformRequest,
+	}
+	opts := pdpasim.Options{
+		Policy:       pdpasim.Policy(s.Options.Policy),
+		FixedMPL:     s.Options.FixedMPL,
+		NoiseSigma:   s.Options.NoiseSigma,
+		Seed:         s.Options.Seed,
+		NUMANodeSize: s.Options.NUMANodeSize,
+	}
+	if s.Options.isPDPA() {
+		p := pdpasim.DefaultPDPAParams()
+		if s.Options.TargetEff != 0 {
+			p.TargetEff = s.Options.TargetEff
+		}
+		if s.Options.HighEff != 0 {
+			p.HighEff = s.Options.HighEff
+		}
+		if s.Options.Step != 0 {
+			p.Step = s.Options.Step
+		}
+		if s.Options.BaseMPL != 0 {
+			p.BaseMPL = s.Options.BaseMPL
+		}
+		if s.Options.MaxStableTransitions != 0 {
+			p.MaxStableTransitions = s.Options.MaxStableTransitions
+		}
+		opts.PDPA = p
+	}
+	return ws, opts
+}
+
+// Validate checks the spec through the same validation path cmd/pdpasim
+// uses: the facade types' Validate methods.
+func (s Spec) Validate() error {
+	if s.Workload.WindowS < 0 {
+		return fmt.Errorf("runqueue: negative window_s %v", s.Workload.WindowS)
+	}
+	ws, opts := s.Facade()
+	if err := ws.Validate(); err != nil {
+		return err
+	}
+	return opts.Validate()
+}
+
+// canonical returns the spec with every default made explicit and every
+// field that cannot affect the result zeroed, so that equivalent requests —
+// however they spell their defaults — hash identically.
+func (s Spec) canonical() Spec {
+	c := s
+	if c.Workload.Load == 0 {
+		c.Workload.Load = 1.0
+	}
+	if c.Workload.NCPU == 0 {
+		c.Workload.NCPU = 60
+	}
+	if c.Workload.WindowS == 0 {
+		c.Workload.WindowS = 300
+	}
+	if c.Options.NoiseSigma == 0 {
+		c.Options.NoiseSigma = 0.01
+	}
+	if c.Options.NoiseSigma < 0 {
+		c.Options.NoiseSigma = -1
+	}
+	if c.Options.NUMANodeSize == 1 {
+		c.Options.NUMANodeSize = 0
+	}
+	if c.Options.isPDPA() {
+		// PDPA ignores the fixed level: its own admission governs.
+		c.Options.FixedMPL = 0
+		p := pdpasim.DefaultPDPAParams()
+		if c.Options.TargetEff == 0 {
+			c.Options.TargetEff = p.TargetEff
+		}
+		if c.Options.HighEff == 0 {
+			c.Options.HighEff = p.HighEff
+		}
+		if c.Options.Step == 0 {
+			c.Options.Step = p.Step
+		}
+		if c.Options.BaseMPL == 0 {
+			c.Options.BaseMPL = p.BaseMPL
+		}
+		if c.Options.MaxStableTransitions == 0 {
+			c.Options.MaxStableTransitions = p.MaxStableTransitions
+		}
+	} else {
+		// Non-PDPA regimes never read the PDPA parameters.
+		c.Options.TargetEff = 0
+		c.Options.HighEff = 0
+		c.Options.Step = 0
+		c.Options.BaseMPL = 0
+		c.Options.MaxStableTransitions = 0
+		if c.Options.FixedMPL == 0 {
+			c.Options.FixedMPL = 4
+		}
+	}
+	return c
+}
+
+// Key returns the canonical-config hash that identifies this spec in the
+// result cache: sha256 over the canonicalized spec's JSON. Two specs with
+// the same key are guaranteed (by the determinism regression tests) to
+// produce byte-identical results, which is what makes cached outcomes
+// substitutable for fresh simulations.
+func (s Spec) Key() string {
+	b, err := json.Marshal(s.canonical())
+	if err != nil {
+		// Spec is a plain value struct; Marshal cannot fail.
+		panic("runqueue: marshal spec: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

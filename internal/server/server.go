@@ -1,0 +1,256 @@
+// Package server exposes the runqueue pool as a JSON-over-HTTP service —
+// the pdpad daemon's API surface. Endpoints:
+//
+//	POST   /v1/runs             submit a WorkloadSpec+Options payload
+//	GET    /v1/runs             list known runs, newest first
+//	GET    /v1/runs/{id}        status, and the full result once done
+//	DELETE /v1/runs/{id}        cancel a queued or running simulation
+//	GET    /v1/runs/{id}/events server-sent lifecycle events
+//	GET    /healthz             liveness probe
+//	GET    /metrics             Prometheus text exposition
+//
+// Everything is stdlib net/http; the package has no third-party
+// dependencies.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pdpasim/internal/runqueue"
+)
+
+// Server routes HTTP traffic to a runqueue.Pool. Create with New; it
+// implements http.Handler.
+type Server struct {
+	pool    *runqueue.Pool
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New returns a server backed by pool.
+func New(pool *runqueue.Pool) *Server {
+	s := &Server{pool: pool, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SubmitRequest is the POST /v1/runs payload: the spec plus an optional
+// per-run deadline in seconds (queue wait included).
+type SubmitRequest struct {
+	Workload runqueue.WorkloadSpec `json:"workload"`
+	Options  runqueue.RunOptions   `json:"options"`
+	// DeadlineS bounds the run's total latency in seconds; 0 uses the
+	// pool's default.
+	DeadlineS float64 `json:"deadline_s,omitempty"`
+}
+
+// SubmitResponse reports how the submission was resolved.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// CacheHit: an identical spec had already completed; fetch the result
+	// immediately from GET /v1/runs/{id}.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Deduped: an identical spec was already queued or running; this
+	// submission joined it.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// RunView is the wire form of a run's status.
+type RunView struct {
+	ID          string          `json:"id"`
+	State       string          `json:"state"`
+	Error       string          `json:"error,omitempty"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	StartedAt   *time.Time      `json:"started_at,omitempty"`
+	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
+	WallSeconds float64         `json:"wall_seconds,omitempty"`
+	CacheKey    string          `json:"cache_key"`
+	Spec        runqueue.Spec   `json:"spec"`
+	Result      json.RawMessage `json:"result,omitempty"`
+}
+
+func viewOf(snap runqueue.Snapshot, includeResult bool) RunView {
+	v := RunView{
+		ID:          snap.ID,
+		State:       string(snap.State),
+		SubmittedAt: snap.Submitted,
+		CacheKey:    snap.Key,
+		Spec:        snap.Spec,
+	}
+	if snap.Err != nil {
+		v.Error = snap.Err.Error()
+	}
+	if !snap.Started.IsZero() {
+		t := snap.Started
+		v.StartedAt = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		v.FinishedAt = &t
+		if !snap.Started.IsZero() {
+			v.WallSeconds = snap.Finished.Sub(snap.Started).Seconds()
+		}
+	}
+	if includeResult {
+		v.Result = snap.ResultJSON
+	}
+	return v
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.DeadlineS < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("negative deadline_s %v", req.DeadlineS))
+		return
+	}
+	spec := runqueue.Spec{Workload: req.Workload, Options: req.Options}
+	deadline := time.Duration(req.DeadlineS * float64(time.Second))
+	res, err := s.pool.Submit(spec, deadline)
+	switch {
+	case errors.Is(err, runqueue.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, runqueue.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusAccepted
+	if res.CacheHit {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, SubmitResponse{
+		ID:       res.ID,
+		State:    string(res.State),
+		CacheHit: res.CacheHit,
+		Deduped:  res.Deduped,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.pool.Runs()
+	views := make([]RunView, len(snaps))
+	for i, snap := range snaps {
+		views[i] = viewOf(snap, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.pool.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(snap, true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.pool.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(snap, false))
+}
+
+// handleEvents streams the run's lifecycle as server-sent events: one
+// `event: state` message per transition, ending after the terminal state.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	id := r.PathValue("id")
+	events, unsub, err := s.pool.Subscribe(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer unsub()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	emit := func(ev runqueue.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "event: state\ndata: %s\n\n", data)
+		flusher.Flush()
+		return !ev.State.Terminal()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				// Channel closed: make sure the client saw the terminal
+				// state even if an intermediate send was dropped.
+				if snap, err := s.pool.Get(id); err == nil && snap.State.Terminal() {
+					msg := ""
+					if snap.Err != nil {
+						msg = snap.Err.Error()
+					}
+					emit(runqueue.Event{RunID: id, State: snap.State, At: snap.Finished, Message: msg})
+				}
+				return
+			}
+			if !emit(ev) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	status := "ok"
+	if st.Draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   status,
+		"uptime_s": time.Since(s.started).Seconds(),
+		"queue":    st.QueueDepth,
+		"inflight": st.Inflight,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

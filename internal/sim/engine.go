@@ -58,6 +58,12 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// interruptStride is how many events run between interrupt checks. Checking
+// a context involves a mutex acquisition; amortizing it over a stride keeps
+// the per-event cost well under a nanosecond (see BenchmarkEngineInterrupt)
+// while still aborting a runaway simulation within microseconds of real time.
+const interruptStride = 64
+
 // Engine is the discrete-event simulation core: a clock and a pending-event
 // queue. The zero value is not usable; call NewEngine.
 type Engine struct {
@@ -67,6 +73,10 @@ type Engine struct {
 	stopped bool
 	// Executed counts events run so far (for diagnostics and tests).
 	Executed uint64
+
+	interrupt    func() error
+	untilCheck   int
+	interruptErr error
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -117,12 +127,37 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetInterrupt installs a check that Run consults between events, every
+// interruptStride events (and once on entry). When it returns a non-nil
+// error, Run stops immediately and InterruptErr reports the error. The
+// canonical use is cancellation: pass ctx.Err to abort a simulation when the
+// caller's context is done. A nil check disables interruption.
+func (e *Engine) SetInterrupt(check func() error) {
+	e.interrupt = check
+	e.untilCheck = 0
+}
+
+// InterruptErr returns the error that stopped the last Run, or nil if the
+// run ended normally (queue drained, deadline passed, or Stop).
+func (e *Engine) InterruptErr() error { return e.interruptErr }
+
 // Run executes events in order until the queue empties, the clock passes
 // deadline, or Stop is called. It returns the final clock value. Events
 // scheduled exactly at the deadline still run.
 func (e *Engine) Run(deadline Time) Time {
 	e.stopped = false
+	e.interruptErr = nil
+	e.untilCheck = 0
 	for len(e.queue) > 0 && !e.stopped {
+		if e.interrupt != nil {
+			if e.untilCheck--; e.untilCheck < 0 {
+				e.untilCheck = interruptStride - 1
+				if err := e.interrupt(); err != nil {
+					e.interruptErr = err
+					return e.now
+				}
+			}
+		}
 		next := e.queue[0]
 		if next.when > deadline {
 			break

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 )
@@ -197,4 +198,97 @@ func TestEngineOrderProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestEngineInterruptStops(t *testing.T) {
+	e := NewEngine()
+	var ran int
+	var tick func()
+	tick = func() {
+		ran++
+		e.After(Millisecond, "tick", tick)
+	}
+	e.After(Millisecond, "tick", tick)
+	stop := errSentinel("stop")
+	e.SetInterrupt(func() error {
+		if ran >= 1000 {
+			return stop
+		}
+		return nil
+	})
+	e.RunUntilIdle()
+	if e.InterruptErr() != stop {
+		t.Fatalf("InterruptErr = %v, want %v", e.InterruptErr(), stop)
+	}
+	// The check runs every interruptStride events, so at most one stride of
+	// extra events executes after the condition trips.
+	if ran < 1000 || ran > 1000+interruptStride {
+		t.Fatalf("ran %d events; interrupt was not prompt", ran)
+	}
+}
+
+func TestEngineInterruptImmediate(t *testing.T) {
+	// An interrupt that is already tripped aborts before any event runs.
+	e := NewEngine()
+	e.After(0, "x", func() { t.Fatal("event ran despite tripped interrupt") })
+	e.SetInterrupt(func() error { return errSentinel("dead") })
+	e.RunUntilIdle()
+	if e.InterruptErr() == nil || e.Executed != 0 {
+		t.Fatalf("InterruptErr = %v, Executed = %d", e.InterruptErr(), e.Executed)
+	}
+}
+
+func TestEngineInterruptClearedBetweenRuns(t *testing.T) {
+	e := NewEngine()
+	e.SetInterrupt(func() error { return errSentinel("dead") })
+	e.After(0, "x", func() {})
+	e.RunUntilIdle()
+	if e.InterruptErr() == nil {
+		t.Fatal("first run should be interrupted")
+	}
+	e.SetInterrupt(nil)
+	ran := false
+	e.After(0, "y", func() { ran = true })
+	e.RunUntilIdle()
+	if e.InterruptErr() != nil || !ran {
+		t.Fatalf("second run: err=%v ran=%v", e.InterruptErr(), ran)
+	}
+}
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }
+
+// benchEngine builds a chain of n self-rescheduling events, the hot shape of
+// a simulation run.
+func benchEngine(b *testing.B, interrupt func() error) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		left := 10000
+		var tick func()
+		tick = func() {
+			if left--; left > 0 {
+				e.After(Millisecond, "tick", tick)
+			}
+		}
+		e.After(Millisecond, "tick", tick)
+		e.SetInterrupt(interrupt)
+		e.RunUntilIdle()
+		if e.InterruptErr() != nil {
+			b.Fatal(e.InterruptErr())
+		}
+	}
+}
+
+// BenchmarkEngineInterrupt guards the satellite requirement that checking
+// ctx.Err() between events has negligible overhead: compare the /none and
+// /ctx variants — the delta is the full cost of cancellation support.
+func BenchmarkEngineInterrupt(b *testing.B) {
+	b.Run("none", func(b *testing.B) { benchEngine(b, nil) })
+	b.Run("ctx", func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		benchEngine(b, ctx.Err)
+	})
 }

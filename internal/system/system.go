@@ -9,6 +9,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"pdpasim/internal/app"
@@ -163,6 +164,15 @@ func (c *Config) withDefaults() (Config, error) {
 // measured results. The same workload (same trace) run under different
 // policies sees identical submissions, the paper's repeatability setup.
 func Run(cfg Config) (*metrics.RunResult, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the simulation aborts promptly (the
+// engine checks ctx between events) when ctx is cancelled or times out,
+// returning ctx's error. A background context makes it identical to Run —
+// including byte-identical results, since the check never perturbs the
+// event order.
+func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -318,7 +328,16 @@ func Run(cfg Config) (*metrics.RunResult, error) {
 	mgr.SetAdmissionChanged(queue.TryStart)
 	queue.SubmitAll(w)
 
+	if ctx != nil && ctx.Done() != nil {
+		// Only contexts that can actually be cancelled pay for the check;
+		// context.Background() keeps the engine loop untouched.
+		eng.SetInterrupt(ctx.Err)
+	}
 	eng.Run(c.MaxSimTime)
+	if err := eng.InterruptErr(); err != nil {
+		return nil, fmt.Errorf("system: %s/%s aborted at %v: %w",
+			c.Policy, w.Name, eng.Now(), err)
+	}
 	if !queue.Drained() {
 		return nil, fmt.Errorf("system: %s/%s did not drain within %v (%d queued, %d running)",
 			c.Policy, w.Name, c.MaxSimTime, queue.Queued(), queue.Running())

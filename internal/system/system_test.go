@@ -1,7 +1,10 @@
 package system
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"pdpasim/internal/app"
 	"pdpasim/internal/core"
@@ -305,5 +308,43 @@ func TestAdaptivePDPARuns(t *testing.T) {
 	}
 	if res.MaxMPL < 1 || len(res.Jobs) != len(w.Jobs) {
 		t.Fatal("incomplete run")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	w := smallWorkload(t, workload.W3(), 1.0, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead: the run must abort before doing any work
+	if _, err := RunContext(ctx, Config{Workload: w, Policy: PDPA}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// A deadline in flight aborts mid-simulation rather than running to
+	// completion.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer dcancel()
+	start := time.Now()
+	_, err := RunContext(dctx, Config{Workload: w, Policy: PDPA})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Fatalf("abort took %v; not prompt", wall)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	w1 := smallWorkload(t, workload.W3(), 0.8, 3)
+	w2 := smallWorkload(t, workload.W3(), 0.8, 3)
+	a, err := Run(Config{Workload: w1, Policy: PDPA, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), Config{Workload: w2, Policy: PDPA, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("RunContext diverged from Run: makespan %v vs %v", a.Makespan, b.Makespan)
 	}
 }
