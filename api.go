@@ -64,6 +64,45 @@ func (p Policy) Validate() error {
 	return fmt.Errorf("pdpasim: unknown policy %q (valid: irix, gang, equip, equal_eff, dynamic, pdpa, pdpa_adaptive)", string(p))
 }
 
+// ParsePolicy converts a policy name — as it appears in flags, JSON
+// payloads, and results tables — to a Policy. It is the single entry point
+// through which external policy names enter the system: flag parsing, the
+// daemon API, and sweep specs all round-trip through it. Names are matched
+// case-insensitively and with surrounding whitespace ignored.
+func ParsePolicy(s string) (Policy, error) {
+	p := Policy(strings.ToLower(strings.TrimSpace(s)))
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	return p, nil
+}
+
+// String returns the canonical wire name of the policy ("pdpa", "equip", …),
+// implementing fmt.Stringer.
+func (p Policy) String() string { return string(p) }
+
+// MarshalText implements encoding.TextMarshaler; policies serialize as their
+// canonical wire name. Marshaling an unknown policy is an error, so invalid
+// values cannot leak into JSON output.
+func (p Policy) MarshalText() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return []byte(p), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParsePolicy, so a
+// Policy field decoded from JSON (for example by the pdpad daemon) is
+// validated at decode time.
+func (p *Policy) UnmarshalText(text []byte) error {
+	parsed, err := ParsePolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
 // PDPAParams mirrors the paper's policy parameters (Section 4.2).
 type PDPAParams struct {
 	// TargetEff is the efficiency allocated processors must sustain (0.7).
@@ -432,7 +471,22 @@ func (o *Outcome) RenderTrace(width int, from, to time.Duration) string {
 // WriteCSV writes the per-job results as CSV (one row per job).
 func (o *Outcome) WriteCSV(w io.Writer) error { return o.res.WriteCSV(w) }
 
-// WriteJSON writes the full result as indented JSON.
+// OutcomeJSON is the JSON schema of one run result. It is the single
+// Outcome-shaped schema in the system: Outcome.WriteJSON emits it, the pdpad
+// daemon's /v1/runs result field contains it, and sweep cells aggregate over
+// it. The golden file testdata/outcome_schema.golden.json pins the field
+// set; changing it is an API break for daemon clients.
+type OutcomeJSON = metrics.Export
+
+// OutcomeJobJSON is one job inside OutcomeJSON.
+type OutcomeJobJSON = metrics.ExportJob
+
+// Export returns the outcome in its wire form — the exact value WriteJSON
+// serializes and the daemon returns.
+func (o *Outcome) Export() OutcomeJSON { return o.res.ToExport() }
+
+// WriteJSON writes the full result as indented JSON in the OutcomeJSON
+// schema.
 func (o *Outcome) WriteJSON(w io.Writer) error { return o.res.WriteJSON(w) }
 
 // WriteParaver writes the execution trace in the Paraver (.prv) format the

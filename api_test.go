@@ -2,6 +2,7 @@ package pdpasim
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ import (
 
 func TestRunFacade(t *testing.T) {
 	spec := WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 1}
-	out, err := Run(spec, Options{Policy: PDPA, Seed: 1})
+	out, err := RunContext(context.Background(), spec, Options{Policy: PDPA, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestRunFacade(t *testing.T) {
 func TestRunAllPolicies(t *testing.T) {
 	spec := WorkloadSpec{Mix: "w1", Load: 0.6, Seed: 2}
 	for _, p := range Policies() {
-		out, err := Run(spec, Options{Policy: p, Seed: 2})
+		out, err := RunContext(context.Background(), spec, Options{Policy: p, Seed: 2})
 		if err != nil {
 			t.Fatalf("%s: %v", p, err)
 		}
@@ -51,11 +52,63 @@ func TestRunAllPolicies(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(WorkloadSpec{Mix: "bogus"}, Options{Policy: PDPA}); err == nil {
+	if _, err := RunContext(context.Background(), WorkloadSpec{Mix: "bogus"}, Options{Policy: PDPA}); err == nil {
 		t.Fatal("bogus mix accepted")
 	}
-	if _, err := Run(WorkloadSpec{Mix: "w1"}, Options{Policy: "bogus"}); err == nil {
+	if _, err := RunContext(context.Background(), WorkloadSpec{Mix: "w1"}, Options{Policy: "bogus"}); err == nil {
 		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestWorkloadSpecValidateEdgeCases(t *testing.T) {
+	good := WorkloadSpec{Mix: "w1", Load: 0.6}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for name, spec := range map[string]WorkloadSpec{
+		"unknown mix":         {Mix: "w9"},
+		"empty mix":           {},
+		"negative load":       {Mix: "w1", Load: -0.1},
+		"negative ncpu":       {Mix: "w1", NCPU: -60},
+		"negative window":     {Mix: "w1", Window: -time.Second},
+		"negative uniformreq": {Mix: "w1", UniformRequest: -30},
+	} {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestOptionsValidateEdgeCases(t *testing.T) {
+	if err := (Options{Policy: PDPA}).Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	inverted := DefaultPDPAParams()
+	inverted.TargetEff, inverted.HighEff = 0.9, 0.7
+	zeroTarget := DefaultPDPAParams()
+	zeroTarget.TargetEff = 0
+	badStep := DefaultPDPAParams()
+	badStep.Step = 0
+	badBase := DefaultPDPAParams()
+	badBase.BaseMPL = 0
+	for name, o := range map[string]Options{
+		"unknown policy":            {Policy: "bogus"},
+		"empty policy":              {},
+		"negative fixed MPL":        {Policy: Equipartition, FixedMPL: -1},
+		"negative NUMA node size":   {Policy: PDPA, NUMANodeSize: -4},
+		"high_eff below target_eff": {Policy: PDPA, PDPA: inverted},
+		"zero target_eff":           {Policy: PDPA, PDPA: zeroTarget},
+		"zero step":                 {Policy: PDPA, PDPA: badStep},
+		"zero base MPL":             {Policy: AdaptivePDPA, PDPA: badBase},
+	} {
+		if err := o.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// PDPA parameter consistency is only enforced for the policies that read
+	// them; other regimes ignore the struct entirely.
+	if err := (Options{Policy: Equipartition, PDPA: inverted}).Validate(); err != nil {
+		t.Fatalf("unused PDPA params rejected for equipartition: %v", err)
 	}
 }
 
@@ -92,7 +145,7 @@ func TestWriteSWF(t *testing.T) {
 }
 
 func TestKeepTraceRendering(t *testing.T) {
-	out, err := Run(WorkloadSpec{Mix: "w1", Load: 0.6, Seed: 4},
+	out, err := RunContext(context.Background(), WorkloadSpec{Mix: "w1", Load: 0.6, Seed: 4},
 		Options{Policy: PDPA, Seed: 4, KeepTrace: true})
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +155,7 @@ func TestKeepTraceRendering(t *testing.T) {
 		t.Fatalf("trace render missing rows: %q", view[:80])
 	}
 	// Without KeepTrace the render degrades gracefully.
-	out2, err := Run(WorkloadSpec{Mix: "w1", Load: 0.6, Seed: 4}, Options{Policy: PDPA, Seed: 4})
+	out2, err := RunContext(context.Background(), WorkloadSpec{Mix: "w1", Load: 0.6, Seed: 4}, Options{Policy: PDPA, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +165,7 @@ func TestKeepTraceRendering(t *testing.T) {
 }
 
 func TestOutcomeAccessors(t *testing.T) {
-	out, err := Run(WorkloadSpec{Mix: "w2", Load: 0.6, Seed: 5}, Options{Policy: Equipartition, Seed: 5})
+	out, err := RunContext(context.Background(), WorkloadSpec{Mix: "w2", Load: 0.6, Seed: 5}, Options{Policy: Equipartition, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,12 +180,12 @@ func TestOutcomeAccessors(t *testing.T) {
 func TestPDPAParamsPlumbing(t *testing.T) {
 	lax := DefaultPDPAParams()
 	lax.TargetEff = 0.4
-	outLax, err := Run(WorkloadSpec{Mix: "w2", Load: 0.6, Seed: 6},
+	outLax, err := RunContext(context.Background(), WorkloadSpec{Mix: "w2", Load: 0.6, Seed: 6},
 		Options{Policy: PDPA, PDPA: lax, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	outStrict, err := Run(WorkloadSpec{Mix: "w2", Load: 0.6, Seed: 6},
+	outStrict, err := RunContext(context.Background(), WorkloadSpec{Mix: "w2", Load: 0.6, Seed: 6},
 		Options{Policy: PDPA, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
@@ -184,7 +237,7 @@ func TestApplicationsFacade(t *testing.T) {
 func TestExtendedPoliciesRun(t *testing.T) {
 	spec := WorkloadSpec{Mix: "w2", Load: 0.6, Seed: 12}
 	for _, p := range ExtendedPolicies() {
-		out, err := Run(spec, Options{Policy: p, Seed: 12})
+		out, err := RunContext(context.Background(), spec, Options{Policy: p, Seed: 12})
 		if err != nil {
 			t.Fatalf("%s: %v", p, err)
 		}
@@ -195,7 +248,7 @@ func TestExtendedPoliciesRun(t *testing.T) {
 }
 
 func TestNUMAOptionRuns(t *testing.T) {
-	out, err := Run(WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 13},
+	out, err := RunContext(context.Background(), WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 13},
 		Options{Policy: PDPA, Seed: 13, NUMANodeSize: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -207,11 +260,11 @@ func TestNUMAOptionRuns(t *testing.T) {
 
 func TestUntunedSpecRuns(t *testing.T) {
 	spec := WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 14, UniformRequest: 30}
-	pd, err := Run(spec, Options{Policy: PDPA, Seed: 14})
+	pd, err := RunContext(context.Background(), spec, Options{Policy: PDPA, Seed: 14})
 	if err != nil {
 		t.Fatal(err)
 	}
-	eq, err := Run(spec, Options{Policy: Equipartition, Seed: 14})
+	eq, err := RunContext(context.Background(), spec, Options{Policy: Equipartition, Seed: 14})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,20 +321,20 @@ func TestRunSWFFacade(t *testing.T) {
 	if err := (WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 30}).WriteSWF(&buf); err != nil {
 		t.Fatal(err)
 	}
-	out, err := RunSWF(&buf, Options{Policy: PDPA, Seed: 30})
+	out, err := RunSWFContext(context.Background(), &buf, Options{Policy: PDPA, Seed: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out.Jobs) == 0 {
 		t.Fatal("no jobs from SWF replay")
 	}
-	if _, err := RunSWF(strings.NewReader("garbage"), Options{Policy: PDPA}); err == nil {
+	if _, err := RunSWFContext(context.Background(), strings.NewReader("garbage"), Options{Policy: PDPA}); err == nil {
 		t.Fatal("garbage SWF accepted")
 	}
 }
 
 func TestOutcomeExports(t *testing.T) {
-	out, err := Run(WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 31},
+	out, err := RunContext(context.Background(), WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 31},
 		Options{Policy: PDPA, Seed: 31, KeepTrace: true})
 	if err != nil {
 		t.Fatal(err)
@@ -297,7 +350,7 @@ func TestOutcomeExports(t *testing.T) {
 		t.Fatalf("paraver: %v", err)
 	}
 	// Without KeepTrace, Paraver export must error cleanly.
-	out2, err := Run(WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 31}, Options{Policy: PDPA, Seed: 31})
+	out2, err := RunContext(context.Background(), WorkloadSpec{Mix: "w3", Load: 0.6, Seed: 31}, Options{Policy: PDPA, Seed: 31})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,8 +9,11 @@ package pdpasim
 // EXPERIMENTS.md) for the full formatted tables.
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"pdpasim/internal/app"
 	"pdpasim/internal/cluster"
@@ -159,6 +162,58 @@ func BenchmarkAblationStep(b *testing.B) {
 
 func BenchmarkAblationNoise(b *testing.B) {
 	runExperiment(b, experiments.AblationNoise)
+}
+
+// benchSweepSpec is the acceptance grid for the sweep engine: 4 policies ×
+// 2 mixes × 2 seeds (16 runs, 8 cells).
+func benchSweepSpec() SweepSpec {
+	return SweepSpec{
+		Policies: []Policy{IRIX, Equipartition, EqualEfficiency, PDPA},
+		Mixes:    []string{"w1", "w3"},
+		Loads:    []float64{1.0},
+		Seeds:    []int64{1, 2},
+		NCPU:     60,
+		Window:   300 * time.Second,
+	}
+}
+
+// BenchmarkSweep compares the parallel grid engine across worker counts on
+// the 4-policy × 2-mix × 2-seed grid, against serial cell-by-cell execution
+// through the single-run facade (which rebuilds the workload for every
+// policy, as cmd/experiments used to).
+func BenchmarkSweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := benchSweepSpec()
+				spec.Workers = workers
+				if _, err := Sweep(context.Background(), spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("serial-cell-by-cell", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spec := benchSweepSpec()
+			for _, mix := range spec.Mixes {
+				for _, load := range spec.Loads {
+					for _, pol := range spec.Policies {
+						for _, seed := range spec.Seeds {
+							wspec := WorkloadSpec{
+								Mix: mix, Load: load, NCPU: spec.NCPU,
+								Window: spec.Window, Seed: seed,
+							}
+							opts := Options{Policy: pol, Seed: seed}
+							if _, err := RunContext(context.Background(), wspec, opts); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkSingleRunPDPA times one full-system simulation (workload 4 at

@@ -1,17 +1,29 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures, and runs
+// ad-hoc policy × mix × load × seed grids on the parallel sweep engine.
 //
 // Usage:
 //
-//	experiments               # run everything (the EXPERIMENTS.md dataset)
-//	experiments -run fig4     # one artifact
-//	experiments -quick        # reduced seeds/loads for a fast look
-//	experiments -list         # what is available
+//	experiments                    # run everything (the EXPERIMENTS.md dataset)
+//	experiments -run fig4          # one artifact
+//	experiments -quick -workers 4  # reduced seeds/loads, explicit parallelism
+//	experiments -list              # what is available
+//
+//	experiments -sweep -policies irix,equip,equal_eff,pdpa -mixes w1,w2 \
+//	    -loads 0.6,1.0 -seeds 1,2,3 -format csv
+//
+// Sweep mode fans the grid across a bounded worker pool (every policy shares
+// one generated workload per mix/load/seed) and emits per-cell aggregates —
+// mean, stddev, and 95% confidence intervals over the seed replicates — as a
+// table, CSV, or JSON. The output is byte-identical at any -workers setting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,11 +37,31 @@ func main() {
 		list      = flag.Bool("list", false, "list available experiments")
 		svgDir    = flag.String("svg", "", "also render the figures as SVG charts into this directory")
 		scorecard = flag.Bool("scorecard", false, "verify every encoded paper claim and print pass/fail")
+		workers   = flag.Int("workers", 0, "worker pool size for grids (0 = one per CPU)")
+
+		sweepMode = flag.Bool("sweep", false, "run a policy/mix/load/seed grid instead of a named artifact")
+		policies  = flag.String("policies", "irix,equip,equal_eff,pdpa", "sweep: comma-separated policies")
+		mixes     = flag.String("mixes", "w1", "sweep: comma-separated workload mixes (w1..w4)")
+		loads     = flag.String("loads", "1.0", "sweep: comma-separated load levels")
+		seeds     = flag.String("seeds", "1,2,3", "sweep: comma-separated workload seeds")
+		ncpu      = flag.Int("ncpu", 60, "sweep: machine size")
+		window    = flag.Duration("window", 300*time.Second, "sweep: submission window")
+		format    = flag.String("format", "table", "sweep output format: table, csv, or json")
+		out       = flag.String("o", "", "sweep: write output to this file instead of stdout")
+		progress  = flag.Bool("progress", false, "sweep: report per-run completion on stderr")
 	)
 	flag.Parse()
 
+	if *sweepMode {
+		if err := runSweep(*policies, *mixes, *loads, *seeds, *ncpu, *window, *workers, *format, *out, *progress); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *scorecard {
-		fmt.Print(pdpasim.Scorecard(pdpasim.ExperimentOptions{Quick: *quick}))
+		fmt.Print(pdpasim.Scorecard(pdpasim.ExperimentOptions{Quick: *quick, Workers: *workers}))
 		return
 	}
 
@@ -40,8 +72,10 @@ func main() {
 		return
 	}
 
+	opts := pdpasim.ExperimentOptions{Quick: *quick, Workers: *workers}
+
 	if *svgDir != "" {
-		n, err := pdpasim.RenderFigureSVGs(*svgDir, pdpasim.ExperimentOptions{Quick: *quick})
+		n, err := pdpasim.RenderFigureSVGs(*svgDir, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -52,7 +86,6 @@ func main() {
 		}
 	}
 
-	opts := pdpasim.ExperimentOptions{Quick: *quick}
 	ids := []string{}
 	if *run != "" {
 		for _, id := range strings.Split(*run, ",") {
@@ -73,4 +106,85 @@ func main() {
 		fmt.Println(text)
 		fmt.Printf("(%s regenerated in %.1fs)\n\n", id, time.Since(t0).Seconds())
 	}
+}
+
+func runSweep(policies, mixes, loads, seeds string, ncpu int, window time.Duration, workers int, format, out string, progress bool) error {
+	spec := pdpasim.SweepSpec{
+		Mixes:   splitList(mixes),
+		NCPU:    ncpu,
+		Window:  window,
+		Workers: workers,
+	}
+	for _, s := range splitList(policies) {
+		p, err := pdpasim.ParsePolicy(s)
+		if err != nil {
+			return err
+		}
+		spec.Policies = append(spec.Policies, p)
+	}
+	for _, s := range splitList(loads) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("bad load %q: %v", s, err)
+		}
+		spec.Loads = append(spec.Loads, v)
+	}
+	for _, s := range splitList(seeds) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q: %v", s, err)
+		}
+		spec.Seeds = append(spec.Seeds, v)
+	}
+	if progress {
+		spec.Progress = func(p pdpasim.SweepProgress) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s load=%.0f%% seed=%d\n",
+				p.Done, p.Total, p.Policy, p.Mix, p.Load*100, p.Seed)
+		}
+	}
+
+	t0 := time.Now()
+	res, err := pdpasim.Sweep(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "csv":
+		if err := res.WriteCSV(w); err != nil {
+			return err
+		}
+	case "json":
+		if err := res.WriteJSON(w); err != nil {
+			return err
+		}
+	case "table":
+		if _, err := io.WriteString(w, res.Summary()); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv, or json)", format)
+	}
+	fmt.Fprintf(os.Stderr, "(%d runs over %d cells in %.1fs)\n", len(res.Runs), len(res.Cells), elapsed.Seconds())
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -43,13 +44,17 @@ func main() {
 		usageError(fmt.Errorf("unexpected arguments: %v", flag.Args()))
 	}
 
+	pol, err := pdpasim.ParsePolicy(*policy)
+	if err != nil {
+		usageError(err)
+	}
 	params := pdpasim.DefaultPDPAParams()
 	params.TargetEff = *target
 	params.HighEff = *highEff
 	params.Step = *step
 	params.BaseMPL = *ml
 	opts := pdpasim.Options{
-		Policy:     pdpasim.Policy(*policy),
+		Policy:     pol,
 		PDPA:       params,
 		FixedMPL:   *ml,
 		NoiseSigma: *noise,
@@ -70,19 +75,16 @@ func main() {
 		}
 	}
 
-	var (
-		out *pdpasim.Outcome
-		err error
-	)
+	var out *pdpasim.Outcome
 	if *swf != "" {
 		f, ferr := os.Open(*swf)
 		if ferr != nil {
 			fatal(ferr)
 		}
 		defer f.Close()
-		out, err = pdpasim.RunSWF(f, opts)
+		out, err = pdpasim.RunSWFContext(context.Background(), f, opts)
 	} else {
-		out, err = pdpasim.Run(spec, opts)
+		out, err = pdpasim.RunContext(context.Background(), spec, opts)
 	}
 	if err != nil {
 		fatal(err)

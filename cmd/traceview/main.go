@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,9 +31,14 @@ func main() {
 	)
 	flag.Parse()
 
-	out, err := pdpasim.Run(
+	pol, err := pdpasim.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+	out, err := pdpasim.RunContext(context.Background(),
 		pdpasim.WorkloadSpec{Mix: *mix, Load: *load, Seed: *seed},
-		pdpasim.Options{Policy: pdpasim.Policy(*policy), Seed: *seed, KeepTrace: true},
+		pdpasim.Options{Policy: pol, Seed: *seed, KeepTrace: true},
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "traceview:", err)

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"context"
 	"testing"
+	"time"
 )
 
 func runJSON(t *testing.T, run func() (*Outcome, error)) []byte {
@@ -24,6 +25,44 @@ func runJSON(t *testing.T, run func() (*Outcome, error)) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// TestDeterministicSweepAcrossWorkers extends the determinism guarantee to
+// the sweep engine: the serialized grid result must be byte-identical no
+// matter how many workers executed it, and identical run to run. This is
+// what makes parallel sweeps substitutable for serial ones.
+func TestDeterministicSweepAcrossWorkers(t *testing.T) {
+	spec := SweepSpec{
+		Policies: []Policy{PDPA, Equipartition, IRIX},
+		Mixes:    []string{"w1", "w3"},
+		Loads:    []float64{1.0},
+		Seeds:    []int64{1, 2},
+		NCPU:     32,
+		Window:   60 * time.Second,
+	}
+	sweepJSON := func(workers int) []byte {
+		t.Helper()
+		spec := spec
+		spec.Workers = workers
+		res, err := Sweep(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	baseline := sweepJSON(1)
+	if len(baseline) < 100 {
+		t.Fatalf("suspiciously small sweep result: %d bytes", len(baseline))
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		if !bytes.Equal(baseline, sweepJSON(workers)) {
+			t.Fatalf("sweep with %d workers produced different bytes than 1 worker", workers)
+		}
+	}
 }
 
 func TestDeterministicWriteJSON(t *testing.T) {

@@ -10,12 +10,32 @@
 // The package exposes a small façade over the internal packages:
 //
 //	spec := pdpasim.WorkloadSpec{Mix: "w3", Load: 1.0}
-//	out, err := pdpasim.Run(spec, pdpasim.Options{Policy: pdpasim.PDPA})
+//	out, err := pdpasim.RunContext(ctx, spec, pdpasim.Options{Policy: pdpasim.PDPA})
 //	fmt.Println(out.Summary())
 //
 // runs workload 3 (half bt.A, half apsi) at 100% machine demand under PDPA
 // and reports per-class response and execution times, the multiprogramming
 // level PDPA chose, and scheduling-stability statistics.
+//
+// Comparative studies — the paper's own methodology — are batch-first: Sweep
+// runs a whole policy × mix × load × seed grid across a bounded worker pool,
+// generating each workload trace once and replaying it read-only under every
+// policy, then aggregates the seed replicates into per-cell mean, standard
+// deviation, and 95% confidence intervals:
+//
+//	res, err := pdpasim.Sweep(ctx, pdpasim.SweepSpec{
+//		Policies: pdpasim.Policies(),          // irix, equip, equal_eff, pdpa
+//		Mixes:    []string{"w3"},
+//		Loads:    []float64{0.6, 1.0},
+//		Seeds:    []int64{1, 2, 3},
+//	})
+//	c := res.Cell(pdpasim.PDPA, "w3", 1.0)
+//	fmt.Printf("makespan %.0fs ±%.0f\n", c.Makespan.Mean, c.Makespan.CI95)
+//
+// The grid result is deterministic — byte-identical at any SweepSpec.Workers
+// setting — so cached and fresh sweeps are interchangeable. See
+// examples/policycompare for a complete capacity-planning study built on one
+// Sweep call.
 //
 // Every table and figure of the paper can be regenerated through
 // RunExperiment (or `go test -bench .` / cmd/experiments); see DESIGN.md for

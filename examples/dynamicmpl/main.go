@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -21,7 +22,7 @@ import (
 func main() {
 	spec := pdpasim.WorkloadSpec{Mix: "w2", Load: 1.0, Seed: 3}
 
-	out, err := pdpasim.Run(spec, pdpasim.Options{Policy: pdpasim.PDPA, Seed: 3})
+	out, err := pdpasim.RunContext(context.Background(), spec, pdpasim.Options{Policy: pdpasim.PDPA, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func main() {
 	// The same workload under fixed levels, for contrast.
 	fmt.Println("the same trace under Equipartition with a fixed level:")
 	for _, ml := range []int{2, 4, 8} {
-		fixed, err := pdpasim.Run(spec, pdpasim.Options{
+		fixed, err := pdpasim.RunContext(context.Background(), spec, pdpasim.Options{
 			Policy: pdpasim.Equipartition, FixedMPL: ml, Seed: 3,
 		})
 		if err != nil {

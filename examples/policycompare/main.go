@@ -4,14 +4,18 @@
 // well-scaling, medium-scaling, and non-scaling applications) across the
 // paper's three demand levels.
 //
-// The program sweeps policy × load, prints per-application response and
-// execution times, and finishes with the stability statistics that matter
-// for a CC-NUMA machine (migrations destroy locality).
+// One Sweep call runs the whole policy × load grid — three seed replicates
+// per cell, every policy replaying identical workload traces — across a
+// bounded worker pool, then reports each cell's mean and 95% confidence
+// interval. The manual double loop over Run this replaces could not say
+// whether a difference between two schedulers was signal or seed noise;
+// the confidence intervals can.
 //
 //	go run ./examples/policycompare
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -23,23 +27,28 @@ func main() {
 	fmt.Println("scheduler comparison on workload 4 (25% each of swim/bt.A/hydro2d/apsi)")
 	fmt.Println()
 
+	res, err := pdpasim.Sweep(context.Background(), pdpasim.SweepSpec{
+		Policies: pdpasim.Policies(),
+		Mixes:    []string{"w4"},
+		Loads:    []float64{0.6, 0.8, 1.0},
+		Seeds:    []int64{11, 12, 13},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	for _, load := range []float64{0.6, 0.8, 1.0} {
-		spec := pdpasim.WorkloadSpec{Mix: "w4", Load: load, Seed: 11}
-		fmt.Printf("=== demand %.0f%% of the machine\n", load*100)
+		fmt.Printf("=== demand %.0f%% of the machine (mean ±95%% CI over 3 seeds)\n", load*100)
 		for _, policy := range pdpasim.Policies() {
-			out, err := pdpasim.Run(spec, pdpasim.Options{Policy: policy, Seed: 11})
-			if err != nil {
-				log.Fatal(err)
+			c := res.Cell(policy, "w4", load)
+			fmt.Printf("%-10s makespan %5.0fs ±%3.0f, avg ML %4.1f |", c.Policy, c.Makespan.Mean, c.Makespan.CI95, c.AvgMPL.Mean)
+			apps := make([]string, 0, len(c.Response))
+			for n := range c.Response {
+				apps = append(apps, n)
 			}
-			resp := out.ResponseByApp()
-			names := make([]string, 0, len(resp))
-			for n := range resp {
-				names = append(names, n)
-			}
-			sort.Strings(names)
-			fmt.Printf("%-10s makespan %5.0fs, max ML %2d |", out.Policy, out.Makespan.Seconds(), out.MaxMPL)
-			for _, n := range names {
-				fmt.Printf(" %s %6.0fs", n, resp[n].Seconds())
+			sort.Strings(apps)
+			for _, n := range apps {
+				fmt.Printf(" %s %6.0fs", n, c.Response[n].Mean)
 			}
 			fmt.Println()
 		}
@@ -48,13 +57,9 @@ func main() {
 
 	// Stability: why a space-sharing policy is worth it on CC-NUMA.
 	fmt.Println("=== scheduling stability at 100% demand (Table 2's metrics)")
-	spec := pdpasim.WorkloadSpec{Mix: "w4", Load: 1.0, Seed: 11}
 	for _, policy := range pdpasim.Policies() {
-		out, err := pdpasim.Run(spec, pdpasim.Options{Policy: policy, Seed: 11})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-10s %7d migrations, avg burst %8.0f ms, utilization %3.0f%%\n",
-			out.Policy, out.Migrations, out.AvgBurst.Seconds()*1000, out.Utilization*100)
+		c := res.Cell(policy, "w4", 1.0)
+		fmt.Printf("%-10s %7.0f migrations, avg burst %8.0f ms, utilization %3.0f%%\n",
+			c.Policy, c.Migrations.Mean, c.AvgBurstMS.Mean, c.Utilization.Mean*100)
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 	}
 
 	for _, policy := range []pdpasim.Policy{pdpasim.Equipartition, pdpasim.PDPA} {
-		out, err := pdpasim.Run(spec, pdpasim.Options{Policy: policy, Seed: 1})
+		out, err := pdpasim.RunContext(context.Background(), spec, pdpasim.Options{Policy: policy, Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -37,13 +37,18 @@ type ExperimentOptions struct {
 	Loads []float64
 	// Quick reduces seeds and loads for fast smoke runs.
 	Quick bool
+	// Workers bounds the worker pool the experiment grids fan out on
+	// (0 = one worker per CPU). Results are identical at any setting.
+	Workers int
 }
 
 func (o ExperimentOptions) internal() experiments.Options {
 	if o.Quick {
-		return experiments.Quick()
+		opts := experiments.Quick()
+		opts.Workers = o.Workers
+		return opts
 	}
-	return experiments.Options{Seeds: o.Seeds, Loads: o.Loads}
+	return experiments.Options{Seeds: o.Seeds, Loads: o.Loads, Workers: o.Workers}
 }
 
 // RunExperiment regenerates one table or figure and returns its formatted

@@ -156,6 +156,9 @@ type PDPA struct {
 	// history records transitions when enabled (see RecordHistory).
 	history       []Transition
 	recordHistory bool
+	// plan is the map returned by Plan, reused across calls; the manager
+	// consumes it before the next replan.
+	plan map[sched.JobID]int
 }
 
 // RecordHistory enables transition recording; History returns the log.
@@ -376,7 +379,12 @@ func (p *PDPA) shrink(s *jobState, procs int) {
 // their request and the free processors (at least one); applications with
 // performance knowledge receive their state machine's desired allocation.
 func (p *PDPA) Plan(v sched.View) map[sched.JobID]int {
-	plan := make(map[sched.JobID]int, len(v.Jobs))
+	if p.plan == nil {
+		p.plan = make(map[sched.JobID]int, len(v.Jobs))
+	} else {
+		clear(p.plan)
+	}
+	plan := p.plan
 	free := v.FreeCPUs()
 	for _, job := range v.Jobs {
 		s, ok := p.jobs[job.ID]

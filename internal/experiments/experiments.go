@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"pdpasim/internal/metrics"
 	"pdpasim/internal/sim"
 	"pdpasim/internal/stats"
+	"pdpasim/internal/sweep"
 	"pdpasim/internal/system"
 	"pdpasim/internal/workload"
 )
@@ -29,6 +31,9 @@ type Options struct {
 	Loads []float64
 	// KeepBursts enables trace retention where an experiment needs it.
 	KeepBursts bool
+	// Workers bounds the worker pool the policy × load × seed grids run on
+	// (0 = one worker per CPU). Results are identical at any setting.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -178,25 +183,30 @@ func (m *matrix) mean(store map[system.PolicyKind]map[float64]map[app.Class]*cel
 	return store[kind][load][c].sum.Mean()
 }
 
-// runMatrix executes the mix under every policy × load × seed.
+// runMatrix executes the mix under every policy × load × seed on the
+// parallel sweep engine: each (load, seed) workload is generated once and
+// shared by every policy, and the grid fans out across Options.Workers.
 func runMatrix(o Options, mix workload.Mix, policies []system.PolicyKind, tweak func(*system.Config)) (*matrix, error) {
 	m := newMatrix(o, mix, policies)
+	res, err := sweep.Run(context.Background(), sweep.Config{
+		Policies: policies,
+		Mixes:    []string{mix.Name},
+		Loads:    o.Loads,
+		Seeds:    o.Seeds,
+		NCPU:     o.NCPU,
+		Window:   o.Window,
+		Workers:  o.Workers,
+		Tweak:    tweak,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Accumulate seed-major, exactly the order the serial loop used, so the
+	// floating-point sums — and every rendered digit — are unchanged.
 	for _, seed := range o.Seeds {
 		for _, load := range o.Loads {
-			w, err := genWorkload(o, mix, load, seed)
-			if err != nil {
-				return nil, err
-			}
 			for _, pk := range policies {
-				cfg := system.Config{Workload: w, Policy: pk, Seed: seed}
-				if tweak != nil {
-					tweak(&cfg)
-				}
-				res, err := system.Run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s/load %.0f%%: %w", pk, mix.Name, load*100, err)
-				}
-				m.add(pk, load, res)
+				m.add(pk, load, res.Run(pk, mix.Name, load, seed))
 			}
 		}
 	}

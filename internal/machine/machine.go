@@ -45,6 +45,12 @@ type Machine struct {
 	// numaNodeSize groups CPUs into NUMA nodes (see SetNodeSize); <= 1
 	// means a flat SMP.
 	numaNodeSize int
+
+	// quantumSeen and quantumMigs are PlaceQuantum scratch state: the method
+	// runs every time-sharing quantum, so its bookkeeping is reused rather
+	// than reallocated.
+	quantumSeen []bool
+	quantumMigs map[int]int
 }
 
 // New returns a machine with ncpu processors, all free. The recorder may be
@@ -184,10 +190,17 @@ type Placement struct {
 // at t and returns the number of thread migrations it caused per job. CPUs
 // not mentioned become idle. Placing a thread on a CPU different from its
 // previous one counts a migration. PlaceQuantum must not be mixed with
-// Resize ownership on the same machine instance.
+// Resize ownership on the same machine instance. The returned map is reused
+// scratch state, valid only until the next PlaceQuantum call.
 func (m *Machine) PlaceQuantum(t sim.Time, placements []Placement) map[int]int {
-	seen := make([]bool, m.ncpu)
-	migs := make(map[int]int)
+	if m.quantumSeen == nil {
+		m.quantumSeen = make([]bool, m.ncpu)
+		m.quantumMigs = make(map[int]int)
+	}
+	seen := m.quantumSeen
+	clear(seen)
+	migs := m.quantumMigs
+	clear(migs)
 	for _, p := range placements {
 		if p.CPU < 0 || p.CPU >= m.ncpu {
 			panic(fmt.Sprintf("machine: placement CPU %d out of range", p.CPU))

@@ -49,6 +49,12 @@ type Runtime struct {
 	done       bool
 	rawMode    bool // time-sharing manager drives rates directly
 
+	// iterName and iterFn are the event name and callback passed to the
+	// engine on every reschedule, precomputed once: building them inline
+	// would allocate a string and a closure per allocation change.
+	iterName string
+	iterFn   func()
+
 	// detector implements the binary-only monitoring path (Section 3.1):
 	// when set, the runtime does not know the outer-loop structure a priori
 	// — it feeds the stream of parallel-loop addresses to the Dynamic
@@ -75,7 +81,9 @@ func New(eng *sim.Engine, prof *app.Profile, request int, analyzer *selfanalyzer
 		request:    request,
 		gran:       1,
 		rateFactor: 1,
+		iterName:   prof.Name + "/iter",
 	}
+	r.iterFn = r.completeIteration
 	return r
 }
 
@@ -246,20 +254,24 @@ func (r *Runtime) SetRawRate(rate float64, procs int) {
 }
 
 func (r *Runtime) reschedule() {
-	r.eng.Cancel(r.iterEv)
-	r.iterEv = nil
 	if r.done {
+		r.eng.Cancel(r.iterEv)
 		return
 	}
 	end := r.exec.NextIterationEnd()
 	if end == sim.Forever {
+		r.eng.Cancel(r.iterEv)
 		return
 	}
-	r.iterEv = r.eng.At(end, r.prof.Name+"/iter", r.completeIteration)
+	if r.eng.Reschedule(r.iterEv, end) {
+		return
+	}
+	// The previous event (if any) has fired or been cancelled and nothing
+	// else holds it; re-arm the same struct.
+	r.iterEv = r.eng.ScheduleInto(r.iterEv, end, r.iterName, r.iterFn)
 }
 
 func (r *Runtime) completeIteration() {
-	r.iterEv = nil
 	sample := r.exec.CompleteIteration(r.eng.Now())
 	if r.hooks.OnIteration != nil {
 		r.hooks.OnIteration(sample)

@@ -1,8 +1,6 @@
 package policy
 
 import (
-	"sort"
-
 	"pdpasim/internal/sched"
 	"pdpasim/internal/sim"
 )
@@ -80,9 +78,7 @@ func (d *Dynamic) Plan(v sched.View) map[sched.JobID]int {
 	if len(v.Jobs) == 0 {
 		return plan
 	}
-	jobs := make([]*sched.JobView, len(v.Jobs))
-	copy(jobs, v.Jobs)
-	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+	jobs := v.Jobs // already sorted by ascending ID (View contract)
 
 	remaining := v.NCPU
 	for _, j := range jobs {

@@ -6,7 +6,7 @@
 package policy
 
 import (
-	"sort"
+	"slices"
 
 	"pdpasim/internal/sched"
 	"pdpasim/internal/sim"
@@ -80,7 +80,7 @@ func Equipartitioned(ncpu int, jobs []*sched.JobView) map[sched.JobID]int {
 		items = append(items, item{id: j.ID, req: req})
 		out[j.ID] = 0
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i].id < items[j].id })
+	slices.SortFunc(items, func(a, b item) int { return int(a.id - b.id) })
 
 	remaining := ncpu
 	unsat := items

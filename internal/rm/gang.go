@@ -1,7 +1,7 @@
 package rm
 
 import (
-	"sort"
+	"slices"
 
 	"pdpasim/internal/machine"
 	"pdpasim/internal/nthlib"
@@ -227,7 +227,7 @@ func (m *GangManager) applySlot() {
 	for id := range m.jobs {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 
 	for _, id := range ids {
 		j := m.jobs[id]

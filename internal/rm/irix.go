@@ -1,7 +1,7 @@
 package rm
 
 import (
-	"sort"
+	"slices"
 
 	"pdpasim/internal/machine"
 	"pdpasim/internal/nthlib"
@@ -80,18 +80,34 @@ type IRIXManager struct {
 	quantumCount  int
 	tickScheduled bool
 	admission     func()
+
+	// Per-quantum scratch state, reused across ticks: place runs every
+	// quantum (thousands of times per simulated run) and its transient
+	// slices and maps would otherwise dominate the allocation profile.
+	tickFn   func()
+	tickEv   *sim.Event
+	jobsBuf  []*irixJob
+	threads  []machine.ThreadID
+	selected []machine.ThreadID
+	claimed  []bool
+	placed   []machine.Placement
+	homeless []machine.ThreadID
+	running  map[int]int
 }
 
 // NewIRIXManager returns the native-scheduler model over mach.
 func NewIRIXManager(eng *sim.Engine, mach *machine.Machine, rec *trace.Recorder, cfg IRIXConfig) *IRIXManager {
 	cfg.applyDefaults()
-	return &IRIXManager{
-		eng:  eng,
-		mach: mach,
-		rec:  rec,
-		cfg:  cfg,
-		jobs: make(map[sched.JobID]*irixJob),
+	m := &IRIXManager{
+		eng:     eng,
+		mach:    mach,
+		rec:     rec,
+		cfg:     cfg,
+		jobs:    make(map[sched.JobID]*irixJob),
+		running: make(map[int]int),
 	}
+	m.tickFn = m.tick
+	return m
 }
 
 // Name implements Manager.
@@ -136,7 +152,7 @@ func (m *IRIXManager) ensureTick() {
 		return
 	}
 	m.tickScheduled = true
-	m.eng.After(m.cfg.Quantum, "irix/quantum", m.tick)
+	m.tickEv = m.eng.ScheduleInto(m.tickEv, m.eng.Now()+m.cfg.Quantum, "irix/quantum", m.tickFn)
 }
 
 func (m *IRIXManager) tick() {
@@ -153,11 +169,12 @@ func (m *IRIXManager) tick() {
 }
 
 func (m *IRIXManager) sortedJobs() []*irixJob {
-	out := make([]*irixJob, 0, len(m.jobs))
+	out := m.jobsBuf[:0]
 	for _, j := range m.jobs {
 		out = append(out, j)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	slices.SortFunc(out, func(a, b *irixJob) int { return int(a.id - b.id) })
+	m.jobsBuf = out
 	return out
 }
 
@@ -207,12 +224,13 @@ func (m *IRIXManager) place() {
 		return
 	}
 	// Global thread list in stable (job, thread) order.
-	var threads []machine.ThreadID
+	threads := m.threads[:0]
 	for _, j := range jobs {
 		for i := 0; i < j.threads; i++ {
 			threads = append(threads, machine.ThreadID{Job: int(j.id), Thread: i})
 		}
 	}
+	m.threads = threads
 	ncpu := m.mach.NCPU()
 	selected := threads
 	if len(threads) > ncpu {
@@ -221,17 +239,22 @@ func (m *IRIXManager) place() {
 		if m.cursor >= len(threads) {
 			m.cursor %= len(threads)
 		}
-		selected = make([]machine.ThreadID, 0, ncpu)
+		selected = m.selected[:0]
 		for i := 0; i < ncpu; i++ {
 			selected = append(selected, threads[(m.cursor+i)%len(threads)])
 		}
+		m.selected = selected
 		m.cursor = (m.cursor + ncpu) % len(threads)
 	}
 
 	// Affinity pass: threads keep their previous CPU when possible.
-	claimed := make([]bool, ncpu)
-	placements := make([]machine.Placement, 0, len(selected))
-	var homeless []machine.ThreadID
+	if len(m.claimed) < ncpu {
+		m.claimed = make([]bool, ncpu)
+	}
+	claimed := m.claimed[:ncpu]
+	clear(claimed)
+	placements := m.placed[:0]
+	homeless := m.homeless[:0]
 	for _, tid := range selected {
 		if cpu, ok := m.mach.LastCPU(tid); ok && !claimed[cpu] {
 			claimed[cpu] = true
@@ -251,10 +274,13 @@ func (m *IRIXManager) place() {
 		claimed[cpu] = true
 		placements = append(placements, machine.Placement{CPU: cpu, Thread: tid})
 	}
+	m.placed = placements
+	m.homeless = homeless
 	migs := m.mach.PlaceQuantum(now, placements)
 
 	// Per-application effective rate for the coming quantum.
-	running := map[int]int{}
+	running := m.running
+	clear(running)
 	for _, p := range placements {
 		running[p.Thread.Job]++
 	}

@@ -1,8 +1,6 @@
 package rm
 
 import (
-	"sort"
-
 	"pdpasim/internal/machine"
 	"pdpasim/internal/nthlib"
 	"pdpasim/internal/sched"
@@ -31,6 +29,14 @@ type SpaceManager struct {
 	queued           func() int
 	replanning       bool
 	replanPending    bool
+
+	// Snapshot scratch buffers, reused across calls because snapshot runs on
+	// every replan and admission check and the allocations dominate the GC
+	// profile. Two buffers, not one: an admission check (CanAdmit) can fire
+	// while replanOnce is still iterating its own snapshot, and must not
+	// clobber it. Policies never retain View.Jobs past the call.
+	admitScratch []*sched.JobView
+	planScratch  []*sched.JobView
 }
 
 // SetQueuedFunc wires the queuing system's queue-depth accessor into the
@@ -105,22 +111,24 @@ func (m *SpaceManager) JobFinished(id sched.JobID) {
 
 // CanAdmit implements Manager.
 func (m *SpaceManager) CanAdmit() bool {
-	return m.pol.WantsNewJob(m.snapshot())
+	return m.pol.WantsNewJob(m.snapshot(&m.admitScratch))
 }
 
-func (m *SpaceManager) snapshot() sched.View {
+func (m *SpaceManager) snapshot(scratch *[]*sched.JobView) sched.View {
+	jobs := (*scratch)[:0]
+	for _, j := range m.jobs {
+		jobs = append(jobs, j.view)
+	}
 	v := sched.View{
 		Now:  m.eng.Now(),
 		NCPU: m.mach.NCPU(),
-		Jobs: make([]*sched.JobView, 0, len(m.jobs)),
+		Jobs: jobs,
 	}
 	if m.queued != nil {
 		v.Queued = m.queued()
 	}
-	for _, j := range m.jobs {
-		v.Jobs = append(v.Jobs, j.view)
-	}
 	v.SortJobs()
+	*scratch = v.Jobs
 	return v
 }
 
@@ -156,19 +164,17 @@ func (m *SpaceManager) replanOnce() {
 		return
 	}
 	now := m.eng.Now()
-	view := m.snapshot()
+	view := m.snapshot(&m.planScratch)
 	plan := m.pol.Plan(view)
 
-	ids := make([]sched.JobID, 0, len(m.jobs))
-	for id := range m.jobs {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// view.Jobs is already sorted by ascending ID; iterate it directly
+	// instead of materialising a separate id list.
+	ids := view.Jobs
 
 	// Shrinks release processors before any growth claims them.
-	for _, id := range ids {
-		j := m.jobs[id]
-		want, ok := plan[id]
+	for _, jv := range ids {
+		j := m.jobs[jv.ID]
+		want, ok := plan[jv.ID]
 		if !ok {
 			continue
 		}
@@ -177,9 +183,9 @@ func (m *SpaceManager) replanOnce() {
 			m.apply(now, j, want)
 		}
 	}
-	for _, id := range ids {
-		j := m.jobs[id]
-		want, ok := plan[id]
+	for _, jv := range ids {
+		j := m.jobs[jv.ID]
+		want, ok := plan[jv.ID]
 		if !ok {
 			continue
 		}
@@ -195,8 +201,8 @@ func (m *SpaceManager) replanOnce() {
 	// forever on a machine whose policy plans in smaller units. (A policy
 	// that plans below a rigid job's request can never run it; the paper's
 	// Section 4.3 calls this the fragmentation cost of rigidity.)
-	for _, id := range ids {
-		j := m.jobs[id]
+	for _, jv := range ids {
+		j := m.jobs[jv.ID]
 		g := j.rt.Granularity()
 		if g <= 1 || j.view.Allocated >= g {
 			continue
@@ -214,13 +220,13 @@ func (m *SpaceManager) replanOnce() {
 	// processor from the largest partition. Granular (MPI) jobs instead
 	// wait for a whole multiple of their process count — the fragmentation
 	// cost of rigidity (Section 4.3).
-	for _, id := range ids {
-		starving := m.jobs[id]
+	for _, jv := range ids {
+		starving := m.jobs[jv.ID]
 		if starving.rt.Granularity() > 1 {
 			continue
 		}
 		for starving.view.Allocated < 1 {
-			victim := m.largestPartition(id)
+			victim := m.largestPartition(jv.ID)
 			if victim == nil || victim.view.Allocated <= 1 {
 				break
 			}

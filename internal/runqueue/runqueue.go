@@ -215,6 +215,8 @@ type Pool struct {
 	cacheLRU []string        // keys of Done runs, oldest first
 	history  []string        // finished run IDs, oldest first
 	running  map[*run]struct{}
+	sweeps   map[string]*sweepRec
+	sweepSeq uint64
 	draining bool
 	idle     chan struct{} // closed when draining and no work remains
 	recheck  *time.Timer   // pending warm-up re-evaluation
@@ -240,10 +242,21 @@ func (p *Pool) Submit(spec Spec, deadline time.Duration) (SubmitResult, error) {
 	if err := spec.Validate(); err != nil {
 		return SubmitResult{}, err
 	}
-	key := spec.Key()
-
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	res, err := p.submitLocked(spec, deadline)
+	if err == nil {
+		p.admitLocked()
+	}
+	return res, err
+}
+
+// submitLocked is the admission-independent core of Submit: it resolves the
+// spec against the cache and singleflight index or enqueues a fresh run, but
+// does not kick admission — callers submitting a batch (SubmitSweep) run the
+// admission pass once after the whole batch is queued.
+func (p *Pool) submitLocked(spec Spec, deadline time.Duration) (SubmitResult, error) {
+	key := spec.Key()
 	p.stats.Submitted++
 	if existing, ok := p.byKey[key]; ok {
 		if existing.state == Done {
@@ -278,7 +291,6 @@ func (p *Pool) Submit(spec Spec, deadline time.Duration) (SubmitResult, error) {
 	p.byKey[key] = r
 	p.queue = append(p.queue, r)
 	p.broadcastLocked(r, "")
-	p.admitLocked()
 	return SubmitResult{ID: r.id, State: r.state}, nil
 }
 

@@ -23,7 +23,7 @@ func tinySpec(seed int64) Spec {
 // stubOutcome runs one real tiny simulation so stubbed SimulateFuncs can
 // return a structurally valid Outcome.
 var stubOutcome = sync.OnceValues(func() (*pdpasim.Outcome, error) {
-	return pdpasim.Run(
+	return pdpasim.RunContext(context.Background(),
 		pdpasim.WorkloadSpec{Mix: "w1", Load: 0.4, Window: 30 * time.Second, Seed: 1},
 		pdpasim.Options{Policy: pdpasim.Equipartition},
 	)
@@ -228,7 +228,7 @@ func TestRealSimulationCacheRoundTrip(t *testing.T) {
 		t.Fatalf("state %s (err %v), want done", snap.State, snap.Err)
 	}
 	ws, opts := tinySpec(3).Facade()
-	direct, err := pdpasim.Run(ws, opts)
+	direct, err := pdpasim.RunContext(context.Background(), ws, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,7 +9,7 @@
 package sched
 
 import (
-	"sort"
+	"slices"
 
 	"pdpasim/internal/sim"
 )
@@ -89,7 +89,9 @@ func (v *View) FreeCPUs() int {
 // SortJobs orders the job list by ascending ID (the resource manager
 // guarantees this before handing the view to a policy).
 func (v *View) SortJobs() {
-	sort.Slice(v.Jobs, func(i, j int) bool { return v.Jobs[i].ID < v.Jobs[j].ID })
+	// slices.SortFunc, not sort.Slice: this runs on every replan and the
+	// reflection-based swapper allocates.
+	slices.SortFunc(v.Jobs, func(a, b *JobView) int { return int(a.ID - b.ID) })
 }
 
 // Policy is a dynamic space-sharing processor allocation policy. The

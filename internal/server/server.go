@@ -6,8 +6,17 @@
 //	GET    /v1/runs/{id}        status, and the full result once done
 //	DELETE /v1/runs/{id}        cancel a queued or running simulation
 //	GET    /v1/runs/{id}/events server-sent lifecycle events
+//	POST   /v1/sweeps           submit a policy × mix × load × seed grid
+//	GET    /v1/sweeps           list known sweeps, newest first
+//	GET    /v1/sweeps/{id}      progress, and per-cell aggregates once done
+//	DELETE /v1/sweeps/{id}      cancel a sweep's remaining members
 //	GET    /healthz             liveness probe
 //	GET    /metrics             Prometheus text exposition
+//
+// A sweep expands into member runs that share the pool's PDPA-style
+// admission, result cache, and singleflight index with individually
+// submitted runs; each member's result uses the same Outcome JSON schema as
+// GET /v1/runs/{id}.
 //
 // Everything is stdlib net/http; the package has no third-party
 // dependencies.
@@ -39,6 +48,10 @@ func New(pool *runqueue.Pool) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleListSweeps)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -227,6 +240,116 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// SweepSubmitRequest is the POST /v1/sweeps payload: the grid plus an
+// optional per-member deadline in seconds.
+type SweepSubmitRequest struct {
+	runqueue.SweepSpec
+	// DeadlineS bounds each member run's total latency in seconds; 0 uses
+	// the pool's default.
+	DeadlineS float64 `json:"deadline_s,omitempty"`
+}
+
+// SweepSubmitResponse reports how the sweep was resolved.
+type SweepSubmitResponse struct {
+	ID     string   `json:"id"`
+	RunIDs []string `json:"run_ids"`
+	// CacheHits and Deduped count members served from the result cache or
+	// joined to in-flight identical runs instead of re-simulated.
+	CacheHits int `json:"cache_hits,omitempty"`
+	Deduped   int `json:"deduped,omitempty"`
+}
+
+// SweepView is the wire form of a sweep's status.
+type SweepView struct {
+	ID          string             `json:"id"`
+	State       string             `json:"state"`
+	Done        int                `json:"done"`
+	Total       int                `json:"total"`
+	SubmittedAt time.Time          `json:"submitted_at"`
+	Spec        runqueue.SweepSpec `json:"spec"`
+	RunIDs      []string           `json:"run_ids,omitempty"`
+	Errors      []string           `json:"errors,omitempty"`
+	// Cells holds per-cell aggregates (mean/stddev/95% CI over seed
+	// replicates) once every member is done.
+	Cells []runqueue.SweepCell `json:"cells,omitempty"`
+}
+
+func sweepViewOf(st runqueue.SweepStatus, includeDetail bool) SweepView {
+	v := SweepView{
+		ID:          st.ID,
+		State:       string(st.State),
+		Done:        st.Done,
+		Total:       st.Total,
+		SubmittedAt: st.Submitted,
+		Spec:        st.Spec,
+		Errors:      st.Errors,
+	}
+	if includeDetail {
+		v.RunIDs = st.RunIDs
+		v.Cells = st.Cells
+	}
+	return v
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepSubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.DeadlineS < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("negative deadline_s %v", req.DeadlineS))
+		return
+	}
+	res, err := s.pool.SubmitSweep(req.SweepSpec, time.Duration(req.DeadlineS*float64(time.Second)))
+	switch {
+	case errors.Is(err, runqueue.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, runqueue.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SweepSubmitResponse{
+		ID:        res.ID,
+		RunIDs:    res.RunIDs,
+		CacheHits: res.CacheHits,
+		Deduped:   res.Deduped,
+	})
+}
+
+func (s *Server) handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	stats := s.pool.Sweeps()
+	views := make([]SweepView, len(stats))
+	for i, st := range stats {
+		views[i] = sweepViewOf(st, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": views})
+}
+
+func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	st, err := s.pool.GetSweep(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepViewOf(st, true))
+}
+
+func (s *Server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
+	st, err := s.pool.CancelSweep(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepViewOf(st, false))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

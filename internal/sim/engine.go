@@ -111,6 +111,58 @@ func (e *Engine) After(d Time, name string, handler Handler) *Event {
 	return e.At(e.now+d, name, handler)
 }
 
+// Reschedule moves a still-pending event to time t, reusing its struct, and
+// reports whether it did. The event receives a fresh sequence number, so the
+// ordering among simultaneous events is exactly as if it had been cancelled
+// and scheduled anew. Returns false when ev is nil, already run, or
+// cancelled — the caller then schedules a fresh event with At. This is the
+// allocation-free path for the owner-reschedules-own-event pattern that
+// dominates the simulation (iteration-boundary events move on every
+// allocation change).
+func (e *Engine) Reschedule(ev *Event, t Time) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: rescheduling %q at %v before now %v", ev.name, t, e.now))
+	}
+	e.seq++
+	ev.when = t
+	ev.seq = e.seq
+	heap.Fix(&e.queue, ev.index)
+	return true
+}
+
+// ScheduleInto schedules handler at t, reusing ev's struct when ev is a
+// previously returned event that has already run or been cancelled. The
+// caller must hold the only reference to ev — recycling an event another
+// party still inspects would alias two logical events onto one struct. When
+// ev is nil or still pending a fresh event is allocated instead. Either way
+// the scheduled event is returned; the intended pattern is
+//
+//	r.ev = engine.ScheduleInto(r.ev, t, name, handler)
+//
+// for owners that re-arm the same conceptual event many times (iteration
+// boundaries, scheduler quanta).
+func (e *Engine) ScheduleInto(ev *Event, t Time, name string, handler Handler) *Event {
+	if ev == nil || ev.index >= 0 {
+		return e.At(t, name, handler)
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, t, e.now))
+	}
+	if handler == nil {
+		panic("sim: nil handler for event " + name)
+	}
+	e.seq++
+	ev.when = t
+	ev.seq = e.seq
+	ev.name = name
+	ev.handler = handler
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
 // Cancel removes a pending event. Cancelling a nil, already-run, or
 // already-cancelled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {

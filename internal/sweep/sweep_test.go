@@ -1,0 +1,211 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"pdpasim/internal/metrics"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/system"
+	"pdpasim/internal/workload"
+)
+
+// smallGrid keeps the tests fast: a short window and a small machine.
+func smallGrid() Config {
+	return Config{
+		Policies: []system.PolicyKind{system.PDPA, system.Equipartition},
+		Mixes:    []string{"w1"},
+		Loads:    []float64{1.0},
+		Seeds:    []int64{1, 2},
+		NCPU:     32,
+		Window:   60 * sim.Second,
+	}
+}
+
+// TestRunMatchesDirectSimulation proves the engine is a pure reorganization:
+// every grid point equals the same spec run directly through system.Run,
+// byte for byte, despite the shared memoized workload.
+func TestRunMatchesDirectSimulation(t *testing.T) {
+	cfg := smallGrid()
+	cfg.Workers = 4
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 4 || len(res.Runs) != 4 {
+		t.Fatalf("expected 4 tasks, got %d tasks / %d runs", len(res.Tasks), len(res.Runs))
+	}
+	for i, task := range res.Tasks {
+		mix, err := workload.MixByName(task.Mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := workload.Generate(workload.GenConfig{
+			Mix: mix, Load: task.Load, NCPU: cfg.NCPU, Window: cfg.Window, Seed: task.Seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := system.Run(system.Config{Workload: w, Policy: task.Policy, Seed: task.Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := json.Marshal(direct.ToExport())
+		got, _ := json.Marshal(res.Runs[i])
+		if string(want) != string(got) {
+			t.Fatalf("task %d (%s/%s/seed %d): sweep result differs from direct run",
+				i, task.Policy, task.Mix, task.Seed)
+		}
+	}
+}
+
+// TestDeterministicAcrossWorkers is the engine's core guarantee: the
+// serialized result must be byte-identical no matter how many workers
+// executed the grid.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	var baseline []byte
+	for _, workers := range []int{1, 2, 4} {
+		cfg := smallGrid()
+		cfg.Workers = workers
+		res, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.Marshal(struct {
+			Tasks []Task
+			Runs  []metrics.Export
+			Cells []Cell
+		}{res.Tasks, res.Runs, res.Cells})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = out
+			continue
+		}
+		if string(out) != string(baseline) {
+			t.Fatalf("workers=%d produced different bytes than workers=1", workers)
+		}
+	}
+}
+
+// TestCancellationMidGrid cancels from the first progress callback and
+// expects the sweep to abort in-flight simulations and report cancellation.
+func TestCancellationMidGrid(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := smallGrid()
+	cfg.Seeds = []int64{1, 2, 3, 4}
+	cfg.Workers = 2
+	var fired atomic.Int32
+	cfg.Progress = func(p Progress) {
+		if fired.Add(1) == 1 {
+			cancel()
+		}
+	}
+	res, err := Run(ctx, cfg)
+	if res != nil {
+		t.Fatal("cancelled sweep returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}
+
+func TestProgressCounts(t *testing.T) {
+	cfg := smallGrid()
+	cfg.Workers = 3
+	var runsSeen, cellsSeen atomic.Int32
+	var lastDone, lastCells atomic.Int32
+	cfg.Progress = func(p Progress) {
+		runsSeen.Add(1)
+		if p.CellDone {
+			cellsSeen.Add(1)
+		}
+		if p.Done == p.Total {
+			lastDone.Store(int32(p.Done))
+			lastCells.Store(int32(p.CellsDone))
+		}
+	}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := runsSeen.Load(); got != 4 {
+		t.Fatalf("progress fired %d times, want 4", got)
+	}
+	if got := cellsSeen.Load(); got != 2 {
+		t.Fatalf("saw %d completed cells, want 2", got)
+	}
+	if lastDone.Load() != 4 || lastCells.Load() != 2 {
+		t.Fatalf("final progress reported %d/%d done, %d cells", lastDone.Load(), 4, lastCells.Load())
+	}
+}
+
+func TestResultLookup(t *testing.T) {
+	cfg := smallGrid()
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Run(system.PDPA, "w1", 1.0, 2); r == nil {
+		t.Fatal("grid point missing from lookup")
+	} else if r.Policy != "PDPA" {
+		t.Fatalf("lookup returned wrong run: %s", r.Policy)
+	}
+	if r := res.Run(system.IRIX, "w1", 1.0, 2); r != nil {
+		t.Fatal("lookup invented a run outside the grid")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := smallGrid()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no policies", func(c *Config) { c.Policies = nil }},
+		{"no mixes", func(c *Config) { c.Mixes = nil }},
+		{"unknown mix", func(c *Config) { c.Mixes = []string{"w9"} }},
+		{"negative load", func(c *Config) { c.Loads = []float64{-0.5} }},
+		{"negative ncpu", func(c *Config) { c.NCPU = -1 }},
+		{"negative window", func(c *Config) { c.Window = -sim.Second }},
+		{"negative uniform request", func(c *Config) { c.UniformRequest = -1 }},
+		{"negative mpl", func(c *Config) { c.FixedMPL = -2 }},
+		{"negative numa node size", func(c *Config) { c.NUMANodeSize = -4 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := Run(context.Background(), cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	runs := []metrics.Export{
+		{MakespanS: 100, AvgMPL: 2, MaxMPL: 3, Util: 0.5, Migrations: 10, AvgBurstMS: 50,
+			Response: map[string]float64{"swim": 10}, Execution: map[string]float64{"swim": 8}},
+		{MakespanS: 110, AvgMPL: 4, MaxMPL: 5, Util: 0.7, Migrations: 20, AvgBurstMS: 70,
+			Response: map[string]float64{"swim": 20}, Execution: map[string]float64{"swim": 12}},
+	}
+	c := Summarize("pdpa", "w1", 1.0, []int64{1, 2}, runs)
+	if c.Makespan.N != 2 || c.Makespan.Mean != 105 {
+		t.Fatalf("makespan aggregate wrong: %+v", c.Makespan)
+	}
+	if math.Abs(c.Makespan.Stddev-math.Sqrt(50)) > 1e-9 {
+		t.Fatalf("makespan stddev wrong: %v", c.Makespan.Stddev)
+	}
+	if c.Response["swim"].Mean != 15 || c.Execution["swim"].Mean != 10 {
+		t.Fatalf("per-app aggregates wrong: %+v / %+v", c.Response, c.Execution)
+	}
+	if c.Makespan.CI95 <= 0 {
+		t.Fatal("CI95 not computed")
+	}
+}

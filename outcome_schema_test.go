@@ -1,0 +1,93 @@
+package pdpasim
+
+// The OutcomeJSON schema is shared by Outcome.WriteJSON, the pdpad daemon's
+// /v1/runs result field, and sweep run exports. The golden file pins both
+// the field set and the byte-level encoding: a change here is an API break
+// for daemon clients and invalidates cached results, so it must be
+// deliberate. Regenerate with: go test -run TestOutcomeSchemaGolden -update
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestOutcomeSchemaGolden(t *testing.T) {
+	spec := WorkloadSpec{Mix: "w1", Load: 1.0, NCPU: 32, Window: 60 * time.Second, Seed: 1}
+	out, err := RunContext(context.Background(), spec, Options{Policy: PDPA, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "outcome_schema.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Outcome JSON schema drifted from %s — if the change is deliberate, "+
+			"regenerate with -update and flag the API break", golden)
+	}
+
+	// Export must be the same value WriteJSON serializes: one schema, two
+	// access paths.
+	viaExport, err := json.MarshalIndent(out.Export(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(buf.Bytes()), bytes.TrimSpace(viaExport)) {
+		t.Fatal("Outcome.Export and Outcome.WriteJSON disagree")
+	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range ExtendedPolicies() {
+		parsed, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("ParsePolicy rejected canonical name %q: %v", p, err)
+		}
+		if parsed != p {
+			t.Fatalf("round trip changed %q to %q", p, parsed)
+		}
+		// JSON round trip via MarshalText/UnmarshalText.
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Policy
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != p {
+			t.Fatalf("JSON round trip changed %q to %q", p, back)
+		}
+	}
+	if _, err := ParsePolicy("  PDPA \n"); err != nil {
+		t.Fatalf("ParsePolicy is not case/space tolerant: %v", err)
+	}
+	if _, err := ParsePolicy("robin"); err == nil {
+		t.Fatal("ParsePolicy accepted an unknown name")
+	}
+	var p Policy
+	if err := json.Unmarshal([]byte(`"robin"`), &p); err == nil {
+		t.Fatal("UnmarshalText accepted an unknown name")
+	}
+	if _, err := json.Marshal(Policy("robin")); err == nil {
+		t.Fatal("MarshalText serialized an unknown policy")
+	}
+}

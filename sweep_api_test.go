@@ -1,0 +1,168 @@
+package pdpasim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testSweepSpec() SweepSpec {
+	return SweepSpec{
+		Policies: []Policy{PDPA, Equipartition},
+		Mixes:    []string{"w1"},
+		Loads:    []float64{1.0},
+		Seeds:    []int64{1, 2},
+		NCPU:     32,
+		Window:   60 * time.Second,
+		Workers:  2,
+	}
+}
+
+func TestSweepCells(t *testing.T) {
+	res, err := Sweep(context.Background(), testSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("expected 2 cells, got %d", len(res.Cells))
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("expected 4 runs, got %d", len(res.Runs))
+	}
+	c := res.Cell(PDPA, "w1", 1.0)
+	if c == nil {
+		t.Fatal("PDPA cell missing")
+	}
+	if c.Makespan.N != 2 {
+		t.Fatalf("cell aggregates %d replicates, want 2", c.Makespan.N)
+	}
+	if c.Makespan.Mean <= 0 || c.Utilization.Mean <= 0 {
+		t.Fatalf("degenerate aggregates: %+v", c)
+	}
+	if len(c.Response) == 0 || len(c.Execution) == 0 {
+		t.Fatal("per-app aggregates missing")
+	}
+	if res.Cell(IRIX, "w1", 1.0) != nil {
+		t.Fatal("lookup invented a cell outside the grid")
+	}
+	// Each run carries the same schema as a single-run Outcome export.
+	if res.Runs[0].Policy == "" || res.Runs[0].MakespanS <= 0 {
+		t.Fatalf("run export malformed: %+v", res.Runs[0])
+	}
+}
+
+func TestSweepWriteCSVAndJSON(t *testing.T) {
+	res, err := Sweep(context.Background(), testSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := res.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if !strings.HasPrefix(lines[0], "policy,mix,load,n,app,response_s_mean") {
+		t.Fatalf("unexpected CSV header: %s", lines[0])
+	}
+	// 2 cells × per-app rows (w1 has at least one application class).
+	if len(lines) < 3 {
+		t.Fatalf("CSV too short: %d lines", len(lines))
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := res.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Cells []CellResult  `json:"cells"`
+		Runs  []OutcomeJSON `json:"runs"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Cells) != 2 || len(decoded.Runs) != 4 {
+		t.Fatalf("JSON round-trip lost data: %d cells, %d runs", len(decoded.Cells), len(decoded.Runs))
+	}
+	if res.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+// TestSweepCancellationMidGrid aborts a sweep from its own progress callback
+// and expects prompt cancellation, not a completed grid.
+func TestSweepCancellationMidGrid(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	spec := testSweepSpec()
+	spec.Seeds = []int64{1, 2, 3, 4}
+	var first atomic.Bool
+	spec.Progress = func(p SweepProgress) {
+		if first.CompareAndSwap(false, true) {
+			cancel()
+		}
+	}
+	res, err := Sweep(ctx, spec)
+	if res != nil {
+		t.Fatal("cancelled sweep returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}
+
+func TestSweepProgressIdentifiesRuns(t *testing.T) {
+	spec := testSweepSpec()
+	var total atomic.Int32
+	var sawPDPA atomic.Bool
+	spec.Progress = func(p SweepProgress) {
+		total.Add(1)
+		if p.Policy == PDPA && p.Mix == "w1" {
+			sawPDPA.Store(true)
+		}
+		if p.Total != 4 || p.Cells != 2 {
+			t.Errorf("progress totals wrong: %+v", p)
+		}
+	}
+	if _, err := Sweep(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 4 || !sawPDPA.Load() {
+		t.Fatalf("progress fired %d times (sawPDPA=%v)", total.Load(), sawPDPA.Load())
+	}
+}
+
+func TestSweepSpecValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*SweepSpec)
+	}{
+		{"no policies", func(s *SweepSpec) { s.Policies = nil }},
+		{"unknown policy", func(s *SweepSpec) { s.Policies = []Policy{"robin"} }},
+		{"no mixes", func(s *SweepSpec) { s.Mixes = nil }},
+		{"unknown mix", func(s *SweepSpec) { s.Mixes = []string{"w17"} }},
+		{"negative load", func(s *SweepSpec) { s.Loads = []float64{-1} }},
+		{"negative ncpu", func(s *SweepSpec) { s.NCPU = -60 }},
+		{"negative window", func(s *SweepSpec) { s.Window = -time.Second }},
+		{"negative uniform request", func(s *SweepSpec) { s.UniformRequest = -30 }},
+		{"inconsistent pdpa params", func(s *SweepSpec) {
+			s.PDPA = PDPAParams{TargetEff: 0.9, HighEff: 0.5, Step: 4, BaseMPL: 4}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := testSweepSpec()
+			tc.mutate(&spec)
+			if err := spec.Validate(); err == nil {
+				t.Fatal("invalid spec accepted by Validate")
+			}
+			if _, err := Sweep(context.Background(), spec); err == nil {
+				t.Fatal("invalid spec accepted by Sweep")
+			}
+		})
+	}
+}
