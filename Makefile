@@ -1,0 +1,25 @@
+# Convenience targets; everything is plain go tooling underneath.
+
+.PHONY: build test vet bench bench-gate
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Run the gated benchmark suite with -benchmem, capture pprof profiles into
+# bench-artifacts/, and record a BENCH_<date>.json trajectory point.
+# Knobs: BENCH_COUNT, BENCH_TIME, BENCH_PHASE, BENCH_JSON (see scripts/bench.sh).
+bench:
+	./scripts/bench.sh
+
+# Compare a fresh run against the most recent committed trajectory point.
+# Fails on significant regression (loose on ns/op, tight on allocs/op).
+bench-gate: bench
+	go run ./cmd/benchgate compare \
+		-baseline $$(ls BENCH_*.json | sort | tail -n 1) \
+		bench-artifacts/bench.txt

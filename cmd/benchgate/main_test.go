@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: pdpasim
+cpu: Intel(R) Xeon(R) Platinum 8481C CPU @ 2.70GHz
+BenchmarkSingleRunPDPA-2   	      79	  24639637 ns/op	 1282843 B/op	    4784 allocs/op
+BenchmarkSingleRunPDPA-2   	      51	  21619448 ns/op	 1282865 B/op	    4784 allocs/op
+BenchmarkSingleRunPDPA-2   	      48	  28622553 ns/op	 1282948 B/op	    4784 allocs/op
+BenchmarkSingleRunIRIX-2   	      28	  37372468 ns/op	  769923 B/op	    1294 allocs/op
+BenchmarkSweep/workers=2-2 	       4	 293192625 ns/op
+PASS
+ok  	pdpasim	15.405s
+`
+
+func TestParseBench(t *testing.T) {
+	results, cpu, goEnv := parseBench(strings.NewReader(sampleOutput))
+	if cpu == "" || !strings.Contains(cpu, "Xeon") {
+		t.Errorf("cpu = %q, want Xeon line", cpu)
+	}
+	if goEnv != "linux/amd64" {
+		t.Errorf("goEnv = %q", goEnv)
+	}
+	pdpa, ok := results["SingleRunPDPA"]
+	if !ok {
+		t.Fatalf("SingleRunPDPA missing: %v", results)
+	}
+	if pdpa.Samples != 3 {
+		t.Errorf("samples = %d, want 3", pdpa.Samples)
+	}
+	// Median of {24639637, 21619448, 28622553}.
+	if pdpa.NsPerOp != 24639637 {
+		t.Errorf("ns/op = %v, want median 24639637", pdpa.NsPerOp)
+	}
+	// Max B/op across samples.
+	if pdpa.BytesPerOp != 1282948 {
+		t.Errorf("B/op = %v, want max 1282948", pdpa.BytesPerOp)
+	}
+	if pdpa.AllocsPerOp != 4784 {
+		t.Errorf("allocs/op = %v", pdpa.AllocsPerOp)
+	}
+	// Sub-benchmarks keep their full name; no -benchmem columns is fine.
+	sweep, ok := results["Sweep/workers=2"]
+	if !ok {
+		t.Fatalf("Sweep/workers=2 missing: %v", results)
+	}
+	if sweep.NsPerOp != 293192625 || sweep.AllocsPerOp != 0 {
+		t.Errorf("sweep = %+v", sweep)
+	}
+	if _, ok := results["SingleRunIRIX"]; !ok {
+		t.Errorf("SingleRunIRIX missing")
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Errorf("median(nil) = %v", got)
+	}
+}

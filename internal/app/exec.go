@@ -41,6 +41,15 @@ type Execution struct {
 // MeasurementOverhead) if instrumented is true, starting stopped (rate 0) at
 // time start.
 func NewExecution(prof *Profile, instrumented bool, start sim.Time) *Execution {
+	e := new(Execution)
+	InitExecution(e, prof, instrumented, start)
+	return e
+}
+
+// InitExecution initializes e in place — the allocation-free variant of
+// NewExecution for callers that embed an Execution by value. Any previous
+// state of e is discarded.
+func InitExecution(e *Execution, prof *Profile, instrumented bool, start sim.Time) {
 	if err := prof.Validate(); err != nil {
 		panic(err)
 	}
@@ -48,7 +57,7 @@ func NewExecution(prof *Profile, instrumented bool, start sim.Time) *Execution {
 	if instrumented {
 		work = sim.Time(float64(work) * (1 + prof.MeasurementOverhead))
 	}
-	return &Execution{
+	*e = Execution{
 		prof:      prof,
 		iterWork:  work,
 		lastTime:  start,

@@ -91,6 +91,12 @@ type Profile struct {
 	// redistribution on the CC-NUMA machine).
 	ReallocPenalty sim.Time
 
+	// IterEventName optionally names the engine event for the application's
+	// iteration boundaries ("<name>/iter"). Runtimes fall back to building
+	// the string per instance when empty; the built-in profiles precompute it
+	// because one is armed for every job start.
+	IterEventName string
+
 	// LoopSignature is the sequence of parallel-loop identifiers executed by
 	// one outer iteration, used by the Dynamic Periodicity Detector when
 	// monitoring binary-only applications.
@@ -213,10 +219,32 @@ var (
 	)
 )
 
-// Profiles returns the calibrated profile for each application class.
-// The returned profile is a fresh copy; callers may adjust Request (the
-// untuned experiments of Tables 3 and 4 set every request to 30).
+// profiles holds the calibrated singleton for each built-in class, built
+// once at package init. ProfileFor hands these out directly — a fresh copy
+// per call would put two allocations (profile + loop signature) on every
+// job start.
+var profiles [NumClasses]*Profile
+
+func init() {
+	for c := Class(0); c < numClasses; c++ {
+		p := newProfile(c)
+		p.IterEventName = p.Name + "/iter"
+		profiles[c] = p
+	}
+}
+
+// ProfileFor returns the calibrated profile for an application class. The
+// returned profile is shared and read-only: callers that need to vary a
+// field (the untuned experiments of Tables 3 and 4 override per-job
+// requests) must copy the struct first.
 func ProfileFor(c Class) *Profile {
+	if c >= 0 && c < numClasses {
+		return profiles[c]
+	}
+	return newProfile(c) // panics with the class number
+}
+
+func newProfile(c Class) *Profile {
 	var p Profile
 	switch c {
 	case Swim:

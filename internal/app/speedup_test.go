@@ -190,12 +190,12 @@ func TestProfileValidate(t *testing.T) {
 			t.Errorf("profile %v invalid: %v", c, err)
 		}
 	}
-	bad := ProfileFor(Swim)
+	bad := *ProfileFor(Swim) // ProfileFor returns shared singletons; copy before mutating
 	bad.Iterations = 0
 	if bad.Validate() == nil {
 		t.Fatal("zero iterations accepted")
 	}
-	bad = ProfileFor(Swim)
+	bad = *ProfileFor(Swim)
 	bad.BaselineIterations = bad.Iterations
 	if bad.Validate() == nil {
 		t.Fatal("baseline >= iterations accepted")

@@ -16,11 +16,19 @@
 //
 // All bookkeeping flows into a trace.Recorder, from which Table 2's
 // stability metrics and Fig. 5's execution views are derived.
+//
+// The machine sits on the per-quantum hot path of every simulated run
+// (~3000 quanta × 60 CPUs for a 300-second IRIX run), so its state is held
+// in dense, profile-chosen structures rather than maps: per-job slice-backed
+// thread-affinity tables (job ids are dense small integers assigned by the
+// workload generator), a uint64 bitset of free CPUs with an incrementally
+// maintained free count, and per-job quantum migration counters cleared via
+// a touched list.
 package machine
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"pdpasim/internal/sim"
 	"pdpasim/internal/trace"
@@ -28,6 +36,9 @@ import (
 
 // Free marks an unowned CPU.
 const Free = -1
+
+// noCPU marks a thread that has never run in the affinity tables.
+const noCPU = -1
 
 // ThreadID identifies one kernel thread of one job.
 type ThreadID struct {
@@ -37,20 +48,48 @@ type ThreadID struct {
 
 // Machine is the multiprocessor model. Create with New.
 type Machine struct {
-	ncpu    int
-	owner   []int         // job owning each CPU (space sharing), Free if none
-	jobCPUs map[int][]int // CPU list per job; thread i runs on jobCPUs[job][i]
-	lastCPU map[ThreadID]int
+	ncpu  int
+	owner []int // job owning each CPU (space sharing), Free if none
+	// nfree is the incrementally maintained count of Free entries in owner,
+	// so FreeCPUs never scans.
+	nfree int
+	// freeMask is the bitset mirror of owner (bit set = CPU free), so
+	// pickFreeCPUs walks set bits instead of scanning all owners.
+	freeMask []uint64
+	// jobCPUs is the CPU list per job, indexed by job id (dense, assigned by
+	// the workload generator); thread i runs on jobCPUs[job][i]. A nil or
+	// empty entry means the job owns nothing.
+	jobCPUs [][]int
+	// aff is the per-job thread-affinity table: aff[job][thread] is the CPU
+	// the thread last ran on, noCPU if it never ran. Replacing the former
+	// map[ThreadID]int makes Release/ForgetThreads O(1) per job instead of
+	// O(all threads), and the per-placement lookups index two slices instead
+	// of hashing a 16-byte key.
+	aff [][]int32
+	// affPool and cpuPool recycle detached per-job tables (every entry has
+	// capacity >= ncpu), so a stream of short jobs reuses a handful of
+	// tables instead of allocating one per job.
+	affPool [][]int32
+	cpuPool [][]int
 	rec     *trace.Recorder
 	// numaNodeSize groups CPUs into NUMA nodes (see SetNodeSize); <= 1
 	// means a flat SMP.
 	numaNodeSize int
 
-	// quantumSeen and quantumMigs are PlaceQuantum scratch state: the method
-	// runs every time-sharing quantum, so its bookkeeping is reused rather
-	// than reallocated.
-	quantumSeen []bool
-	quantumMigs map[int]int
+	// quantumSeen is PlaceQuantum scratch: a bitset of CPUs mentioned this
+	// quantum. migCount/migTouched hold this quantum's per-job migration
+	// counts, cleared via the touched list so an idle quantum clears nothing.
+	quantumSeen []uint64
+	migCount    []int32
+	migTouched  []int32
+
+	// pickScratch buffers for the NUMA pickFreeCPUs path, reused across
+	// calls.
+	pickOut     []int
+	nodeFree    [][]int
+	nodeFreeMem []int
+	nodeOrder   []int
+	nodeOwned   []bool
 }
 
 // New returns a machine with ncpu processors, all free. The recorder may be
@@ -63,14 +102,20 @@ func New(ncpu int, rec *trace.Recorder) *Machine {
 		panic("machine: recorder CPU count mismatch")
 	}
 	m := &Machine{
-		ncpu:    ncpu,
-		owner:   make([]int, ncpu),
-		jobCPUs: make(map[int][]int),
-		lastCPU: make(map[ThreadID]int),
-		rec:     rec,
+		ncpu:     ncpu,
+		owner:    make([]int, ncpu),
+		nfree:    ncpu,
+		freeMask: make([]uint64, (ncpu+63)/64),
+		rec:      rec,
 	}
 	for i := range m.owner {
 		m.owner[i] = Free
+	}
+	for i := range m.freeMask {
+		m.freeMask[i] = ^uint64(0)
+	}
+	if tail := ncpu % 64; tail != 0 {
+		m.freeMask[len(m.freeMask)-1] = (uint64(1) << tail) - 1
 	}
 	return m
 }
@@ -79,37 +124,123 @@ func New(ncpu int, rec *trace.Recorder) *Machine {
 func (m *Machine) NCPU() int { return m.ncpu }
 
 // FreeCPUs returns how many CPUs are currently unowned.
-func (m *Machine) FreeCPUs() int {
-	n := 0
-	for _, o := range m.owner {
-		if o == Free {
-			n++
-		}
-	}
-	return n
-}
+func (m *Machine) FreeCPUs() int { return m.nfree }
 
 // Owner returns the job owning cpu, or Free.
 func (m *Machine) Owner(cpu int) int { return m.owner[cpu] }
 
-// Allocated returns the number of CPUs job currently owns.
-func (m *Machine) Allocated(job int) int { return len(m.jobCPUs[job]) }
+// setOwner records cpu's new owner (job or Free), keeping the free count and
+// the free bitset in sync with the owner array.
+func (m *Machine) setOwner(cpu, job int) {
+	prev := m.owner[cpu]
+	if prev == job {
+		return
+	}
+	m.owner[cpu] = job
+	if prev == Free {
+		m.nfree--
+		m.freeMask[cpu>>6] &^= uint64(1) << (cpu & 63)
+	} else if job == Free {
+		m.nfree++
+		m.freeMask[cpu>>6] |= uint64(1) << (cpu & 63)
+	}
+}
 
-// CPUs returns a copy of the CPU list owned by job, in thread order.
+// ensureJob grows the per-job tables to cover job.
+func (m *Machine) ensureJob(job int) {
+	if job < len(m.jobCPUs) {
+		return
+	}
+	for len(m.jobCPUs) <= job {
+		m.jobCPUs = append(m.jobCPUs, nil)
+	}
+	for len(m.aff) <= job {
+		m.aff = append(m.aff, nil)
+	}
+	for len(m.migCount) <= job {
+		m.migCount = append(m.migCount, 0)
+	}
+}
+
+// affSlot returns a pointer to the affinity entry for tid, growing the job's
+// table as threads appear. New tables come from the pool when possible and
+// carry at least ncpu capacity, so a job's table is allocated (or recycled)
+// once regardless of how its thread count evolves.
+func (m *Machine) affSlot(tid ThreadID) *int32 {
+	m.ensureJob(tid.Job)
+	table := m.aff[tid.Job]
+	if cap(table) <= tid.Thread {
+		var grown []int32
+		if n := len(m.affPool); n > 0 {
+			cand := m.affPool[n-1]
+			m.affPool = m.affPool[:n-1]
+			if cap(cand) > tid.Thread {
+				grown = cand[:0]
+			}
+		}
+		if grown == nil {
+			c := m.ncpu
+			if c <= tid.Thread {
+				c = tid.Thread + 1
+			}
+			grown = make([]int32, 0, c)
+		}
+		table = append(grown, table...)
+	}
+	for len(table) <= tid.Thread {
+		table = append(table, noCPU)
+	}
+	m.aff[tid.Job] = table
+	return &table[tid.Thread]
+}
+
+// recycleAff detaches job's affinity table into the pool.
+func (m *Machine) recycleAff(job int) {
+	if t := m.aff[job]; cap(t) > 0 {
+		m.affPool = append(m.affPool, t[:0])
+	}
+	m.aff[job] = nil
+}
+
+// Allocated returns the number of CPUs job currently owns.
+func (m *Machine) Allocated(job int) int {
+	if job < 0 || job >= len(m.jobCPUs) {
+		return 0
+	}
+	return len(m.jobCPUs[job])
+}
+
+// CPUs returns a copy of the CPU list owned by job, in thread order. The
+// copy is the caller's to keep; use CPUsView on hot paths that only read.
 func (m *Machine) CPUs(job int) []int {
-	cur := m.jobCPUs[job]
+	cur := m.cpusOf(job)
 	out := make([]int, len(cur))
 	copy(out, cur)
 	return out
 }
 
+// CPUsView returns the CPU list owned by job, in thread order, WITHOUT
+// copying: the returned slice aliases the machine's internal state and is
+// valid only until the next Resize/Release/PlaceQuantum call. Callers must
+// not modify or retain it. It exists for per-tick read-only loops (the
+// memory model's locality accounting); everything else should use CPUs.
+func (m *Machine) CPUsView(job int) []int { return m.cpusOf(job) }
+
+func (m *Machine) cpusOf(job int) []int {
+	if job < 0 || job >= len(m.jobCPUs) {
+		return nil
+	}
+	return m.jobCPUs[job]
+}
+
 // Jobs returns the ids of all jobs owning at least one CPU, sorted.
 func (m *Machine) Jobs() []int {
-	out := make([]int, 0, len(m.jobCPUs))
-	for j := range m.jobCPUs {
-		out = append(out, j)
+	var out []int
+	for j, cpus := range m.jobCPUs {
+		if len(cpus) > 0 {
+			out = append(out, j)
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -125,6 +256,7 @@ func (m *Machine) Resize(t sim.Time, job, want int) int {
 	if want < 0 {
 		want = 0
 	}
+	m.ensureJob(job)
 	cur := m.jobCPUs[job]
 	switch {
 	case want < len(cur):
@@ -138,29 +270,43 @@ func (m *Machine) Resize(t sim.Time, job, want int) int {
 func (m *Machine) shrink(t sim.Time, job, want int) {
 	cur := m.jobCPUs[job]
 	for _, cpu := range cur[want:] {
-		m.owner[cpu] = Free
+		m.setOwner(cpu, Free)
 		if m.rec != nil {
 			m.rec.Assign(t, cpu, trace.NoJob)
 		}
-	}
-	if want == 0 {
-		delete(m.jobCPUs, job)
-		return
 	}
 	m.jobCPUs[job] = cur[:want]
 }
 
 func (m *Machine) grow(t sim.Time, job, want int) {
 	cur := m.jobCPUs[job]
+	if cap(cur) < want {
+		var grown []int
+		if n := len(m.cpuPool); n > 0 {
+			cand := m.cpuPool[n-1]
+			m.cpuPool = m.cpuPool[:n-1]
+			if cap(cand) >= want {
+				grown = cand[:0]
+			}
+		}
+		if grown == nil {
+			c := m.ncpu
+			if c < want {
+				c = want
+			}
+			grown = make([]int, 0, c)
+		}
+		cur = append(grown, cur...)
+	}
 	for _, cpu := range m.pickFreeCPUs(job, want-len(cur)) {
-		thread := ThreadID{Job: job, Thread: len(cur)}
-		m.owner[cpu] = job
-		if last, ok := m.lastCPU[thread]; ok && last != cpu {
+		slot := m.affSlot(ThreadID{Job: job, Thread: len(cur)})
+		m.setOwner(cpu, job)
+		if last := *slot; last != noCPU && int(last) != cpu {
 			if m.rec != nil {
 				m.rec.Migration()
 			}
 		}
-		m.lastCPU[thread] = cpu
+		*slot = int32(cpu)
 		if m.rec != nil {
 			m.rec.Assign(t, cpu, job)
 		}
@@ -169,14 +315,17 @@ func (m *Machine) grow(t sim.Time, job, want int) {
 	m.jobCPUs[job] = cur
 }
 
-// Release frees every CPU owned by job (job completion).
+// Release frees every CPU owned by job (job completion). Thread-affinity
+// memory is dropped in O(1): the job's table is detached whole, not scanned
+// entry by entry.
 func (m *Machine) Release(t sim.Time, job int) {
+	m.ensureJob(job)
 	m.shrink(t, job, 0)
-	for tid := range m.lastCPU {
-		if tid.Job == job {
-			delete(m.lastCPU, tid)
-		}
+	if c := m.jobCPUs[job]; cap(c) > 0 {
+		m.cpuPool = append(m.cpuPool, c[:0])
 	}
+	m.jobCPUs[job] = nil
+	m.recycleAff(job)
 }
 
 // Placement is one per-quantum decision in time-sharing mode: thread Thread
@@ -187,63 +336,103 @@ type Placement struct {
 }
 
 // PlaceQuantum applies a full time-sharing placement for the quantum starting
-// at t and returns the number of thread migrations it caused per job. CPUs
-// not mentioned become idle. Placing a thread on a CPU different from its
-// previous one counts a migration. PlaceQuantum must not be mixed with
-// Resize ownership on the same machine instance. The returned map is reused
-// scratch state, valid only until the next PlaceQuantum call.
-func (m *Machine) PlaceQuantum(t sim.Time, placements []Placement) map[int]int {
+// at t. CPUs not mentioned become idle. Placing a thread on a CPU different
+// from its previous one counts a migration; the per-job counts for the
+// quantum are readable through QuantumMigrations until the next PlaceQuantum
+// call. PlaceQuantum must not be mixed with Resize ownership on the same
+// machine instance. Job ids must be non-negative.
+//
+// Unchanged ownership does not reach the trace recorder at all: the owner
+// array acts as the run-length encoder for the per-CPU assignment stream, so
+// the IRIX model's one-placement-per-CPU-per-quantum firehose collapses to
+// actual ownership changes.
+func (m *Machine) PlaceQuantum(t sim.Time, placements []Placement) {
 	if m.quantumSeen == nil {
-		m.quantumSeen = make([]bool, m.ncpu)
-		m.quantumMigs = make(map[int]int)
+		m.quantumSeen = make([]uint64, len(m.freeMask))
 	}
 	seen := m.quantumSeen
 	clear(seen)
-	migs := m.quantumMigs
-	clear(migs)
+	// Reset only the migration counters the previous quantum touched.
+	for _, job := range m.migTouched {
+		m.migCount[job] = 0
+	}
+	m.migTouched = m.migTouched[:0]
 	for _, p := range placements {
 		if p.CPU < 0 || p.CPU >= m.ncpu {
 			panic(fmt.Sprintf("machine: placement CPU %d out of range", p.CPU))
 		}
-		if seen[p.CPU] {
+		if p.Thread.Job < 0 {
+			panic(fmt.Sprintf("machine: negative job id %d in placement", p.Thread.Job))
+		}
+		w, b := p.CPU>>6, uint64(1)<<(p.CPU&63)
+		if seen[w]&b != 0 {
 			panic(fmt.Sprintf("machine: CPU %d placed twice in one quantum", p.CPU))
 		}
-		seen[p.CPU] = true
-		if last, ok := m.lastCPU[p.Thread]; ok && last != p.CPU {
-			migs[p.Thread.Job]++
+		seen[w] |= b
+		slot := m.affSlot(p.Thread)
+		if last := *slot; last != noCPU && int(last) != p.CPU {
+			if m.migCount[p.Thread.Job] == 0 {
+				m.migTouched = append(m.migTouched, int32(p.Thread.Job))
+			}
+			m.migCount[p.Thread.Job]++
 			if m.rec != nil {
 				m.rec.Migration()
 			}
 		}
-		m.lastCPU[p.Thread] = p.CPU
-		m.owner[p.CPU] = p.Thread.Job
-		if m.rec != nil {
-			m.rec.Assign(t, p.CPU, p.Thread.Job)
+		*slot = int32(p.CPU)
+		if m.owner[p.CPU] != p.Thread.Job {
+			m.setOwner(p.CPU, p.Thread.Job)
+			if m.rec != nil {
+				m.rec.Assign(t, p.CPU, p.Thread.Job)
+			}
 		}
 	}
-	for cpu := 0; cpu < m.ncpu; cpu++ {
-		if !seen[cpu] && m.owner[cpu] != Free {
-			m.owner[cpu] = Free
+	// Idle every owned CPU the placement did not mention: walk the set bits
+	// of owned-and-unseen instead of scanning all CPUs.
+	for w := range seen {
+		idle := ^m.freeMask[w] &^ seen[w]
+		if w == len(seen)-1 {
+			if tail := m.ncpu % 64; tail != 0 {
+				idle &= (uint64(1) << tail) - 1
+			}
+		}
+		for idle != 0 {
+			cpu := w<<6 + bits.TrailingZeros64(idle)
+			idle &= idle - 1
+			m.setOwner(cpu, Free)
 			if m.rec != nil {
 				m.rec.Assign(t, cpu, trace.NoJob)
 			}
 		}
 	}
-	return migs
+}
+
+// QuantumMigrations returns how many thread migrations job suffered in the
+// placement applied by the most recent PlaceQuantum call.
+func (m *Machine) QuantumMigrations(job int) int {
+	if job < 0 || job >= len(m.migCount) {
+		return 0
+	}
+	return int(m.migCount[job])
 }
 
 // ForgetThreads drops thread-affinity memory for job (used when a job exits
-// in time-sharing mode).
+// in time-sharing mode). O(1): the per-job table is detached whole.
 func (m *Machine) ForgetThreads(job int) {
-	for tid := range m.lastCPU {
-		if tid.Job == job {
-			delete(m.lastCPU, tid)
-		}
+	if job < 0 || job >= len(m.aff) {
+		return
 	}
+	m.recycleAff(job)
 }
 
 // LastCPU returns the CPU thread last ran on and whether it has run.
 func (m *Machine) LastCPU(tid ThreadID) (int, bool) {
-	cpu, ok := m.lastCPU[tid]
-	return cpu, ok
+	if tid.Job < 0 || tid.Job >= len(m.aff) {
+		return 0, false
+	}
+	table := m.aff[tid.Job]
+	if tid.Thread < 0 || tid.Thread >= len(table) || table[tid.Thread] == noCPU {
+		return 0, false
+	}
+	return int(table[tid.Thread]), true
 }

@@ -1,6 +1,9 @@
 package machine
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // NUMA topology support. The paper's testbed is an SGI Origin 2000, a
 // CC-NUMA machine built from node boards of a few processors each; data
@@ -47,7 +50,7 @@ func (m *Machine) Nodes() int { return (m.ncpu + m.nodeSize() - 1) / m.nodeSize(
 // NodeSpan returns how many NUMA nodes job's partition touches.
 func (m *Machine) NodeSpan(job int) int {
 	seen := map[int]bool{}
-	for _, cpu := range m.jobCPUs[job] {
+	for _, cpu := range m.cpusOf(job) {
 		seen[m.NodeOf(cpu)] = true
 	}
 	return len(seen)
@@ -58,7 +61,7 @@ func (m *Machine) NodeSpan(job int) int {
 // (1 = perfectly compact, smaller = fragmented). Jobs with no processors
 // score 1.
 func (m *Machine) Locality(job int) float64 {
-	n := len(m.jobCPUs[job])
+	n := len(m.cpusOf(job))
 	if n == 0 {
 		return 1
 	}
@@ -74,32 +77,57 @@ func (m *Machine) Locality(job int) float64 {
 // pickFreeCPUs returns want free CPUs for job, preferring nodes the job
 // already occupies, then the nodes with the most free processors (packing
 // new jobs compactly), then CPU order. It returns fewer if the machine has
-// fewer free.
+// fewer free. The returned slice is scratch, valid until the next call.
 func (m *Machine) pickFreeCPUs(job, want int) []int {
 	size := m.nodeSize()
+	out := m.pickOut[:0]
 	if size <= 1 {
-		// Flat machine: first-free order.
-		out := make([]int, 0, want)
-		for cpu := 0; cpu < m.ncpu && len(out) < want; cpu++ {
-			if m.owner[cpu] == Free {
-				out = append(out, cpu)
+		// Flat machine: first-free order, walking the free bitset.
+		for w, word := range m.freeMask {
+			for word != 0 && len(out) < want {
+				out = append(out, w<<6+bits.TrailingZeros64(word))
+				word &= word - 1
+			}
+			if len(out) >= want {
+				break
 			}
 		}
+		m.pickOut = out
 		return out
 	}
 	nodes := m.Nodes()
-	freeOn := make([][]int, nodes)
-	for cpu := 0; cpu < m.ncpu; cpu++ {
-		if m.owner[cpu] == Free {
-			n := m.NodeOf(cpu)
-			freeOn[n] = append(freeOn[n], cpu)
+	if cap(m.nodeFree) < nodes {
+		m.nodeFree = make([][]int, nodes)
+		m.nodeOwned = make([]bool, nodes)
+	}
+	freeOn := m.nodeFree[:nodes]
+	mem := m.nodeFreeMem[:0]
+	for w, word := range m.freeMask {
+		for word != 0 {
+			mem = append(mem, w<<6+bits.TrailingZeros64(word))
+			word &= word - 1
 		}
 	}
-	occupied := make(map[int]bool)
-	for _, cpu := range m.jobCPUs[job] {
+	m.nodeFreeMem = mem
+	// mem is ascending, so each node's free CPUs form one contiguous run.
+	for n := range freeOn {
+		freeOn[n] = nil
+	}
+	for i := 0; i < len(mem); {
+		n := m.NodeOf(mem[i])
+		j := i
+		for j < len(mem) && m.NodeOf(mem[j]) == n {
+			j++
+		}
+		freeOn[n] = mem[i:j]
+		i = j
+	}
+	occupied := m.nodeOwned[:nodes]
+	clear(occupied)
+	for _, cpu := range m.cpusOf(job) {
 		occupied[m.NodeOf(cpu)] = true
 	}
-	order := make([]int, 0, nodes)
+	order := m.nodeOrder[:0]
 	for n := 0; n < nodes; n++ {
 		if len(freeOn[n]) > 0 {
 			order = append(order, n)
@@ -118,14 +146,16 @@ func (m *Machine) pickFreeCPUs(job, want int) []int {
 		}
 		return na < nb
 	})
-	out := make([]int, 0, want)
+	m.nodeOrder = order
 	for _, n := range order {
 		for _, cpu := range freeOn[n] {
 			if len(out) == want {
+				m.pickOut = out
 				return out
 			}
 			out = append(out, cpu)
 		}
 	}
+	m.pickOut = out
 	return out
 }

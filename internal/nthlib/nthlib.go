@@ -28,13 +28,24 @@ type Hooks struct {
 	// OnIteration, if set, is called after every completed iteration (used
 	// by tracing and tests).
 	OnIteration func(s app.IterationSample)
+	// Listener, when set, receives the same performance/done notifications
+	// through one interface value instead of two captured closures — the
+	// allocation-free option for drivers that start many jobs. A function
+	// hook and the Listener may both be set; the function fires first.
+	Listener Listener
+}
+
+// Listener is the interface form of the OnPerformance/OnDone hooks.
+type Listener interface {
+	OnPerformance(m selfanalyzer.Measurement)
+	OnDone()
 }
 
 // Runtime executes one application instance.
 type Runtime struct {
 	eng      *sim.Engine
 	prof     *app.Profile
-	exec     *app.Execution
+	exec     app.Execution          // embedded by value: one Runtime, one Execution
 	analyzer *selfanalyzer.Analyzer // nil when uninstrumented
 	hooks    Hooks
 
@@ -45,9 +56,12 @@ type Runtime struct {
 	// rateFactor scales the space-sharing execution rate; the memory model
 	// uses it to express NUMA locality (1 = all accesses local).
 	rateFactor float64
-	iterEv     *sim.Event
-	done       bool
-	rawMode    bool // time-sharing manager drives rates directly
+	// iterEv is the iteration-boundary event, embedded by value: the engine's
+	// Reschedule/ScheduleInto re-arm the same struct for the application's
+	// whole life, so no per-job (or per-reschedule) event is ever allocated.
+	iterEv  sim.Event
+	done    bool
+	rawMode bool // time-sharing manager drives rates directly
 
 	// iterName and iterFn are the event name and callback passed to the
 	// engine on every reschedule, precomputed once: building them inline
@@ -69,22 +83,34 @@ type Runtime struct {
 // (the uninstrumented, native-runtime case); then no performance is ever
 // reported.
 func New(eng *sim.Engine, prof *app.Profile, request int, analyzer *selfanalyzer.Analyzer, hooks Hooks) *Runtime {
+	r := new(Runtime)
+	Init(r, eng, prof, request, analyzer, hooks)
+	return r
+}
+
+// Init initializes r in place — the variant of New for drivers that slab-
+// allocate one Runtime per job. Any previous state of r is discarded; r must
+// not have a still-pending iteration event.
+func Init(r *Runtime, eng *sim.Engine, prof *app.Profile, request int, analyzer *selfanalyzer.Analyzer, hooks Hooks) {
 	if request < 1 {
 		panic(fmt.Sprintf("nthlib: request %d < 1", request))
 	}
-	r := &Runtime{
+	iterName := prof.IterEventName
+	if iterName == "" {
+		iterName = prof.Name + "/iter"
+	}
+	*r = Runtime{
 		eng:        eng,
 		prof:       prof,
-		exec:       app.NewExecution(prof, analyzer != nil, eng.Now()),
 		analyzer:   analyzer,
 		hooks:      hooks,
 		request:    request,
 		gran:       1,
 		rateFactor: 1,
-		iterName:   prof.Name + "/iter",
+		iterName:   iterName,
 	}
+	app.InitExecution(&r.exec, prof, analyzer != nil, eng.Now())
 	r.iterFn = r.completeIteration
-	return r
 }
 
 // SetRateFactor scales the application's execution rate by f in (0, 1] —
@@ -255,20 +281,20 @@ func (r *Runtime) SetRawRate(rate float64, procs int) {
 
 func (r *Runtime) reschedule() {
 	if r.done {
-		r.eng.Cancel(r.iterEv)
+		r.eng.Cancel(&r.iterEv)
 		return
 	}
 	end := r.exec.NextIterationEnd()
 	if end == sim.Forever {
-		r.eng.Cancel(r.iterEv)
+		r.eng.Cancel(&r.iterEv)
 		return
 	}
-	if r.eng.Reschedule(r.iterEv, end) {
+	if r.eng.Reschedule(&r.iterEv, end) {
 		return
 	}
-	// The previous event (if any) has fired or been cancelled and nothing
-	// else holds it; re-arm the same struct.
-	r.iterEv = r.eng.ScheduleInto(r.iterEv, end, r.iterName, r.iterFn)
+	// The previous arming (if any) has fired or been cancelled and nothing
+	// else holds the struct; re-arm it.
+	r.eng.ScheduleInto(&r.iterEv, end, r.iterName, r.iterFn)
 }
 
 func (r *Runtime) completeIteration() {
@@ -281,6 +307,9 @@ func (r *Runtime) completeIteration() {
 		r.effective = 0
 		if r.hooks.OnDone != nil {
 			r.hooks.OnDone()
+		}
+		if r.hooks.Listener != nil {
+			r.hooks.Listener.OnDone()
 		}
 		return
 	}
@@ -313,7 +342,12 @@ func (r *Runtime) completeIteration() {
 		r.refreshEffective()
 	}
 	r.reschedule()
-	if ok && r.hooks.OnPerformance != nil {
-		r.hooks.OnPerformance(m)
+	if ok {
+		if r.hooks.OnPerformance != nil {
+			r.hooks.OnPerformance(m)
+		}
+		if r.hooks.Listener != nil {
+			r.hooks.Listener.OnPerformance(m)
+		}
 	}
 }

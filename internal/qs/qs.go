@@ -29,7 +29,11 @@ type QueuingSystem struct {
 	start    func(job workload.Job)
 	rec      *trace.Recorder
 
+	// queue is a head-indexed FIFO: Enqueue appends, TryStart advances head,
+	// and the backing array is reused once drained — reslicing the front off
+	// instead would defeat append's amortization and reallocate steadily.
 	queue   []workload.Job
+	head    int
 	less    func(a, b workload.Job) bool
 	running int
 	maxMPL  int
@@ -57,11 +61,43 @@ func New(eng *sim.Engine, fixedMPL int, canAdmit func() bool, start func(job wor
 }
 
 // SubmitAll schedules the arrival of every job in the workload.
+//
+// Generated workloads list jobs in submission order; then the arrival events
+// pop jobs from a shared cursor (arrivals fire in (time, scheduling-order)
+// order, which equals list order), so the whole batch costs one event slab
+// and one closure rather than one of each per job. An unsorted job list
+// falls back to per-job closures.
 func (q *QueuingSystem) SubmitAll(w *workload.Workload) {
-	for _, job := range w.Jobs {
-		job := job
-		q.eng.At(job.Submit, "qs/arrival", func() { q.Enqueue(job) })
+	jobs := w.Jobs
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Submit < jobs[i-1].Submit {
+			for _, job := range jobs {
+				job := job
+				q.eng.At(job.Submit, "qs/arrival", func() { q.Enqueue(job) })
+			}
+			return
+		}
 	}
+	s := &submission{q: q, jobs: jobs, events: make([]sim.Event, len(jobs))}
+	next := s.next
+	for i := range jobs {
+		q.eng.ScheduleInto(&s.events[i], jobs[i].Submit, "qs/arrival", next)
+	}
+}
+
+// submission is one SubmitAll batch: an event slab plus the cursor its
+// shared arrival handler advances.
+type submission struct {
+	q      *QueuingSystem
+	jobs   []workload.Job
+	cursor int
+	events []sim.Event
+}
+
+func (s *submission) next() {
+	job := s.jobs[s.cursor]
+	s.cursor++
+	s.q.Enqueue(job)
 }
 
 // SetOrder installs a queue discipline: less reports whether a should start
@@ -87,9 +123,14 @@ func SJFByWork(a, b workload.Job) bool {
 // Enqueue adds one job to the queue (at its submission time) and attempts to
 // start jobs.
 func (q *QueuingSystem) Enqueue(job workload.Job) {
+	if q.head > 0 && q.head == len(q.queue) {
+		q.queue = q.queue[:0]
+		q.head = 0
+	}
 	q.queue = append(q.queue, job)
 	if q.less != nil {
-		sort.SliceStable(q.queue, func(i, j int) bool { return q.less(q.queue[i], q.queue[j]) })
+		waiting := q.queue[q.head:]
+		sort.SliceStable(waiting, func(i, j int) bool { return q.less(waiting[i], waiting[j]) })
 	}
 	q.TryStart()
 }
@@ -110,15 +151,15 @@ func (q *QueuingSystem) TryStart() {
 	}
 	q.inTryStart = true
 	defer func() { q.inTryStart = false }()
-	for len(q.queue) > 0 {
+	for q.head < len(q.queue) {
 		if q.fixedMPL > 0 && q.running >= q.fixedMPL {
 			break
 		}
 		if q.canAdmit != nil && !q.canAdmit() {
 			break
 		}
-		job := q.queue[0]
-		q.queue = q.queue[1:]
+		job := q.queue[q.head]
+		q.head++
 		q.running++
 		q.started++
 		q.observeMPL()
@@ -139,7 +180,7 @@ func (q *QueuingSystem) observeMPL() {
 func (q *QueuingSystem) Running() int { return q.running }
 
 // Queued returns the number of jobs waiting.
-func (q *QueuingSystem) Queued() int { return len(q.queue) }
+func (q *QueuingSystem) Queued() int { return len(q.queue) - q.head }
 
 // Started returns how many jobs have been started in total.
 func (q *QueuingSystem) Started() int { return q.started }
@@ -148,4 +189,4 @@ func (q *QueuingSystem) Started() int { return q.started }
 func (q *QueuingSystem) MaxMPL() int { return q.maxMPL }
 
 // Drained reports whether every submitted job has been started and finished.
-func (q *QueuingSystem) Drained() bool { return len(q.queue) == 0 && q.running == 0 }
+func (q *QueuingSystem) Drained() bool { return q.Queued() == 0 && q.running == 0 }

@@ -67,6 +67,10 @@ type GangManager struct {
 	activeRow     int
 	tickScheduled bool
 	admission     func()
+
+	// applySlot scratch, reused across slots.
+	placedBuf []machine.Placement
+	idsBuf    []sched.JobID
 }
 
 // NewGangManager returns a gang scheduler over mach.
@@ -222,12 +226,13 @@ func (m *GangManager) tick() {
 // else.
 func (m *GangManager) applySlot() {
 	now := m.eng.Now()
-	var placements []machine.Placement
-	ids := make([]sched.JobID, 0, len(m.jobs))
+	placements := m.placedBuf[:0]
+	ids := m.idsBuf[:0]
 	for id := range m.jobs {
 		ids = append(ids, id)
 	}
 	slices.Sort(ids)
+	m.idsBuf = ids
 
 	for _, id := range ids {
 		j := m.jobs[id]
@@ -262,6 +267,7 @@ func (m *GangManager) applySlot() {
 			m.rec.ObserveAllocation(now, int(id), procs)
 		}
 	}
+	m.placedBuf = placements
 	m.mach.PlaceQuantum(now, placements)
 }
 

@@ -1,8 +1,6 @@
 package rm
 
 import (
-	"slices"
-
 	"pdpasim/internal/machine"
 	"pdpasim/internal/nthlib"
 	"pdpasim/internal/sched"
@@ -69,13 +67,22 @@ type irixJob struct {
 // (a thread's previous CPU) but rotating runnable threads when the machine
 // is oversubscribed — producing the migrations, short bursts, and chaotic
 // execution views of Fig. 5 and Table 2.
+//
+// place runs every quantum — it is the single hottest function of an IRIX
+// simulation — so the manager keeps its running set in an incrementally
+// maintained id-sorted slice (no per-quantum map iteration or sort), reuses
+// finished irixJob structs through a free list, and reads per-quantum
+// migration counts from the machine's dense counters.
 type IRIXManager struct {
 	eng  *sim.Engine
 	mach *machine.Machine
 	rec  *trace.Recorder
 	cfg  IRIXConfig
 
-	jobs          map[sched.JobID]*irixJob
+	// order is the running set sorted by ascending id, maintained on
+	// StartJob/JobFinished; lookups binary-search it.
+	order         []*irixJob
+	freeJobs      []*irixJob
 	cursor        int
 	quantumCount  int
 	tickScheduled bool
@@ -83,38 +90,50 @@ type IRIXManager struct {
 
 	// Per-quantum scratch state, reused across ticks: place runs every
 	// quantum (thousands of times per simulated run) and its transient
-	// slices and maps would otherwise dominate the allocation profile.
+	// slices would otherwise dominate the allocation profile.
 	tickFn   func()
 	tickEv   *sim.Event
-	jobsBuf  []*irixJob
 	threads  []machine.ThreadID
 	selected []machine.ThreadID
 	claimed  []bool
 	placed   []machine.Placement
 	homeless []machine.ThreadID
-	running  map[int]int
+	running  []int32 // per-order-index thread-on-CPU counts this quantum
 }
 
 // NewIRIXManager returns the native-scheduler model over mach.
 func NewIRIXManager(eng *sim.Engine, mach *machine.Machine, rec *trace.Recorder, cfg IRIXConfig) *IRIXManager {
 	cfg.applyDefaults()
 	m := &IRIXManager{
-		eng:     eng,
-		mach:    mach,
-		rec:     rec,
-		cfg:     cfg,
-		jobs:    make(map[sched.JobID]*irixJob),
-		running: make(map[int]int),
+		eng:  eng,
+		mach: mach,
+		rec:  rec,
+		cfg:  cfg,
 	}
 	m.tickFn = m.tick
 	return m
+}
+
+// orderIndex returns the position of id in the id-sorted running set, or
+// len(order) if absent (callers verify the id at the returned slot).
+func (m *IRIXManager) orderIndex(id sched.JobID) int {
+	lo, hi := 0, len(m.order)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.order[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Name implements Manager.
 func (m *IRIXManager) Name() string { return "IRIX" }
 
 // Running implements Manager.
-func (m *IRIXManager) Running() int { return len(m.jobs) }
+func (m *IRIXManager) Running() int { return len(m.order) }
 
 // CanAdmit implements Manager: the native scheduler has no coordination with
 // the queuing system; the fixed multiprogramming level alone governs.
@@ -129,17 +148,35 @@ func (m *IRIXManager) ReportPerformance(id sched.JobID, meas selfanalyzer.Measur
 
 // StartJob implements Manager.
 func (m *IRIXManager) StartJob(id sched.JobID, rt *nthlib.Runtime) {
-	m.jobs[id] = &irixJob{id: id, rt: rt, threads: rt.Request()}
+	var j *irixJob
+	if n := len(m.freeJobs); n > 0 {
+		j = m.freeJobs[n-1]
+		m.freeJobs = m.freeJobs[:n-1]
+		*j = irixJob{}
+	} else {
+		j = &irixJob{}
+	}
+	j.id, j.rt, j.threads = id, rt, rt.Request()
+	// Insert into the id-sorted running set. Ids mostly arrive in increasing
+	// order, so the common case is a plain append.
+	m.order = append(m.order, j)
+	for i := len(m.order) - 1; i > 0 && m.order[i-1].id > id; i-- {
+		m.order[i-1], m.order[i] = m.order[i], m.order[i-1]
+	}
 	m.place()
 	m.ensureTick()
 }
 
 // JobFinished implements Manager.
 func (m *IRIXManager) JobFinished(id sched.JobID) {
-	if _, ok := m.jobs[id]; !ok {
+	i := m.orderIndex(id)
+	if i >= len(m.order) || m.order[i].id != id {
 		return
 	}
-	delete(m.jobs, id)
+	j := m.order[i]
+	m.order = append(m.order[:i], m.order[i+1:]...)
+	j.rt = nil
+	m.freeJobs = append(m.freeJobs, j)
 	m.mach.ForgetThreads(int(id))
 	m.place()
 	if m.admission != nil {
@@ -157,7 +194,7 @@ func (m *IRIXManager) ensureTick() {
 
 func (m *IRIXManager) tick() {
 	m.tickScheduled = false
-	if len(m.jobs) == 0 {
+	if len(m.order) == 0 {
 		return
 	}
 	m.quantumCount++
@@ -168,16 +205,6 @@ func (m *IRIXManager) tick() {
 	m.ensureTick()
 }
 
-func (m *IRIXManager) sortedJobs() []*irixJob {
-	out := m.jobsBuf[:0]
-	for _, j := range m.jobs {
-		out = append(out, j)
-	}
-	slices.SortFunc(out, func(a, b *irixJob) int { return int(a.id - b.id) })
-	m.jobsBuf = out
-	return out
-}
-
 // adjustThreads is the OMP_DYNAMIC model: the SGI-MP runtime adapts thread
 // counts toward the machine capacity, but slowly — a single thread across
 // the whole machine per adjustment interval, long after the load changed
@@ -185,15 +212,14 @@ func (m *IRIXManager) sortedJobs() []*irixJob {
 // system load" of Section 5.1.1).
 func (m *IRIXManager) adjustThreads() {
 	total := 0
-	for _, j := range m.jobs {
+	for _, j := range m.order {
 		total += j.threads
 	}
 	ncpu := m.mach.NCPU()
-	jobs := m.sortedJobs()
 	switch {
 	case total > ncpu:
 		var victim *irixJob
-		for _, j := range jobs {
+		for _, j := range m.order {
 			if j.threads > 1 && (victim == nil || j.threads > victim.threads) {
 				victim = j
 			}
@@ -203,7 +229,7 @@ func (m *IRIXManager) adjustThreads() {
 		}
 	case total < ncpu:
 		var beneficiary *irixJob
-		for _, j := range jobs {
+		for _, j := range m.order {
 			if j.threads < j.rt.Request() && (beneficiary == nil || j.threads < beneficiary.threads) {
 				beneficiary = j
 			}
@@ -218,7 +244,7 @@ func (m *IRIXManager) adjustThreads() {
 // per-application progress rates.
 func (m *IRIXManager) place() {
 	now := m.eng.Now()
-	jobs := m.sortedJobs()
+	jobs := m.order
 	if len(jobs) == 0 {
 		m.mach.PlaceQuantum(now, nil)
 		return
@@ -276,17 +302,32 @@ func (m *IRIXManager) place() {
 	}
 	m.placed = placements
 	m.homeless = homeless
-	migs := m.mach.PlaceQuantum(now, placements)
+	m.mach.PlaceQuantum(now, placements)
 
-	// Per-application effective rate for the coming quantum.
-	running := m.running
+	// Per-application thread-on-CPU counts for the coming quantum, indexed
+	// like the sorted running set.
+	if cap(m.running) < len(jobs) {
+		m.running = make([]int32, len(jobs)*2)
+	}
+	running := m.running[:len(jobs)]
 	clear(running)
 	for _, p := range placements {
-		running[p.Thread.Job]++
+		// Placements reference running jobs only; find the job's slot by
+		// binary search over the id-sorted set.
+		lo, hi := 0, len(jobs)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if int(jobs[mid].id) < p.Thread.Job {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		running[lo]++
 	}
 	oversubscribed := len(threads) > ncpu
-	for _, j := range jobs {
-		k := running[int(j.id)]
+	for idx, j := range jobs {
+		k := int(running[idx])
 		if m.rec != nil {
 			m.rec.ObserveAllocation(now, int(j.id), k)
 		}
@@ -299,13 +340,17 @@ func (m *IRIXManager) place() {
 		if oversubscribed {
 			rate *= m.cfg.BusyWaitFactor
 		}
-		if mg := migs[int(j.id)]; mg > 0 && m.cfg.MigrationCost > 0 {
+		if mg := m.mach.QuantumMigrations(int(j.id)); mg > 0 && m.cfg.MigrationCost > 0 {
 			loss := float64(mg) * float64(m.cfg.MigrationCost) / float64(m.cfg.Quantum)
 			if loss > 0.9 {
 				loss = 0.9
 			}
 			rate *= 1 - loss
 		}
+		// Always push the rate, even when unchanged since the previous
+		// quantum: SetRate advances the progress integral in per-quantum
+		// chunks, and coalescing chunks perturbs floating-point rounding
+		// enough to change reported digits.
 		j.rt.SetRawRate(rate, k)
 	}
 }

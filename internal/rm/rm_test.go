@@ -240,7 +240,7 @@ func TestIRIXThreadAdjustment(t *testing.T) {
 	// 16 threads on 8 CPUs; OMP_DYNAMIC should shed threads over time.
 	e.eng.Run(30 * sim.Second)
 	total := 0
-	for _, j := range mgr.jobs {
+	for _, j := range mgr.order {
 		total += j.threads
 	}
 	if total >= 16 {

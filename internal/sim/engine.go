@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -12,10 +11,15 @@ type Handler func()
 // Event is a pending occurrence in the simulation. Events are ordered by
 // time, with ties broken by scheduling order, so the execution order of
 // simultaneous events is deterministic.
+//
+// The zero Event is a valid detached (not scheduled) event: owners may embed
+// one by value and arm it with ScheduleInto without a separate allocation.
 type Event struct {
-	when    Time
-	seq     uint64
-	index   int // heap index; -1 once removed
+	when Time
+	seq  uint64
+	// pos is the event's 1-based position in the engine's heap; 0 when the
+	// event is not queued. One-based so the zero value means detached.
+	pos     int
 	name    string
 	handler Handler
 }
@@ -27,35 +31,16 @@ func (e *Event) When() Time { return e.when }
 func (e *Event) Name() string { return e.name }
 
 // Scheduled reports whether the event is still pending.
-func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+func (e *Event) Scheduled() bool { return e != nil && e.pos > 0 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// before is the heap order: earliest time first, scheduling order breaking
+// ties. (when, seq) is unique per scheduled event, so the pop order is a
+// total order — independent of the heap's internal arrangement.
+func (e *Event) before(o *Event) bool {
+	if e.when != o.when {
+		return e.when < o.when
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // interruptStride is how many events run between interrupt checks. Checking
@@ -66,9 +51,14 @@ const interruptStride = 64
 
 // Engine is the discrete-event simulation core: a clock and a pending-event
 // queue. The zero value is not usable; call NewEngine.
+//
+// The queue is a hand-rolled binary heap rather than container/heap: the
+// sift loops run on every Reschedule/pop of the simulation's inner loop, and
+// inlining the (when, seq) comparison avoids the interface dispatch the
+// generic heap pays per element move.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   []*Event
 	seq     uint64
 	stopped bool
 	// Executed counts events run so far (for diagnostics and tests).
@@ -87,6 +77,93 @@ func NewEngine() *Engine {
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
+// siftUp moves the event at heap position i (0-based) toward the root until
+// the heap order holds.
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ev.before(q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].pos = i + 1
+		i = parent
+	}
+	q[i] = ev
+	ev.pos = i + 1
+}
+
+// siftDown moves the event at heap position i (0-based) toward the leaves
+// until the heap order holds. Reports whether the event moved.
+func (e *Engine) siftDown(i int) bool {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	start := i
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && q[r].before(q[child]) {
+			child = r
+		}
+		if !q[child].before(ev) {
+			break
+		}
+		q[i] = q[child]
+		q[i].pos = i + 1
+		i = child
+	}
+	q[i] = ev
+	ev.pos = i + 1
+	return i != start
+}
+
+// push adds a detached event to the heap.
+func (e *Engine) push(ev *Event) {
+	e.queue = append(e.queue, ev)
+	ev.pos = len(e.queue)
+	e.siftUp(len(e.queue) - 1)
+}
+
+// popMin removes and returns the earliest event.
+func (e *Engine) popMin() *Event {
+	q := e.queue
+	min := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[0].pos = 1
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	min.pos = 0
+	return min
+}
+
+// remove detaches the event at heap position i (0-based).
+func (e *Engine) remove(i int) {
+	q := e.queue
+	n := len(q) - 1
+	removed := q[i]
+	if i != n {
+		q[i] = q[n]
+		q[i].pos = i + 1
+	}
+	q[n] = nil
+	e.queue = q[:n]
+	if i < n {
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+	removed.pos = 0
+}
+
 // At schedules handler to run at time t. Scheduling in the past panics: it
 // would silently reorder causality. Returns the event so the caller may
 // cancel it.
@@ -99,7 +176,7 @@ func (e *Engine) At(t Time, name string, handler Handler) *Event {
 	}
 	e.seq++
 	ev := &Event{when: t, seq: e.seq, name: name, handler: handler}
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return ev
 }
 
@@ -120,7 +197,7 @@ func (e *Engine) After(d Time, name string, handler Handler) *Event {
 // dominates the simulation (iteration-boundary events move on every
 // allocation change).
 func (e *Engine) Reschedule(ev *Event, t Time) bool {
-	if ev == nil || ev.index < 0 {
+	if ev == nil || ev.pos == 0 {
 		return false
 	}
 	if t < e.now {
@@ -129,23 +206,27 @@ func (e *Engine) Reschedule(ev *Event, t Time) bool {
 	e.seq++
 	ev.when = t
 	ev.seq = e.seq
-	heap.Fix(&e.queue, ev.index)
+	i := ev.pos - 1
+	if !e.siftDown(i) {
+		e.siftUp(i)
+	}
 	return true
 }
 
 // ScheduleInto schedules handler at t, reusing ev's struct when ev is a
-// previously returned event that has already run or been cancelled. The
-// caller must hold the only reference to ev — recycling an event another
-// party still inspects would alias two logical events onto one struct. When
-// ev is nil or still pending a fresh event is allocated instead. Either way
-// the scheduled event is returned; the intended pattern is
+// previously returned (or zero-value embedded) event that is not currently
+// pending. The caller must hold the only reference to ev — recycling an
+// event another party still inspects would alias two logical events onto one
+// struct. When ev is nil or still pending a fresh event is allocated
+// instead. Either way the scheduled event is returned; the intended pattern
+// is
 //
 //	r.ev = engine.ScheduleInto(r.ev, t, name, handler)
 //
 // for owners that re-arm the same conceptual event many times (iteration
 // boundaries, scheduler quanta).
 func (e *Engine) ScheduleInto(ev *Event, t Time, name string, handler Handler) *Event {
-	if ev == nil || ev.index >= 0 {
+	if ev == nil || ev.pos > 0 {
 		return e.At(t, name, handler)
 	}
 	if t < e.now {
@@ -159,18 +240,17 @@ func (e *Engine) ScheduleInto(ev *Event, t Time, name string, handler Handler) *
 	ev.seq = e.seq
 	ev.name = name
 	ev.handler = handler
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return ev
 }
 
 // Cancel removes a pending event. Cancelling a nil, already-run, or
 // already-cancelled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+	if ev == nil || ev.pos == 0 {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.remove(ev.pos - 1)
 }
 
 // Pending returns the number of queued events.
@@ -214,7 +294,7 @@ func (e *Engine) Run(deadline Time) Time {
 		if next.when > deadline {
 			break
 		}
-		heap.Pop(&e.queue)
+		e.popMin()
 		e.now = next.when
 		e.Executed++
 		next.handler()
@@ -234,7 +314,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	next := heap.Pop(&e.queue).(*Event)
+	next := e.popMin()
 	e.now = next.when
 	e.Executed++
 	next.handler()

@@ -11,6 +11,7 @@ package system
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"pdpasim/internal/app"
 	"pdpasim/internal/core"
@@ -167,6 +168,43 @@ func Run(cfg Config) (*metrics.RunResult, error) {
 	return RunContext(context.Background(), cfg)
 }
 
+// runState is the per-run context every jobTrack points back to.
+type runState struct {
+	eng       *sim.Engine
+	mgr       rm.Manager
+	queue     *qs.QueuingSystem
+	memDone   func(id int)
+	completed int
+}
+
+// jobTrack is the driver's bookkeeping for one job. Tracks live in one slab
+// indexed by job id, and each implements nthlib.Listener so starting a job
+// allocates no hook closures.
+type jobTrack struct {
+	rs    *runState
+	job   workload.Job
+	rt    *nthlib.Runtime
+	start sim.Time
+	end   sim.Time
+	done  bool
+}
+
+// OnPerformance implements nthlib.Listener.
+func (t *jobTrack) OnPerformance(m selfanalyzer.Measurement) {
+	t.rs.mgr.ReportPerformance(sched.JobID(t.job.ID), m)
+}
+
+// OnDone implements nthlib.Listener.
+func (t *jobTrack) OnDone() {
+	rs := t.rs
+	t.end = rs.eng.Now()
+	t.done = true
+	rs.completed++
+	rs.memDone(t.job.ID)
+	rs.mgr.JobFinished(sched.JobID(t.job.ID))
+	rs.queue.JobCompleted()
+}
+
 // RunContext is Run with cancellation: the simulation aborts promptly (the
 // engine checks ctx between events) when ctx is cancelled or times out,
 // returning ctx's error. A background context makes it identical to Run —
@@ -222,22 +260,21 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 		mgr = rm.NewIRIXManager(eng, mach, rec, irixCfg)
 	}
 
-	type jobTrack struct {
-		job   workload.Job
-		rt    *nthlib.Runtime
-		start sim.Time
-		end   sim.Time
-		done  bool
+	// One track per job, slab-allocated and indexed by the workload's dense
+	// job ids.
+	maxID := 0
+	for _, job := range w.Jobs {
+		if job.ID > maxID {
+			maxID = job.ID
+		}
 	}
-	tracks := make(map[int]*jobTrack, len(w.Jobs))
-
-	var queue *qs.QueuingSystem
-	completedJobs := 0
+	tracks := make([]jobTrack, maxID+1)
+	runtimes := make([]nthlib.Runtime, maxID+1)
+	rs := &runState{eng: eng, mgr: mgr, memDone: func(id int) {}}
 
 	// Optional CC-NUMA memory model (space sharing only; the IRIX model's
 	// migration cost already folds locality loss in).
 	memStart := func(id int) {}
-	memDone := func(id int) {}
 	if c.Memory != nil && c.NUMANodeSize > 1 && c.Policy != IRIX && c.Policy != Gang {
 		mc := *c.Memory
 		mc.applyDefaults()
@@ -247,7 +284,7 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 		}
 		nodeShare := func(job int) []float64 {
 			share := make([]float64, mach.Nodes())
-			cpus := mach.CPUs(job)
+			cpus := mach.CPUsView(job) // read-only view, not retained
 			if len(cpus) == 0 {
 				return share
 			}
@@ -259,7 +296,8 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 		lastFactor := map[int]float64{}
 		var tick func()
 		tick = func() {
-			for id, tr := range tracks {
+			for id := range tracks {
+				tr := &tracks[id]
 				if tr.done || tr.rt == nil || tr.rt.Allocated() == 0 {
 					continue
 				}
@@ -274,14 +312,15 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 					tr.rt.SetRateFactor(f)
 				}
 			}
-			if completedJobs < len(w.Jobs) {
+			if rs.completed < len(w.Jobs) {
 				eng.After(mc.Tick, "memory/tick", tick)
 			}
 		}
 		eng.After(mc.Tick, "memory/tick", tick)
 		memStart = func(id int) { mem.JobStarted(eng.Now(), id, nodeShare(id)) }
-		memDone = func(id int) { mem.JobFinished(id) }
+		rs.memDone = func(id int) { mem.JobFinished(id) }
 	}
+	var nameBuf []byte
 	start := func(job workload.Job) {
 		id := sched.JobID(job.ID)
 		prof := c.Profiles(job.Class)
@@ -290,31 +329,22 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 			// The NANOS runtime instruments applications; the native IRIX
 			// regime runs them unmodified.
 			sacfg := selfanalyzer.ConfigFor(prof, c.NoiseSigma)
-			an = selfanalyzer.MustNew(sacfg, noise.Stream(fmt.Sprintf("job/%d", job.ID)))
+			nameBuf = append(nameBuf[:0], "job/"...)
+			nameBuf = strconv.AppendInt(nameBuf, int64(job.ID), 10)
+			an = selfanalyzer.MustNew(sacfg, noise.Stream(string(nameBuf)))
 		}
-		track := &jobTrack{job: job, start: eng.Now()}
-		tracks[job.ID] = track
-		var rt *nthlib.Runtime
-		rt = nthlib.New(eng, prof, job.Request, an, nthlib.Hooks{
-			OnPerformance: func(m selfanalyzer.Measurement) {
-				mgr.ReportPerformance(id, m)
-			},
-			OnDone: func() {
-				track.end = eng.Now()
-				track.done = true
-				completedJobs++
-				memDone(job.ID)
-				mgr.JobFinished(id)
-				queue.JobCompleted()
-			},
-		})
+		track := &tracks[job.ID]
+		*track = jobTrack{rs: rs, job: job, start: eng.Now()}
+		rt := &runtimes[job.ID]
+		nthlib.Init(rt, eng, prof, job.Request, an, nthlib.Hooks{Listener: track})
 		rt.SetGranularity(job.Granularity())
 		rt.SetBinaryOnly(c.BinaryOnly && c.Policy != IRIX)
 		track.rt = rt
 		mgr.StartJob(id, rt)
 		memStart(job.ID)
 	}
-	queue = qs.New(eng, fixedMPL, mgr.CanAdmit, start, rec)
+	queue := qs.New(eng, fixedMPL, mgr.CanAdmit, start, rec)
+	rs.queue = queue
 	if sm, ok := mgr.(*rm.SpaceManager); ok {
 		sm.SetQueuedFunc(queue.Queued)
 	}
@@ -345,8 +375,8 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 	// The engine clock advances to the deadline once idle; the run really
 	// ended at the last completion.
 	var end sim.Time
-	for _, tr := range tracks {
-		if tr.done && tr.end > end {
+	for i := range tracks {
+		if tr := &tracks[i]; tr.done && tr.end > end {
 			end = tr.end
 		}
 	}
@@ -364,9 +394,10 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 	if c.KeepBursts {
 		res.Recorder = rec
 	}
+	res.Jobs = make([]metrics.JobResult, 0, len(w.Jobs))
 	for _, job := range w.Jobs {
-		tr := tracks[job.ID]
-		if tr == nil || !tr.done {
+		tr := &tracks[job.ID]
+		if tr.rt == nil || !tr.done {
 			return nil, fmt.Errorf("system: job %d not completed", job.ID)
 		}
 		cpuSec := metrics.IntegrateAllocation(rec.AllocationHistory(job.ID), tr.end)

@@ -319,10 +319,13 @@ func TestRunContextCancellation(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 
-	// A deadline in flight aborts mid-simulation rather than running to
-	// completion.
-	dctx, dcancel := context.WithTimeout(context.Background(), time.Millisecond)
+	// An expiring deadline aborts the run rather than letting it complete.
+	// The deadline must already be past when the engine starts: a small
+	// simulation finishes in well under a millisecond of wall time, so any
+	// later deadline would race the run to completion.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
 	defer dcancel()
+	time.Sleep(time.Microsecond)
 	start := time.Now()
 	_, err := RunContext(dctx, Config{Workload: w, Policy: PDPA})
 	if !errors.Is(err, context.DeadlineExceeded) {

@@ -7,6 +7,14 @@
 // duration per CPU, average number of bursts per CPU), the execution views
 // of Fig. 5 (ASCII timeline rendering), and the multiprogramming-level
 // timeline of Fig. 8.
+//
+// Every stored series is run-length encoded: per-CPU assignment streams
+// collapse into bursts (one record per ownership change, not one per
+// quantum), and the MPL and per-job allocation series drop consecutive
+// duplicates. Per-job state (allocation histories, busy time) lives in dense
+// slices indexed by the workload's small integer job ids, keeping the
+// recorder off the map-hash path the per-quantum callers would otherwise
+// pay.
 package trace
 
 import (
@@ -43,7 +51,7 @@ type Recorder struct {
 	bursts     []Burst
 	migrations int
 	mpl        []TimePoint
-	allocs     map[int][]TimePoint // per-job allocation history
+	allocs     [][]TimePoint // per-job allocation history, dense by job id
 	closed     bool
 	end        sim.Time
 
@@ -54,7 +62,7 @@ type Recorder struct {
 
 	burstCount    []int      // per CPU
 	burstDuration []sim.Time // per CPU, sum over closed bursts
-	jobBusy       map[int]sim.Time
+	jobBusy       []sim.Time // dense by job id
 }
 
 // NewRecorder returns a recorder for a machine with ncpu CPUs, all idle at
@@ -64,11 +72,9 @@ func NewRecorder(ncpu int) *Recorder {
 		ncpu:          ncpu,
 		current:       make([]int, ncpu),
 		burstStart:    make([]sim.Time, ncpu),
-		allocs:        make(map[int][]TimePoint),
 		KeepBursts:    true,
 		burstCount:    make([]int, ncpu),
 		burstDuration: make([]sim.Time, ncpu),
-		jobBusy:       make(map[int]sim.Time),
 	}
 	for i := range r.current {
 		r.current[i] = NoJob
@@ -107,12 +113,20 @@ func (r *Recorder) closeBurst(t sim.Time, cpu int) {
 		}
 		r.burstCount[cpu]++
 		r.burstDuration[cpu] += b.Duration()
+		for len(r.jobBusy) <= b.Job {
+			r.jobBusy = append(r.jobBusy, 0)
+		}
 		r.jobBusy[b.Job] += b.Duration()
 	}
 }
 
 // JobBusy returns the total CPU time (across all CPUs) recorded for job.
-func (r *Recorder) JobBusy(job int) sim.Time { return r.jobBusy[job] }
+func (r *Recorder) JobBusy(job int) sim.Time {
+	if job < 0 || job >= len(r.jobBusy) {
+		return 0
+	}
+	return r.jobBusy[job]
+}
 
 // BurstHistogram buckets the stored bursts by duration: counts[i] holds the
 // bursts with duration < bounds[i] (and the final element those >= the last
@@ -155,17 +169,38 @@ func (r *Recorder) ObserveMPL(t sim.Time, level int) {
 func (r *Recorder) MPLTimeline() []TimePoint { return r.mpl }
 
 // ObserveAllocation records that job's processor allocation became procs at
-// time t.
+// time t. Consecutive duplicates are collapsed (the series is run-length
+// encoded by construction).
 func (r *Recorder) ObserveAllocation(t sim.Time, job, procs int) {
+	for len(r.allocs) <= job {
+		r.allocs = append(r.allocs, nil)
+	}
 	hist := r.allocs[job]
 	if n := len(hist); n > 0 && hist[n-1].Value == procs {
 		return
+	}
+	if len(hist) == cap(hist) {
+		// Grow 4× rather than append's 2×: time-sharing runs toggle each
+		// job's allocation every few quanta, so histories reach hundreds of
+		// points and the reallocation count matters more than the overshoot.
+		c := cap(hist) * 4
+		if c == 0 {
+			c = 8
+		}
+		grown := make([]TimePoint, len(hist), c)
+		copy(grown, hist)
+		hist = grown
 	}
 	r.allocs[job] = append(hist, TimePoint{At: t, Value: procs})
 }
 
 // AllocationHistory returns the allocation series recorded for job, or nil.
-func (r *Recorder) AllocationHistory(job int) []TimePoint { return r.allocs[job] }
+func (r *Recorder) AllocationHistory(job int) []TimePoint {
+	if job < 0 || job >= len(r.allocs) {
+		return nil
+	}
+	return r.allocs[job]
+}
 
 // Close ends the recording at time t, closing all open bursts. Further
 // assignments panic.

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path benchmark suite with -benchmem, capture CPU and
+# allocation pprof profiles, and record a BENCH_<date>.json trajectory point.
+#
+# Environment knobs:
+#   BENCH_DIR    output directory for raw output + profiles (default bench-artifacts)
+#   BENCH_COUNT  -count repetitions per benchmark            (default 5)
+#   BENCH_TIME   -benchtime per repetition                   (default 1s)
+#   BENCH_MATCH  -bench regexp                               (default the gated suite)
+#   BENCH_PHASE  phase label recorded into the JSON          (default post)
+#   BENCH_JSON   trajectory file to create/merge             (default BENCH_<today>.json)
+#
+# Typical workflow around an optimization:
+#   BENCH_PHASE=pre  BENCH_JSON=BENCH_2026-08-05.json scripts/bench.sh   # before
+#   ... optimize ...
+#   BENCH_PHASE=post BENCH_JSON=BENCH_2026-08-05.json scripts/bench.sh   # after
+#   go tool pprof -top bench-artifacts/bench.test bench-artifacts/cpu.pprof
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_dir=${BENCH_DIR:-bench-artifacts}
+count=${BENCH_COUNT:-5}
+benchtime=${BENCH_TIME:-1s}
+match=${BENCH_MATCH:-'SingleRunPDPA|SingleRunIRIX|Sweep$'}
+phase=${BENCH_PHASE:-post}
+json=${BENCH_JSON:-BENCH_$(date +%F).json}
+
+mkdir -p "$out_dir"
+
+go test -run '^$' -bench "$match" -benchmem -benchtime "$benchtime" -count "$count" \
+  -cpuprofile "$out_dir/cpu.pprof" -memprofile "$out_dir/mem.pprof" \
+  -o "$out_dir/bench.test" . | tee "$out_dir/bench.txt"
+
+go run ./cmd/benchgate record -out "$json" -phase "$phase" "$out_dir/bench.txt"
+
+echo
+echo "profiles: go tool pprof -top $out_dir/bench.test $out_dir/cpu.pprof"
+echo "          go tool pprof -sample_index=alloc_objects -top $out_dir/bench.test $out_dir/mem.pprof"
