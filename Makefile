@@ -1,12 +1,17 @@
 # Convenience targets; everything is plain go tooling underneath.
 
-.PHONY: build test vet bench bench-gate
+.PHONY: build test vet depcheck bench bench-gate
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Fail on call sites of the deprecated facade APIs (Run/RunSWF,
+# SweepSpec.Progress) outside tests.
+depcheck:
+	./scripts/depcheck.sh
 
 test:
 	go test ./...

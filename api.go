@@ -11,6 +11,7 @@ import (
 	"pdpasim/internal/app"
 	"pdpasim/internal/core"
 	"pdpasim/internal/metrics"
+	"pdpasim/internal/obs"
 	"pdpasim/internal/sim"
 	"pdpasim/internal/system"
 	"pdpasim/internal/trace"
@@ -236,6 +237,20 @@ type Options struct {
 	// NUMANodeSize groups the machine's CPUs into NUMA nodes of this size
 	// (the Origin 2000's node boards); 0 or 1 keeps a flat SMP.
 	NUMANodeSize int
+	// DecisionTrace enables decision-trace recording: every policy state
+	// transition, admission decision, reallocation, and preemption is
+	// retained and available from Outcome.DecisionTrace. Zero (the default)
+	// disables recording; a positive value caps the retained events (later
+	// events are counted as dropped); DecisionTraceUnlimited retains
+	// everything. Disabled tracing costs nothing on the simulation hot
+	// paths.
+	DecisionTrace int
+	// Observer, when set, receives every decision-trace event live as the
+	// simulation produces it — the streaming counterpart of DecisionTrace,
+	// and the same hook Sweep and the pdpad daemon accept. Calls are
+	// synchronous and strictly ordered within the run. An Observer alone
+	// (DecisionTrace == 0) streams without retaining.
+	Observer Observer `json:"-"`
 }
 
 // Validate checks the options: the policy must be known, numeric fields
@@ -249,6 +264,9 @@ func (o Options) Validate() error {
 	}
 	if o.NUMANodeSize < 0 {
 		return fmt.Errorf("pdpasim: negative NUMA node size %d", o.NUMANodeSize)
+	}
+	if o.DecisionTrace < DecisionTraceUnlimited {
+		return fmt.Errorf("pdpasim: invalid decision-trace limit %d", o.DecisionTrace)
 	}
 	if (o.Policy == PDPA || o.Policy == AdaptivePDPA) && o.PDPA != (PDPAParams{}) {
 		if err := o.PDPA.internal().Validate(); err != nil {
@@ -308,7 +326,18 @@ type Outcome struct {
 	BurstsPerCPU float64
 	Utilization  float64
 
-	res *metrics.RunResult
+	res   *metrics.RunResult
+	trace *obs.Trace
+}
+
+// DecisionTrace returns the run's recorded decision trace, or nil when the
+// run was executed without Options.DecisionTrace (an Observer alone streams
+// events but retains none).
+func (o *Outcome) DecisionTrace() *DecisionTrace {
+	if o.trace == nil || !o.trace.Retains() {
+		return nil
+	}
+	return &DecisionTrace{tr: o.trace}
 }
 
 // Run generates the workload described by spec and executes it under the
@@ -335,11 +364,16 @@ func RunContext(ctx context.Context, spec WorkloadSpec, opts Options) (*Outcome,
 	if err != nil {
 		return nil, err
 	}
-	res, err := system.RunContext(ctx, opts.config(w))
+	cfg := opts.config(w)
+	tr := newRunTrace(opts.DecisionTrace, opts.Observer)
+	cfg.Trace = tr
+	res, err := system.RunContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return newOutcome(res), nil
+	out := newOutcome(res)
+	out.trace = tr
+	return out, nil
 }
 
 // RunSWF replays a Standard Workload Format trace (as produced by
@@ -363,11 +397,16 @@ func RunSWFContext(ctx context.Context, in io.Reader, opts Options) (*Outcome, e
 	if err != nil {
 		return nil, err
 	}
-	res, err := system.RunContext(ctx, opts.config(w))
+	cfg := opts.config(w)
+	tr := newRunTrace(opts.DecisionTrace, opts.Observer)
+	cfg.Trace = tr
+	res, err := system.RunContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return newOutcome(res), nil
+	out := newOutcome(res)
+	out.trace = tr
+	return out, nil
 }
 
 func newOutcome(res *metrics.RunResult) *Outcome {

@@ -18,6 +18,7 @@ import (
 	"pdpasim/internal/app"
 	"pdpasim/internal/cluster"
 	"pdpasim/internal/experiments"
+	"pdpasim/internal/obs"
 	"pdpasim/internal/sim"
 	"pdpasim/internal/system"
 	"pdpasim/internal/workload"
@@ -244,6 +245,27 @@ func BenchmarkSingleRunIRIX(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := system.Run(system.Config{Workload: w, Policy: system.IRIX, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObservedRunPDPA is BenchmarkSingleRunPDPA with decision tracing
+// enabled in stream-only mode: the delta against SingleRunPDPA is the cost
+// of the observability hooks when a trace is attached. The gated SingleRun*
+// benchmarks run with tracing off, so the bench gate enforces that a nil
+// trace stays free on the hot paths.
+func BenchmarkObservedRunPDPA(b *testing.B) {
+	w, err := workload.Generate(workload.GenConfig{
+		Mix: workload.W4(), Load: 1.0, NCPU: 60, Window: 300 * sim.Second, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := system.Config{Workload: w, Policy: system.PDPA, Seed: 1, Trace: obs.NewTrace(-1)}
+		if _, err := system.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -137,10 +137,9 @@ func runSweep(policies, mixes, loads, seeds string, ncpu int, window time.Durati
 		spec.Seeds = append(spec.Seeds, v)
 	}
 	if progress {
-		spec.Progress = func(p pdpasim.SweepProgress) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s load=%.0f%% seed=%d\n",
-				p.Done, p.Total, p.Policy, p.Mix, p.Load*100, p.Seed)
-		}
+		spec.Observer = pdpasim.ObserverFunc(func(e pdpasim.TraceEvent) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", e.Done, e.Total, e.ID)
+		})
 	}
 
 	t0 := time.Now()

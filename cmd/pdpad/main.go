@@ -3,7 +3,8 @@
 // bounded worker pool whose admission controller applies PDPA's coordinated
 // multiprogramming-level rule to the service itself, dedupes identical specs
 // through a canonical-config-hash result cache, streams per-run progress as
-// server-sent events, and exposes live Prometheus metrics.
+// server-sent events, serves each run's recorded decision trace, and exposes
+// live Prometheus metrics.
 //
 // Usage:
 //
@@ -14,6 +15,7 @@
 //	curl -s localhost:8080/v1/runs -d '{"workload":{"mix":"w3"},"options":{"policy":"pdpa"}}'
 //	curl -s localhost:8080/v1/runs/run-000001
 //	curl -N localhost:8080/v1/runs/run-000001/events
+//	curl -s localhost:8080/v1/runs/run-000001/trace
 //	curl -s localhost:8080/metrics
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight and
@@ -47,6 +49,7 @@ func main() {
 		cacheSize    = flag.Int("cache", 128, "result cache entries")
 		deadline     = flag.Duration("deadline", 0, "default per-run deadline, queue wait included (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for runs to finish before cancelling them")
+		traceLimit   = flag.Int("trace-limit", 2000, "decision-trace events retained per run, served at /v1/runs/{id}/trace (negative disables tracing)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -68,6 +71,7 @@ func main() {
 		QueueLimit:      *queueLimit,
 		CacheSize:       *cacheSize,
 		DefaultDeadline: *deadline,
+		TraceLimit:      *traceLimit,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: server.New(pool)}
 

@@ -38,6 +38,7 @@ func main() {
 		jsonOut = flag.String("json", "", "write the full result as JSON to this file")
 		prvOut  = flag.String("paraver", "", "write the execution trace in Paraver format to this file")
 		chrOut  = flag.String("chrome", "", "write the execution trace in Chrome trace-event format to this file")
+		decOut  = flag.String("decisions", "", "write the decision trace as JSON to this file (\"-\" prints a human-readable log to stdout)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -60,6 +61,9 @@ func main() {
 		NoiseSigma: *noise,
 		Seed:       *seed,
 		KeepTrace:  *showTr || *prvOut != "" || *chrOut != "",
+	}
+	if *decOut != "" {
+		opts.DecisionTrace = pdpasim.DecisionTraceUnlimited
 	}
 	spec := pdpasim.WorkloadSpec{
 		Mix: *mix, Load: *load, NCPU: *ncpu, Seed: *seed, UniformRequest: *untuned,
@@ -101,6 +105,14 @@ func main() {
 	writeFile(*jsonOut, out.WriteJSON)
 	writeFile(*prvOut, out.WriteParaver)
 	writeFile(*chrOut, out.WriteChromeTracing)
+	if *decOut == "-" {
+		fmt.Printf("\ndecision trace (%d events):\n", out.DecisionTrace().Len())
+		if err := out.DecisionTrace().WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else if *decOut != "" {
+		writeFile(*decOut, out.DecisionTrace().WriteJSON)
+	}
 }
 
 // writeFile writes one export to path using fn (no-op for an empty path).

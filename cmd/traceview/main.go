@@ -3,10 +3,16 @@
 // Paraver views (Fig. 5). Comparing the same workload under -policy irix and
 // -policy pdpa shows the stability difference at a glance.
 //
+// With -decisions it also prints the run's decision trace — every policy
+// state transition with its measured efficiency, every admission decision
+// with its reason, and every reallocation — so the timeline's shape can be
+// read next to the decisions that produced it.
+//
 // Usage:
 //
 //	traceview -mix w1 -load 1.0 -policy irix -to 120
 //	traceview -mix w1 -load 1.0 -policy pdpa -to 120
+//	traceview -mix w1 -policy pdpa -decisions
 package main
 
 import (
@@ -26,8 +32,9 @@ func main() {
 		policy = flag.String("policy", "pdpa", "irix, equip, equal_eff, or pdpa")
 		seed   = flag.Int64("seed", 1, "workload seed")
 		width  = flag.Int("width", 100, "columns in the rendered view")
-		from   = flag.Float64("from", 0, "window start (seconds)")
-		to     = flag.Float64("to", 0, "window end (seconds, 0 = whole run)")
+		from      = flag.Float64("from", 0, "window start (seconds)")
+		to        = flag.Float64("to", 0, "window end (seconds, 0 = whole run)")
+		decisions = flag.Bool("decisions", false, "also print the decision trace (policy transitions, admissions, reallocations)")
 	)
 	flag.Parse()
 
@@ -36,9 +43,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "traceview:", err)
 		os.Exit(1)
 	}
+	opts := pdpasim.Options{Policy: pol, Seed: *seed, KeepTrace: true}
+	if *decisions {
+		opts.DecisionTrace = pdpasim.DecisionTraceUnlimited
+	}
 	out, err := pdpasim.RunContext(context.Background(),
 		pdpasim.WorkloadSpec{Mix: *mix, Load: *load, Seed: *seed},
-		pdpasim.Options{Policy: pol, Seed: *seed, KeepTrace: true},
+		opts,
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "traceview:", err)
@@ -49,4 +60,11 @@ func main() {
 	fmt.Print(out.RenderTrace(*width,
 		time.Duration(*from*float64(time.Second)),
 		time.Duration(*to*float64(time.Second))))
+	if *decisions {
+		fmt.Printf("\ndecision trace (%d events):\n", out.DecisionTrace().Len())
+		if err := out.DecisionTrace().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "traceview:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -42,13 +42,38 @@
 // the per-experiment index and EXPERIMENTS.md for measured-versus-paper
 // results.
 //
-// Long-lived callers should prefer RunContext/RunSWFContext, which abort a
-// simulation mid-flight when the context is cancelled or times out; the
-// context-free Run/RunSWF remain as compatibility wrappers. Simulations can
-// also be served as a service: cmd/pdpad is an HTTP daemon (see the README's
-// quickstart) whose worker pool reuses PDPA's own admission rule, backed by
-// internal/runqueue (PDPA-governed admission, canonical-config-hash result
-// cache, singleflight dedup, per-run deadlines, graceful drain) and
-// internal/server (JSON API, server-sent progress events, Prometheus
-// metrics).
+// Every layer shares one observability hook: an Observer receives the
+// unified TraceEvent stream — a run's decision trace (every PDPA state
+// transition with its measured efficiency, every admission decision with
+// its reason, every reallocation), a sweep's per-run completions, and the
+// daemon's run lifecycle are three adapters over the same schema. Set
+// Options.DecisionTrace to retain a run's trace and read it back through
+// Outcome.DecisionTrace; with no observer and no trace limit the hooks
+// compile down to nil checks and the simulation allocates nothing extra
+// (enforced by the benchmark gate). See the README's "Observability"
+// section.
+//
+// # API migration
+//
+// Earlier revisions exposed several narrower hooks; each remains as a thin
+// compatibility wrapper, and new code should use the replacement:
+//
+//   - Run(spec, opts) → RunContext(ctx, spec, opts): identical result bytes,
+//     plus mid-simulation cancellation when ctx ends.
+//   - RunSWF(r, opts) → RunSWFContext(ctx, r, opts): same as above for SWF
+//     replay.
+//   - SweepSpec.Progress → SweepSpec.Observer: the callback survives as an
+//     adapter over the Observer stream; an Observer receives the identical
+//     completions as "sweep_run" TraceEvents.
+//
+// The deprecated forms are frozen — they delegate in one line and gain no
+// new behavior — and scripts/depcheck.sh (run in CI) keeps non-test code off
+// them.
+//
+// Simulations can also be served as a service: cmd/pdpad is an HTTP daemon
+// (see the README's quickstart) whose worker pool reuses PDPA's own
+// admission rule, backed by internal/runqueue (PDPA-governed admission,
+// canonical-config-hash result cache, singleflight dedup, per-run deadlines,
+// per-run decision traces, graceful drain) and internal/server (JSON API,
+// server-sent progress events, decision-trace endpoint, Prometheus metrics).
 package pdpasim

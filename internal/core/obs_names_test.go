@@ -1,0 +1,18 @@
+package core
+
+import (
+	"testing"
+
+	"pdpasim/internal/obs"
+)
+
+// TestPolicyStateNames pins the name table obs uses to render recorded
+// From/To state values to core.State's own names: obs cannot import core, so
+// the mapping is duplicated and this test keeps the copies in sync.
+func TestPolicyStateNames(t *testing.T) {
+	for _, s := range []State{NoRef, Inc, Dec, Stable} {
+		if got := obs.PolicyStateName(int(s)); got != s.String() {
+			t.Errorf("obs.PolicyStateName(%d) = %q, core name %q", int(s), got, s.String())
+		}
+	}
+}

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"pdpasim/internal/obs"
 	"pdpasim/internal/sched"
 	"pdpasim/internal/sim"
 )
@@ -159,7 +160,14 @@ type PDPA struct {
 	// plan is the map returned by Plan, reused across calls; the manager
 	// consumes it before the next replan.
 	plan map[sched.JobID]int
+	// tr, when non-nil, receives decision-trace events: every state
+	// transition and every admission decision with its reason.
+	tr *obs.Trace
 }
+
+// SetTrace attaches a decision-trace recorder (nil detaches). Every state
+// transition and every WantsNewJob admission decision is recorded.
+func (p *PDPA) SetTrace(tr *obs.Trace) { p.tr = tr }
 
 // RecordHistory enables transition recording; History returns the log.
 func (p *PDPA) RecordHistory(on bool) { p.recordHistory = on }
@@ -344,6 +352,14 @@ func (p *PDPA) ReportPerformance(now sim.Time, job *sched.JobView, r sched.Repor
 				Procs: procs, Desired: s.desired, Efficiency: eff,
 			})
 		}
+		if p.tr != nil {
+			p.tr.Record(obs.Event{
+				At: now, Kind: obs.KindPolicyState, Job: int32(job.ID),
+				From: int32(prevState), To: int32(s.state),
+				Procs: int32(procs), Want: int32(s.desired),
+				Eff: eff, Speedup: speedup,
+			})
+		}
 	}
 }
 
@@ -429,10 +445,12 @@ func (p *PDPA) WantsNewJob(v sched.View) bool {
 		// Below the default multiprogramming level admission is
 		// unconditional, like the fixed-level policies; the
 		// run-to-completion minimum finds the new application a processor.
+		p.recordAdmission(v, obs.KindAdmit, obs.ReasonBelowBaseMPL, -1)
 		return true
 	}
 	if v.FreeCPUs() < 1 {
 		// Beyond it, "...when free processors are available".
+		p.recordAdmission(v, obs.KindDeny, obs.ReasonNoFreeCPUs, -1)
 		return false
 	}
 	for _, job := range v.Jobs {
@@ -441,8 +459,22 @@ func (p *PDPA) WantsNewJob(v sched.View) bool {
 			continue
 		}
 		if s.state == NoRef || s.state == Inc {
+			p.recordAdmission(v, obs.KindDeny, obs.ReasonUnsettled, int32(job.ID))
 			return false
 		}
 	}
+	p.recordAdmission(v, obs.KindAdmit, obs.ReasonJobsSettled, -1)
 	return true
+}
+
+// recordAdmission traces one WantsNewJob verdict; blocking names the
+// unsettled job a denial is waiting on (-1 when not applicable).
+func (p *PDPA) recordAdmission(v sched.View, kind obs.Kind, reason obs.Reason, blocking int32) {
+	if p.tr == nil {
+		return
+	}
+	p.tr.Record(obs.Event{
+		At: v.Now, Kind: kind, Reason: reason, Job: blocking,
+		Procs: int32(len(v.Jobs)),
+	})
 }

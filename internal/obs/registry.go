@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Families support one optional label; series values come
+// from owned Counters/Histograms or from read-time closures (for state that
+// already lives elsewhere, e.g. a pool's queue depth).
+//
+// Registration is safe for concurrent use, as is WritePrometheus; the output
+// is deterministic for a given set of values (families and series sorted by
+// name and label value).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type family struct {
+	name, help string
+	kind       metricKind
+	label      string // "" for unlabeled single-series families
+	buckets    []float64
+
+	counters   map[string]*Counter
+	counterFns map[string]func() uint64
+	gaugeFns   map[string]func() float64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, kind metricKind, label string) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, kind: kind, label: label,
+			counters:   map[string]*Counter{},
+			counterFns: map[string]func() uint64{},
+			gaugeFns:   map[string]func() float64{},
+			hists:      map[string]*Histogram{},
+		}
+		r.fams[name] = f
+	}
+	if f.kind != kind || f.label != label {
+		panic(fmt.Sprintf("obs: metric %q re-registered with a different type or label", name))
+	}
+	return f
+}
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Counter registers (or returns) the unlabeled counter name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.LabeledCounter(name, help, "", "")
+}
+
+// LabeledCounter registers (or returns) the series of counter family name
+// with label=value.
+func (r *Registry) LabeledCounter(name, help, label, value string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter, label)
+	c, ok := f.counters[value]
+	if !ok {
+		c = &Counter{}
+		f.counters[value] = c
+	}
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at exposition
+// time — for monotone state owned elsewhere.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.LabeledCounterFunc(name, help, "", "", fn)
+}
+
+// LabeledCounterFunc is CounterFunc for one series of a labeled family.
+func (r *Registry) LabeledCounterFunc(name, help, label, value string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.family(name, help, kindCounter, label).counterFns[value] = fn
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.family(name, help, kindGauge, "").gaugeFns[""] = fn
+}
+
+// Histogram is a fixed-bucket histogram, safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // upper bounds, ascending; an implicit +Inf follows
+	counts  []uint64  // len(buckets)+1, last is the +Inf bucket
+	sum     float64
+	count   uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Buckets are the upper bounds; Counts the per-bucket (non-cumulative)
+	// observation counts, with one extra trailing +Inf bucket.
+	Buckets []float64
+	Counts  []uint64
+	Sum     float64
+	Count   uint64
+}
+
+// Snapshot returns a copy of the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Buckets: h.buckets,
+		Counts:  append([]uint64(nil), h.counts...),
+		Sum:     h.sum,
+		Count:   h.count,
+	}
+}
+
+// Histogram registers (or returns) the unlabeled histogram name with the
+// given ascending upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.LabeledHistogram(name, help, "", "", buckets)
+}
+
+// LabeledHistogram registers (or returns) one series of a labeled histogram
+// family.
+func (r *Registry) LabeledHistogram(name, help, label, value string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindHistogram, label)
+	if f.buckets == nil {
+		f.buckets = append([]float64(nil), buckets...)
+	}
+	h, ok := f.hists[value]
+	if !ok {
+		h = &Histogram{buckets: f.buckets, counts: make([]uint64, len(f.buckets)+1)}
+		f.hists[value] = h
+	}
+	return h
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format, families sorted by name and series by label value.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	typ := "counter"
+	switch f.kind {
+	case kindGauge:
+		typ = "gauge"
+	case kindHistogram:
+		typ = "histogram"
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, typ); err != nil {
+		return err
+	}
+	series := make([]string, 0, len(f.counters)+len(f.counterFns)+len(f.gaugeFns)+len(f.hists))
+	seen := map[string]bool{}
+	add := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			series = append(series, v)
+		}
+	}
+	for v := range f.counters {
+		add(v)
+	}
+	for v := range f.counterFns {
+		add(v)
+	}
+	for v := range f.gaugeFns {
+		add(v)
+	}
+	for v := range f.hists {
+		add(v)
+	}
+	sort.Strings(series)
+	for _, value := range series {
+		if err := f.writeSeries(w, value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) labelSuffix(value string, extra string) string {
+	switch {
+	case f.label == "" && extra == "":
+		return ""
+	case f.label == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + f.label + "=" + strconv.Quote(value) + "}"
+	default:
+		return "{" + f.label + "=" + strconv.Quote(value) + "," + extra + "}"
+	}
+}
+
+func (f *family) writeSeries(w io.Writer, value string) error {
+	switch f.kind {
+	case kindCounter:
+		var v uint64
+		if c, ok := f.counters[value]; ok {
+			v = c.Value()
+		} else if fn, ok := f.counterFns[value]; ok {
+			v = fn()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, f.labelSuffix(value, ""), v)
+		return err
+	case kindGauge:
+		fn := f.gaugeFns[value]
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, f.labelSuffix(value, ""), formatFloat(fn()))
+		return err
+	case kindHistogram:
+		s := f.hists[value].Snapshot()
+		cum := uint64(0)
+		for i, le := range s.Buckets {
+			cum += s.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, f.labelSuffix(value, `le="`+formatFloat(le)+`"`), cum); err != nil {
+				return err
+			}
+		}
+		cum += s.Counts[len(s.Buckets)]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, f.labelSuffix(value, `le="+Inf"`), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			f.name, f.labelSuffix(value, ""), formatFloat(s.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, f.labelSuffix(value, ""), cum)
+		return err
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,29 @@
+package obs
+
+import "time"
+
+// Span measures one wall-clock interval into a histogram — the span-style
+// timing the daemon threads through submit→queue→simulate→export. A Span
+// with a nil histogram is a no-op, so callers can time unconditionally.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan opens a span observing into h when ended.
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End closes the span, observes the elapsed seconds, and returns them.
+func (s Span) End() float64 {
+	if s.h == nil {
+		return 0
+	}
+	sec := time.Since(s.start).Seconds()
+	s.h.Observe(sec)
+	return sec
+}

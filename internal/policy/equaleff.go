@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"pdpasim/internal/obs"
 	"pdpasim/internal/sched"
 	"pdpasim/internal/sim"
 )
@@ -23,7 +24,12 @@ type EqualEfficiency struct {
 	// S(p) = p / (1 + alpha·(p-1)), i.e. eff(p) = 1 / (1 + alpha·(p-1)).
 	// alpha 0 = perfect scaling; negative = superlinear.
 	alpha map[sched.JobID]float64
+	tr    *obs.Trace
 }
+
+// SetTrace attaches a decision-trace recorder (nil detaches): every curve
+// refit is recorded as an extrapolate event carrying the fitted alpha.
+func (e *EqualEfficiency) SetTrace(tr *obs.Trace) { e.tr = tr }
 
 // NewEqualEfficiency returns an Equal_efficiency policy extrapolating from
 // the most recent report — the per-measurement sensitivity the paper
@@ -69,6 +75,12 @@ func (e *EqualEfficiency) ReportPerformance(now sim.Time, job *sched.JobView, r 
 		return
 	}
 	e.alpha[job.ID] = sum / float64(n)
+	if e.tr != nil {
+		e.tr.Record(obs.Event{
+			At: now, Kind: obs.KindExtrapolate, Job: int32(job.ID),
+			Procs: int32(r.Procs), Eff: r.Efficiency, Speedup: e.alpha[job.ID],
+		})
+	}
 }
 
 // extrapolatedEff returns the fitted efficiency of the job at p processors.

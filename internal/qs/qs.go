@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"pdpasim/internal/app"
+	"pdpasim/internal/obs"
 	"pdpasim/internal/sim"
 	"pdpasim/internal/trace"
 	"pdpasim/internal/workload"
@@ -28,6 +29,7 @@ type QueuingSystem struct {
 	canAdmit func() bool
 	start    func(job workload.Job)
 	rec      *trace.Recorder
+	tr       *obs.Trace
 
 	// queue is a head-indexed FIFO: Enqueue appends, TryStart advances head,
 	// and the backing array is reused once drained — reslicing the front off
@@ -100,6 +102,12 @@ func (s *submission) next() {
 	s.q.Enqueue(job)
 }
 
+// SetTrace attaches a decision-trace recorder (nil detaches): job arrivals
+// and starts are recorded, plus fixed-MPL admission decisions when a fixed
+// multiprogramming level governs (under coordinated admission the policy
+// records its own decisions with richer reasons).
+func (q *QueuingSystem) SetTrace(tr *obs.Trace) { q.tr = tr }
+
 // SetOrder installs a queue discipline: less reports whether a should start
 // before b. Nil (the default) keeps FIFO submission order. The discipline
 // re-sorts the queue at every enqueue; the paper's NANOS QS is FIFO, but
@@ -128,6 +136,12 @@ func (q *QueuingSystem) Enqueue(job workload.Job) {
 		q.head = 0
 	}
 	q.queue = append(q.queue, job)
+	if q.tr != nil {
+		q.tr.Record(obs.Event{
+			At: q.eng.Now(), Kind: obs.KindJobArrive,
+			Job: int32(job.ID), Procs: int32(job.Request),
+		})
+	}
 	if q.less != nil {
 		waiting := q.queue[q.head:]
 		sort.SliceStable(waiting, func(i, j int) bool { return q.less(waiting[i], waiting[j]) })
@@ -153,15 +167,35 @@ func (q *QueuingSystem) TryStart() {
 	defer func() { q.inTryStart = false }()
 	for q.head < len(q.queue) {
 		if q.fixedMPL > 0 && q.running >= q.fixedMPL {
+			if q.tr != nil {
+				q.tr.Record(obs.Event{
+					At: q.eng.Now(), Kind: obs.KindDeny,
+					Reason: obs.ReasonFixedMPLFull, Job: -1, Procs: int32(q.running),
+				})
+			}
 			break
 		}
 		if q.canAdmit != nil && !q.canAdmit() {
+			// Coordinated admission: the policy's WantsNewJob records the
+			// denial and its reason itself.
 			break
 		}
 		job := q.queue[q.head]
 		q.head++
 		q.running++
 		q.started++
+		if q.tr != nil {
+			if q.fixedMPL > 0 {
+				q.tr.Record(obs.Event{
+					At: q.eng.Now(), Kind: obs.KindAdmit,
+					Reason: obs.ReasonBelowFixedMPL, Job: int32(job.ID), Procs: int32(q.running - 1),
+				})
+			}
+			q.tr.Record(obs.Event{
+				At: q.eng.Now(), Kind: obs.KindJobStart,
+				Job: int32(job.ID), Procs: int32(job.Request),
+			})
+		}
 		q.observeMPL()
 		q.start(job)
 	}

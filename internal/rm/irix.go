@@ -3,6 +3,7 @@ package rm
 import (
 	"pdpasim/internal/machine"
 	"pdpasim/internal/nthlib"
+	"pdpasim/internal/obs"
 	"pdpasim/internal/sched"
 	"pdpasim/internal/selfanalyzer"
 	"pdpasim/internal/sim"
@@ -59,6 +60,10 @@ type irixJob struct {
 	id      sched.JobID
 	rt      *nthlib.Runtime
 	threads int // kernel threads (OMP_NUM_THREADS, adapted by OMP_DYNAMIC)
+	// lastK is the thread-on-CPU count of the previous quantum; a running→0
+	// edge is a preemption for the decision trace (recording the edge, not
+	// every idle quantum, keeps the event count bounded).
+	lastK int32
 }
 
 // IRIXManager models the native IRIX scheduler with the SGI-MP runtime:
@@ -78,6 +83,7 @@ type IRIXManager struct {
 	mach *machine.Machine
 	rec  *trace.Recorder
 	cfg  IRIXConfig
+	tr   *obs.Trace
 
 	// order is the running set sorted by ascending id, maintained on
 	// StartJob/JobFinished; lookups binary-search it.
@@ -131,6 +137,10 @@ func (m *IRIXManager) orderIndex(id sched.JobID) int {
 
 // Name implements Manager.
 func (m *IRIXManager) Name() string { return "IRIX" }
+
+// SetTrace attaches a decision-trace recorder (nil detaches): preemptions —
+// an application losing all its CPUs for a quantum — are recorded.
+func (m *IRIXManager) SetTrace(tr *obs.Trace) { m.tr = tr }
 
 // Running implements Manager.
 func (m *IRIXManager) Running() int { return len(m.order) }
@@ -332,9 +342,16 @@ func (m *IRIXManager) place() {
 			m.rec.ObserveAllocation(now, int(j.id), k)
 		}
 		if k == 0 {
+			if m.tr != nil && j.lastK > 0 {
+				m.tr.Record(obs.Event{
+					At: now, Kind: obs.KindPreempt, Job: int32(j.id), From: j.lastK,
+				})
+			}
+			j.lastK = 0
 			j.rt.SetRawRate(0, 0)
 			continue
 		}
+		j.lastK = int32(k)
 		s := j.rt.Profile().SpeedupAt(j.rt.IterationsDone()).Speedup(j.threads)
 		rate := s * float64(k) / float64(j.threads)
 		if oversubscribed {

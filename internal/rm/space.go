@@ -3,6 +3,7 @@ package rm
 import (
 	"pdpasim/internal/machine"
 	"pdpasim/internal/nthlib"
+	"pdpasim/internal/obs"
 	"pdpasim/internal/sched"
 	"pdpasim/internal/selfanalyzer"
 	"pdpasim/internal/sim"
@@ -29,6 +30,7 @@ type SpaceManager struct {
 	queued           func() int
 	replanning       bool
 	replanPending    bool
+	tr               *obs.Trace
 
 	// Snapshot scratch buffers, reused across calls because snapshot runs on
 	// every replan and admission check and the allocations dominate the GC
@@ -42,6 +44,10 @@ type SpaceManager struct {
 // SetQueuedFunc wires the queuing system's queue-depth accessor into the
 // views handed to the policy (load-adaptive policies read it).
 func (m *SpaceManager) SetQueuedFunc(fn func() int) { m.queued = fn }
+
+// SetTrace attaches a decision-trace recorder (nil detaches): performance
+// reports and machine reallocations are recorded.
+func (m *SpaceManager) SetTrace(tr *obs.Trace) { m.tr = tr }
 
 // NewSpaceManager returns a manager driving pol over mach. rec may be nil.
 func NewSpaceManager(eng *sim.Engine, mach *machine.Machine, pol sched.Policy, rec *trace.Recorder) *SpaceManager {
@@ -94,6 +100,12 @@ func (m *SpaceManager) ReportPerformance(id sched.JobID, meas selfanalyzer.Measu
 		IterTime:   meas.IterTime,
 	}
 	j.view.Reports = append(j.view.Reports, r)
+	if m.tr != nil {
+		m.tr.Record(obs.Event{
+			At: r.At, Kind: obs.KindReport, Job: int32(id),
+			Procs: int32(r.Procs), Eff: r.Efficiency, Speedup: r.Speedup,
+		})
+	}
 	m.pol.ReportPerformance(m.eng.Now(), j.view, r)
 	m.replan()
 }
@@ -295,6 +307,12 @@ func (m *SpaceManager) apply(now sim.Time, j *managedJob, want int) {
 	granted := m.mach.Resize(now, int(j.view.ID), want)
 	if granted == j.view.Allocated {
 		return
+	}
+	if m.tr != nil {
+		m.tr.Record(obs.Event{
+			At: now, Kind: obs.KindRealloc, Job: int32(j.view.ID),
+			From: int32(j.view.Allocated), To: int32(granted), Want: int32(want),
+		})
 	}
 	j.view.Allocated = granted
 	j.rt.SetAllocation(granted)

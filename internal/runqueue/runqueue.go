@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pdpasim"
+	"pdpasim/internal/obs"
 )
 
 // State is a run's lifecycle state.
@@ -62,8 +63,20 @@ type Config struct {
 	// DefaultDeadline bounds each run's total latency (queue wait plus
 	// simulation) when the submitter sets none; 0 means no deadline.
 	DefaultDeadline time.Duration
+	// TraceLimit bounds the decision-trace events retained per run; the
+	// recorded trace is stored alongside the result (evicted with the run's
+	// history entry) and served at GET /v1/runs/{id}/trace. 0 means the
+	// default 2000; negative disables per-run decision tracing.
+	TraceLimit int
+	// Observer, when set, receives one "run_state" TraceEvent per run
+	// lifecycle transition (ID is the run ID, State the new state, Reason
+	// the error message if any). Delivery is asynchronous through a bounded
+	// buffer so a slow observer never blocks the pool; overflow is dropped
+	// and counted in pdpad_observer_dropped_total.
+	Observer pdpasim.Observer
 	// Simulate overrides the simulation function (default: the real
-	// simulator via pdpasim.RunContext).
+	// simulator via pdpasim.RunContext, with decision tracing per
+	// TraceLimit).
 	Simulate SimulateFunc
 }
 
@@ -89,9 +102,16 @@ func (c Config) withDefaults() Config {
 	if c.HistoryLimit <= 0 {
 		c.HistoryLimit = 2048
 	}
+	if c.TraceLimit == 0 {
+		c.TraceLimit = 2000
+	}
 	if c.Simulate == nil {
+		limit := c.TraceLimit
 		c.Simulate = func(ctx context.Context, spec Spec) (*pdpasim.Outcome, error) {
 			ws, opts := spec.Facade()
+			if limit > 0 {
+				opts.DecisionTrace = limit
+			}
 			return pdpasim.RunContext(ctx, ws, opts)
 		}
 	}
@@ -117,6 +137,7 @@ type run struct {
 	state      State
 	err        error
 	resultJSON []byte
+	traceJSON  []byte
 	submitted  time.Time
 	started    time.Time
 	finished   time.Time
@@ -140,6 +161,9 @@ type Snapshot struct {
 	Finished  time.Time
 	// ResultJSON is the full serialized result once the run is Done.
 	ResultJSON []byte
+	// TraceJSON is the run's serialized decision trace ({"events": [...],
+	// "dropped": n}) once Done, when tracing was enabled.
+	TraceJSON []byte
 }
 
 // SubmitResult reports how a submission was resolved.
@@ -171,17 +195,99 @@ type WallHistogram struct {
 // BucketBounds returns the bucket upper bounds in seconds.
 func (WallHistogram) BucketBounds() []float64 { return wallBuckets }
 
-func (h *WallHistogram) observe(seconds float64) {
-	if h.Counts == nil {
-		h.Counts = make([]uint64, len(wallBuckets))
+// wallFromSnapshot converts an obs histogram snapshot (non-cumulative
+// counts) to the cumulative WallHistogram wire form.
+func wallFromSnapshot(s obs.HistogramSnapshot) WallHistogram {
+	counts := make([]uint64, len(s.Buckets))
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Counts[i]
+		counts[i] = cum
 	}
-	for i, le := range wallBuckets {
-		if seconds <= le {
-			h.Counts[i]++
-		}
+	return WallHistogram{Counts: counts, Sum: s.Sum, Count: s.Count}
+}
+
+// traceEventBuckets bucket per-run decision-trace event totals;
+// allocBuckets bucket per-job time-averaged processor allocations.
+var (
+	traceEventBuckets = []float64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000}
+	allocBuckets      = []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64}
+)
+
+// poolMetrics is the pool's obs.Registry plus the instruments it owns. The
+// registry renders every pdpad_* series for the daemon's /metrics endpoint;
+// gauges and the lifecycle counters read pool state through closures at
+// exposition time, so there is no double bookkeeping.
+type poolMetrics struct {
+	reg *obs.Registry
+
+	wall        *obs.Histogram // simulation wall time per run
+	queueWait   *obs.Histogram // queue wait per started run
+	traceEvents *obs.Histogram // decision events recorded per run
+	allocProcs  *obs.Histogram // time-averaged processors per finished job
+
+	sseDropped      *obs.Counter // events dropped on slow SSE subscribers
+	observerDropped *obs.Counter // events dropped on a slow Config.Observer
+}
+
+func (p *Pool) initMetrics() {
+	reg := obs.NewRegistry()
+	m := &poolMetrics{reg: reg}
+
+	locked := func(f func() float64) func() float64 {
+		return func() float64 { p.mu.Lock(); defer p.mu.Unlock(); return f() }
 	}
-	h.Sum += seconds
-	h.Count++
+	lockedU := func(f func() uint64) func() uint64 {
+		return func() uint64 { p.mu.Lock(); defer p.mu.Unlock(); return f() }
+	}
+	reg.GaugeFunc("pdpad_queue_depth", "Runs waiting in the FIFO queue.",
+		locked(func() float64 { return float64(len(p.queue)) }))
+	reg.GaugeFunc("pdpad_inflight_runs", "Simulations currently executing.",
+		locked(func() float64 { return float64(len(p.running)) }))
+	reg.GaugeFunc("pdpad_cached_results", "Completed results held in the LRU cache.",
+		locked(func() float64 { return float64(len(p.cacheLRU)) }))
+	reg.GaugeFunc("pdpad_draining", "1 while the pool is draining for shutdown.",
+		locked(func() float64 {
+			if p.draining {
+				return 1
+			}
+			return 0
+		}))
+
+	reg.CounterFunc("pdpad_runs_submitted_total", "Submissions received, including cache and dedup hits.",
+		lockedU(func() uint64 { return p.stats.Submitted }))
+	reg.CounterFunc("pdpad_runs_started_total", "Simulations started.",
+		lockedU(func() uint64 { return p.stats.Started }))
+	reg.CounterFunc("pdpad_cache_hits_total", "Submissions served from the result cache.",
+		lockedU(func() uint64 { return p.stats.CacheHits }))
+	reg.CounterFunc("pdpad_cache_misses_total", "Submissions that required a fresh simulation.",
+		lockedU(func() uint64 { return p.stats.CacheMisses }))
+	reg.CounterFunc("pdpad_dedup_hits_total", "Submissions that joined an identical in-flight run (singleflight).",
+		lockedU(func() uint64 { return p.stats.DedupHits }))
+	const finished = "pdpad_runs_finished_total"
+	const finishedHelp = "Runs finished, by terminal state."
+	reg.LabeledCounterFunc(finished, finishedHelp, "state", "done",
+		lockedU(func() uint64 { return p.stats.Done }))
+	reg.LabeledCounterFunc(finished, finishedHelp, "state", "failed",
+		lockedU(func() uint64 { return p.stats.Failed }))
+	reg.LabeledCounterFunc(finished, finishedHelp, "state", "canceled",
+		lockedU(func() uint64 { return p.stats.Canceled }))
+
+	m.wall = reg.Histogram("pdpad_run_wall_seconds",
+		"Per-run simulation wall time.", wallBuckets)
+	m.queueWait = reg.Histogram("pdpad_run_queue_wait_seconds",
+		"Time each started run spent queued before admission.", wallBuckets)
+	m.traceEvents = reg.Histogram("pdpad_run_trace_events",
+		"Decision-trace events recorded per run (retained plus dropped).", traceEventBuckets)
+	m.allocProcs = reg.Histogram("pdpad_job_alloc_processors",
+		"Time-averaged processor allocation per finished job.", allocBuckets)
+
+	m.sseDropped = reg.Counter("pdpad_sse_dropped_total",
+		"Lifecycle events dropped on slow SSE subscribers.")
+	m.observerDropped = reg.Counter("pdpad_observer_dropped_total",
+		"Lifecycle events dropped because the configured observer lagged.")
+
+	p.met = m
 }
 
 // Stats is a consistent snapshot of the pool's counters, the source for the
@@ -222,18 +328,47 @@ type Pool struct {
 	recheck  *time.Timer   // pending warm-up re-evaluation
 
 	stats Stats
+	met   *poolMetrics
+
+	// observerCh decouples Config.Observer from the pool lock: lifecycle
+	// events are enqueued non-blockingly and a dedicated goroutine delivers
+	// them, so a slow observer drops events instead of stalling the pool.
+	observerCh chan pdpasim.TraceEvent
+	obsSeq     int
 }
+
+// observerBuffer bounds how many undelivered observer events may be pending.
+const observerBuffer = 256
 
 // New returns a ready pool.
 func New(cfg Config) *Pool {
-	return &Pool{
+	p := &Pool{
 		cfg:     cfg.withDefaults(),
 		runs:    make(map[string]*run),
 		byKey:   make(map[string]*run),
 		running: make(map[*run]struct{}),
 		idle:    make(chan struct{}),
 	}
+	p.initMetrics()
+	if p.cfg.Observer != nil {
+		p.observerCh = make(chan pdpasim.TraceEvent, observerBuffer)
+		go p.forwardObserver()
+	}
+	return p
 }
+
+// forwardObserver delivers queued lifecycle events to Config.Observer. It
+// lives for the pool's lifetime (pools have no close; a daemon runs one).
+func (p *Pool) forwardObserver() {
+	for e := range p.observerCh {
+		p.cfg.Observer.Observe(e)
+	}
+}
+
+// Metrics returns the pool's metric registry — every pdpad_* series the
+// daemon exposes at /metrics, in Prometheus text exposition via
+// WritePrometheus.
+func (p *Pool) Metrics() *obs.Registry { return p.met.reg }
 
 // Submit enqueues a spec. An identical spec already queued, running, or
 // completed is joined instead of re-simulated (singleflight / cache hit).
@@ -367,6 +502,7 @@ func (p *Pool) startLocked(r *run) {
 	r.cancel = cancel
 	p.running[r] = struct{}{}
 	p.stats.Started++
+	p.met.queueWait.Observe(now.Sub(r.submitted).Seconds())
 	p.broadcastLocked(r, "")
 	go p.execute(ctx, cancel, r)
 }
@@ -374,24 +510,37 @@ func (p *Pool) startLocked(r *run) {
 // execute runs the simulation outside the lock and records the outcome.
 func (p *Pool) execute(ctx context.Context, cancel context.CancelFunc, r *run) {
 	defer cancel()
+	span := obs.StartSpan(p.met.wall)
 	out, err := p.cfg.Simulate(ctx, r.spec)
+	span.End()
 	var buf bytes.Buffer
+	var traceJSON []byte
 	if err == nil {
 		if out == nil {
 			err = errors.New("runqueue: simulation returned no outcome")
 		} else {
 			err = out.WriteJSON(&buf)
+			if dt := out.DecisionTrace(); dt != nil {
+				var tb bytes.Buffer
+				if dt.WriteJSON(&tb) == nil {
+					traceJSON = tb.Bytes()
+				}
+				p.met.traceEvents.Observe(float64(dt.Len() + dt.Dropped()))
+			}
+			for _, j := range out.Jobs {
+				p.met.allocProcs.Observe(j.AvgProcessors)
+			}
 		}
 	}
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	delete(p.running, r)
-	p.stats.Wall.observe(time.Since(r.started).Seconds())
 	switch {
 	case err == nil:
 		r.state = Done
 		r.resultJSON = buf.Bytes()
+		r.traceJSON = traceJSON
 	case r.cancelRequested || errors.Is(err, context.Canceled):
 		r.state = Canceled
 		r.err = err
@@ -483,10 +632,12 @@ func (p *Pool) signalIdleLocked() {
 	}
 }
 
-// broadcastLocked fans the run's current state out to subscribers. Sends
-// never block: a slow subscriber drops intermediate events (the SSE handler
-// re-reads the final state via Get).
+// broadcastLocked fans the run's current state out to subscribers and the
+// pool observer. Sends never block: a slow subscriber drops intermediate
+// events — counted in pdpad_sse_dropped_total — and the SSE handler re-reads
+// the final state via Get, so the terminal transition is never lost.
 func (p *Pool) broadcastLocked(r *run, msg string) {
+	p.notifyObserverLocked(r, msg)
 	if len(r.subs) == 0 {
 		return
 	}
@@ -495,7 +646,30 @@ func (p *Pool) broadcastLocked(r *run, msg string) {
 		select {
 		case ch <- ev:
 		default:
+			p.met.sseDropped.Inc()
 		}
+	}
+}
+
+// notifyObserverLocked enqueues one "run_state" TraceEvent for the pool
+// observer without blocking: overflow is dropped and counted.
+func (p *Pool) notifyObserverLocked(r *run, msg string) {
+	if p.observerCh == nil {
+		return
+	}
+	e := pdpasim.TraceEvent{
+		Seq:    p.obsSeq,
+		Kind:   "run_state",
+		Job:    -1,
+		ID:     r.id,
+		State:  string(r.state),
+		Reason: msg,
+	}
+	p.obsSeq++
+	select {
+	case p.observerCh <- e:
+	default:
+		p.met.observerDropped.Inc()
 	}
 }
 
@@ -541,6 +715,7 @@ func (r *run) snapshotLocked() Snapshot {
 		Started:    r.started,
 		Finished:   r.finished,
 		ResultJSON: r.resultJSON,
+		TraceJSON:  r.traceJSON,
 	}
 }
 
@@ -653,6 +828,6 @@ func (p *Pool) Stats() Stats {
 	s.Inflight = len(p.running)
 	s.CachedRuns = len(p.cacheLRU)
 	s.Draining = p.draining
-	s.Wall.Counts = append([]uint64(nil), p.stats.Wall.Counts...)
+	s.Wall = wallFromSnapshot(p.met.wall.Snapshot())
 	return s
 }

@@ -599,6 +599,91 @@ func TestQueueLimit(t *testing.T) {
 }
 
 // TestStatsWallHistogram: completed runs land in the wall-time histogram.
+// TestRunTraceStored: a done run retains its serialized decision trace
+// (PDPA policy decisions with reasons), and TraceLimit < 0 disables it.
+func TestRunTraceStored(t *testing.T) {
+	p := New(Config{})
+	spec := tinySpec(11)
+	spec.Options.Policy = "pdpa"
+	r, err := p.Submit(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, _ := p.Done(r.ID)
+	<-done
+	snap, err := p.Get(r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Done {
+		t.Fatalf("run ended %s (err %v)", snap.State, snap.Err)
+	}
+	if len(snap.TraceJSON) == 0 {
+		t.Fatal("done run has no stored decision trace")
+	}
+	for _, want := range []string{`"kind": "policy_state"`, `"kind": "admit"`, `"reason"`} {
+		if !strings.Contains(string(snap.TraceJSON), want) {
+			t.Errorf("trace JSON missing %s", want)
+		}
+	}
+
+	off := New(Config{TraceLimit: -1})
+	r2, err := off.Submit(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2, _ := off.Done(r2.ID)
+	<-done2
+	snap2, _ := off.Get(r2.ID)
+	if len(snap2.TraceJSON) != 0 {
+		t.Fatal("tracing disabled but a trace was stored")
+	}
+}
+
+// TestPoolObserverStream: Config.Observer receives the queued → running →
+// done lifecycle as run_state TraceEvents, delivered off the pool lock.
+func TestPoolObserverStream(t *testing.T) {
+	var mu sync.Mutex
+	events := map[string][]string{}
+	seen := make(chan struct{}, 16)
+	p := New(Config{Observer: pdpasim.ObserverFunc(func(e pdpasim.TraceEvent) {
+		if e.Kind != "run_state" {
+			t.Errorf("unexpected kind %q", e.Kind)
+		}
+		mu.Lock()
+		events[e.ID] = append(events[e.ID], e.State)
+		mu.Unlock()
+		seen <- struct{}{}
+	})})
+	r, err := p.Submit(tinySpec(12), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, _ := p.Done(r.ID)
+	<-done
+	// Delivery is asynchronous; wait for the terminal event to arrive.
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		states := append([]string(nil), events[r.ID]...)
+		mu.Unlock()
+		if len(states) >= 3 {
+			want := []string{"queued", "running", "done"}
+			for i, s := range states {
+				if s != want[i] {
+					t.Fatalf("lifecycle %v, want %v", states, want)
+				}
+			}
+			return
+		}
+		select {
+		case <-seen:
+		case <-deadline:
+			t.Fatalf("observer saw only %v", states)
+		}
+	}
+}
+
 func TestStatsWallHistogram(t *testing.T) {
 	p := New(Config{})
 	r, err := p.Submit(tinySpec(5), 0)

@@ -1,62 +1,14 @@
 package server
 
-import (
-	"fmt"
-	"net/http"
-	"strconv"
-)
+import "net/http"
 
-// handleMetrics renders the pool's counters in the Prometheus text
-// exposition format (version 0.0.4), hand-rolled to keep the daemon
+// handleMetrics renders the pool's metric registry in the Prometheus text
+// exposition format (version 0.0.4). Gauges and lifecycle counters read pool
+// state at exposition time; histograms (run wall time, queue wait, decision
+// events per run, per-job allocations) are observed by the pool as runs
+// move. The registry is hand-rolled (internal/obs) to keep the daemon
 // dependency-free.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.pool.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
-			name, help, name, name, formatFloat(v))
-	}
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
-			name, help, name, name, v)
-	}
-
-	gauge("pdpad_queue_depth", "Runs waiting in the FIFO queue.", float64(st.QueueDepth))
-	gauge("pdpad_inflight_runs", "Simulations currently executing.", float64(st.Inflight))
-	gauge("pdpad_cached_results", "Completed results held in the LRU cache.", float64(st.CachedRuns))
-	draining := 0.0
-	if st.Draining {
-		draining = 1
-	}
-	gauge("pdpad_draining", "1 while the pool is draining for shutdown.", draining)
-
-	counter("pdpad_runs_submitted_total", "Submissions received, including cache and dedup hits.", st.Submitted)
-	counter("pdpad_runs_started_total", "Simulations started.", st.Started)
-	counter("pdpad_cache_hits_total", "Submissions served from the result cache.", st.CacheHits)
-	counter("pdpad_cache_misses_total", "Submissions that required a fresh simulation.", st.CacheMisses)
-	counter("pdpad_dedup_hits_total", "Submissions that joined an identical in-flight run (singleflight).", st.DedupHits)
-
-	const byState = "pdpad_runs_finished_total"
-	fmt.Fprintf(w, "# HELP %s Runs finished, by terminal state.\n# TYPE %s counter\n", byState, byState)
-	fmt.Fprintf(w, "%s{state=\"done\"} %d\n", byState, st.Done)
-	fmt.Fprintf(w, "%s{state=\"failed\"} %d\n", byState, st.Failed)
-	fmt.Fprintf(w, "%s{state=\"canceled\"} %d\n", byState, st.Canceled)
-
-	const wall = "pdpad_run_wall_seconds"
-	fmt.Fprintf(w, "# HELP %s Per-run simulation wall time.\n# TYPE %s histogram\n", wall, wall)
-	for i, le := range st.Wall.BucketBounds() {
-		var count uint64
-		if i < len(st.Wall.Counts) {
-			count = st.Wall.Counts[i]
-		}
-		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", wall, formatFloat(le), count)
-	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", wall, st.Wall.Count)
-	fmt.Fprintf(w, "%s_sum %s\n", wall, formatFloat(st.Wall.Sum))
-	fmt.Fprintf(w, "%s_count %d\n", wall, st.Wall.Count)
-}
-
-func formatFloat(v float64) string {
-	return strconv.FormatFloat(v, 'g', -1, 64)
+	s.pool.Metrics().WritePrometheus(w)
 }

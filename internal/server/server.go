@@ -6,6 +6,7 @@
 //	GET    /v1/runs/{id}        status, and the full result once done
 //	DELETE /v1/runs/{id}        cancel a queued or running simulation
 //	GET    /v1/runs/{id}/events server-sent lifecycle events
+//	GET    /v1/runs/{id}/trace  the run's recorded decision trace (JSON)
 //	POST   /v1/sweeps           submit a policy × mix × load × seed grid
 //	GET    /v1/sweeps           list known sweeps, newest first
 //	GET    /v1/sweeps/{id}      progress, and per-cell aggregates once done
@@ -48,6 +49,7 @@ func New(pool *runqueue.Pool) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleListSweeps)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
@@ -240,6 +242,26 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// handleTrace serves the run's recorded decision trace: the ordered event
+// stream explaining every scheduling decision ({"events": [...], "dropped":
+// n}, the pdpasim.DecisionTrace JSON schema). Available once the run is
+// done, unless the pool was configured with tracing disabled.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.pool.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if len(snap.TraceJSON) == 0 {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("run %s has no decision trace (state %s; tracing may be disabled)", snap.ID, snap.State))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(snap.TraceJSON)
 }
 
 // SweepSubmitRequest is the POST /v1/sweeps payload: the grid plus an

@@ -244,6 +244,78 @@ func TestSSEStreamsLifecycle(t *testing.T) {
 	}
 }
 
+// TestTraceEndpoint: a done run serves its recorded decision trace with
+// policy decisions and reasons; pools with tracing disabled and unknown runs
+// 404.
+func TestTraceEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, runqueue.Config{})
+	sr, _ := postRun(t, ts, submitBody("w1", 61, "pdpa"))
+	waitRunState(t, ts, sr.ID, "done")
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + sr.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var trace struct {
+		Events []struct {
+			Kind   string `json:"kind"`
+			Reason string `json:"reason"`
+		} `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Events) == 0 {
+		t.Fatal("trace has no events")
+	}
+	kinds := map[string]bool{}
+	reasons := map[string]bool{}
+	for _, e := range trace.Events {
+		kinds[e.Kind] = true
+		if e.Reason != "" {
+			reasons[e.Reason] = true
+		}
+	}
+	for _, want := range []string{"run_start", "policy_state", "admit", "realloc", "run_end"} {
+		if !kinds[want] {
+			t.Errorf("trace missing %q events (kinds %v)", want, kinds)
+		}
+	}
+	if len(reasons) == 0 {
+		t.Error("no admission decision carries a reason")
+	}
+
+	// Unknown run: 404.
+	resp2, err := http.Get(ts.URL + "/v1/runs/run-999999/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run trace: status %d, want 404", resp2.StatusCode)
+	}
+
+	// Tracing disabled: 404 with an explanatory error.
+	tsOff, _ := newTestServer(t, runqueue.Config{TraceLimit: -1})
+	srOff, _ := postRun(t, tsOff, submitBody("w1", 61, "pdpa"))
+	waitRunState(t, tsOff, srOff.ID, "done")
+	resp3, err := http.Get(tsOff.URL + "/v1/runs/" + srOff.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace with tracing disabled: status %d, want 404", resp3.StatusCode)
+	}
+}
+
 // TestAdmissionVisibleThroughAPI: with base=1/max=2 and a long warm-up, a
 // second distinct spec stays queued (visible via /metrics queue depth) until
 // the first is past warm-up.

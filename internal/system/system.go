@@ -19,6 +19,7 @@ import (
 	"pdpasim/internal/memory"
 	"pdpasim/internal/metrics"
 	"pdpasim/internal/nthlib"
+	"pdpasim/internal/obs"
 	"pdpasim/internal/policy"
 	"pdpasim/internal/qs"
 	"pdpasim/internal/rm"
@@ -107,6 +108,13 @@ type Config struct {
 	// QueueOrder selects the queuing discipline: "" or "fifo" (the paper's
 	// NANOS QS), or "sjf" (shortest job first by estimated work).
 	QueueOrder string
+	// Trace, when non-nil, receives the run's decision-trace events: run and
+	// job lifecycle, performance reports, policy state transitions,
+	// admission decisions, reallocations, and preemptions. Events are
+	// recorded from inside the event loop, so the trace is deterministic for
+	// a fixed seed. Nil-checked on every hot path: a run without a trace
+	// pays nothing.
+	Trace *obs.Trace
 }
 
 // MemoryConfig parameterizes the page-placement model.
@@ -174,6 +182,7 @@ type runState struct {
 	mgr       rm.Manager
 	queue     *qs.QueuingSystem
 	memDone   func(id int)
+	tr        *obs.Trace
 	completed int
 }
 
@@ -200,6 +209,9 @@ func (t *jobTrack) OnDone() {
 	t.end = rs.eng.Now()
 	t.done = true
 	rs.completed++
+	if rs.tr != nil {
+		rs.tr.Record(obs.Event{At: t.end, Kind: obs.KindJobDone, Job: int32(t.job.ID)})
+	}
 	rs.memDone(t.job.ID)
 	rs.mgr.JobFinished(sched.JobID(t.job.ID))
 	rs.queue.JobCompleted()
@@ -270,7 +282,27 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 	}
 	tracks := make([]jobTrack, maxID+1)
 	runtimes := make([]nthlib.Runtime, maxID+1)
-	rs := &runState{eng: eng, mgr: mgr, memDone: func(id int) {}}
+	rs := &runState{eng: eng, mgr: mgr, memDone: func(id int) {}, tr: c.Trace}
+
+	if c.Trace != nil {
+		c.Trace.Record(obs.Event{
+			At: 0, Kind: obs.KindRunStart, Job: -1,
+			Procs: int32(w.NCPU), Want: int32(len(w.Jobs)),
+		})
+		// Fan the recorder out to every layer that traces decisions. The
+		// space manager's policy is reached through the optional SetTrace
+		// interface (PDPA and Equal_efficiency implement it; Adaptive
+		// promotes PDPA's).
+		switch mg := mgr.(type) {
+		case *rm.SpaceManager:
+			mg.SetTrace(c.Trace)
+			if tp, ok := mg.Policy().(interface{ SetTrace(*obs.Trace) }); ok {
+				tp.SetTrace(c.Trace)
+			}
+		case *rm.IRIXManager:
+			mg.SetTrace(c.Trace)
+		}
+	}
 
 	// Optional CC-NUMA memory model (space sharing only; the IRIX model's
 	// migration cost already folds locality loss in).
@@ -344,6 +376,9 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 		memStart(job.ID)
 	}
 	queue := qs.New(eng, fixedMPL, mgr.CanAdmit, start, rec)
+	if c.Trace != nil {
+		queue.SetTrace(c.Trace)
+	}
 	rs.queue = queue
 	if sm, ok := mgr.(*rm.SpaceManager); ok {
 		sm.SetQueuedFunc(queue.Queued)
@@ -381,6 +416,9 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 		}
 	}
 	rec.Close(end)
+	if c.Trace != nil {
+		c.Trace.Record(obs.Event{At: end, Kind: obs.KindRunEnd, Job: -1})
+	}
 
 	res := &metrics.RunResult{
 		Policy:   mgr.Name(),

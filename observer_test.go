@@ -1,0 +1,225 @@
+package pdpasim
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func traceSpec(seed int64) (WorkloadSpec, Options) {
+	spec := WorkloadSpec{Mix: "w1", Load: 0.6, Window: 60 * time.Second, Seed: seed}
+	opts := Options{Policy: PDPA, Seed: seed, DecisionTrace: DecisionTraceUnlimited}
+	return spec, opts
+}
+
+func traceJSON(t *testing.T) []byte {
+	t.Helper()
+	spec, opts := traceSpec(7)
+	out, err := RunContext(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := out.DecisionTrace()
+	if dt == nil {
+		t.Fatal("no decision trace despite DecisionTrace option")
+	}
+	var buf bytes.Buffer
+	if err := dt.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDecisionTraceDeterminism: for a fixed seed the serialized decision
+// trace is byte-identical run after run, including runs racing on other
+// goroutines (the property that lets traces explain cached results — and
+// that `go test -race` exercises for cross-goroutine interference).
+func TestDecisionTraceDeterminism(t *testing.T) {
+	want := traceJSON(t)
+	if got := traceJSON(t); !bytes.Equal(want, got) {
+		t.Fatal("sequential reruns produced different trace bytes")
+	}
+	const workers = 4
+	got := make([][]byte, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = traceJSON(t)
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if !bytes.Equal(want, g) {
+			t.Fatalf("concurrent rerun %d produced different trace bytes", i)
+		}
+	}
+}
+
+// TestDecisionTraceCoverage: the trace records what the tentpole promises —
+// every PDPA state transition with its measured efficiency input, admission
+// decisions with reasons, and machine reallocations — bracketed by run
+// lifecycle events.
+func TestDecisionTraceCoverage(t *testing.T) {
+	spec, opts := traceSpec(3)
+	out, err := RunContext(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := out.DecisionTrace()
+	events := dt.Events()
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	if events[0].Kind != "run_start" || events[len(events)-1].Kind != "run_end" {
+		t.Fatalf("trace bracket %s..%s, want run_start..run_end",
+			events[0].Kind, events[len(events)-1].Kind)
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has Seq %d", i, e.Seq)
+		}
+	}
+	var sawEff, sawReason, sawStates bool
+	for _, e := range events {
+		switch e.Kind {
+		case "policy_state":
+			if e.From == "" || e.To == "" {
+				t.Fatalf("policy_state without state names: %+v", e)
+			}
+			if e.Eff > 0 {
+				sawEff = true
+			}
+			sawStates = true
+		case "admit", "deny":
+			if e.Reason == "" {
+				t.Fatalf("%s without a reason: %+v", e.Kind, e)
+			}
+			sawReason = true
+		}
+	}
+	if !sawStates || !sawEff {
+		t.Error("no policy_state transition with a measured efficiency input")
+	}
+	if !sawReason {
+		t.Error("no admission decision with a reason")
+	}
+	if dt.CountKind("realloc") == 0 {
+		t.Error("no realloc events")
+	}
+	if dt.CountKind("job_start") == 0 || dt.CountKind("job_done") == 0 {
+		t.Error("job lifecycle missing from trace")
+	}
+
+	// The human rendering mentions the PDPA states by name.
+	var text bytes.Buffer
+	if err := dt.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "NO_REF") {
+		t.Error("text rendering lacks PDPA state names")
+	}
+}
+
+// TestObserverStreamMatchesTrace: an Observer sees exactly the retained
+// event stream, and an Observer alone streams without retaining.
+func TestObserverStreamMatchesTrace(t *testing.T) {
+	spec, opts := traceSpec(5)
+	var streamed []TraceEvent
+	opts.Observer = ObserverFunc(func(e TraceEvent) { streamed = append(streamed, e) })
+	out, err := RunContext(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained := out.DecisionTrace().Events()
+	if len(streamed) != len(retained) {
+		t.Fatalf("observer saw %d events, trace retained %d", len(streamed), len(retained))
+	}
+	for i := range streamed {
+		if streamed[i] != retained[i] {
+			t.Fatalf("event %d differs: streamed %+v retained %+v", i, streamed[i], retained[i])
+		}
+	}
+
+	// Observer without DecisionTrace: streaming only, nothing retained.
+	streamed = nil
+	opts.DecisionTrace = 0
+	out, err = RunContext(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(retained) {
+		t.Fatalf("stream-only observer saw %d events, want %d", len(streamed), len(retained))
+	}
+	if out.DecisionTrace() != nil {
+		t.Fatal("stream-only run retained a trace")
+	}
+}
+
+// TestDecisionTraceLimit: a bounded trace keeps the first N events and
+// counts the overflow, and Validate rejects nonsense limits.
+func TestDecisionTraceLimit(t *testing.T) {
+	spec, opts := traceSpec(7)
+	opts.DecisionTrace = 10
+	out, err := RunContext(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := out.DecisionTrace()
+	if dt.Len() != 10 {
+		t.Fatalf("retained %d events, want 10", dt.Len())
+	}
+	if dt.Dropped() == 0 {
+		t.Fatal("no events counted as dropped beyond the limit")
+	}
+
+	opts.DecisionTrace = -2
+	if err := opts.Validate(); err == nil {
+		t.Fatal("Validate accepted DecisionTrace -2")
+	}
+}
+
+// TestSweepObserver: SweepSpec.Observer receives one sweep_run event per
+// completed run with progress counts, and flags each cell's last replicate.
+func TestSweepObserver(t *testing.T) {
+	var mu sync.Mutex
+	var events []TraceEvent
+	sweepSpec := SweepSpec{
+		Policies: []Policy{Equipartition, PDPA},
+		Mixes:    []string{"w1"},
+		Loads:    []float64{0.6},
+		Seeds:    []int64{1, 2},
+		Window:   45 * time.Second,
+		Observer: ObserverFunc(func(e TraceEvent) {
+			mu.Lock()
+			events = append(events, e)
+			mu.Unlock()
+		}),
+	}
+	if _, err := Sweep(context.Background(), sweepSpec); err != nil {
+		t.Fatal(err)
+	}
+	const total = 4 // 2 policies × 1 mix × 1 load × 2 seeds
+	if len(events) != total {
+		t.Fatalf("observer saw %d events, want %d", len(events), total)
+	}
+	cellsDone := 0
+	for _, e := range events {
+		if e.Kind != "sweep_run" {
+			t.Fatalf("unexpected kind %q", e.Kind)
+		}
+		if e.Total != total || e.Done < 1 || e.Done > total || e.ID == "" {
+			t.Fatalf("bad progress event: %+v", e)
+		}
+		if e.State == "cell_done" {
+			cellsDone++
+		}
+	}
+	if cellsDone != 2 {
+		t.Fatalf("%d cell_done events, want 2 (one per cell)", cellsDone)
+	}
+}

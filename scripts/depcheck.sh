@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Deprecation gate: non-test code must not call the deprecated facade entry
+# points. Run/RunSWF are kept only as compatibility wrappers over
+# RunContext/RunSWFContext, and SweepSpec.Progress only as an adapter over
+# SweepSpec.Observer; new call sites belong on the replacements. Tests are
+# exempt — the determinism suite deliberately pins Run ≡ RunContext.
+#
+# staticcheck would flag these through SA1019, but the repo is stdlib-only;
+# this grep is the dependency-free equivalent, run by CI next to go vet.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+hits=$(grep -rn --include='*.go' -E 'pdpasim\.Run(SWF)?\(' cmd internal examples | grep -v '_test\.go' || true)
+if [[ -n "$hits" ]]; then
+    echo "depcheck: deprecated pdpasim.Run/RunSWF call sites (use RunContext/RunSWFContext):" >&2
+    echo "$hits" >&2
+    fail=1
+fi
+
+hits=$(grep -rn --include='*.go' -E 'SweepSpec\{[^}]*Progress:|\.Progress = ' cmd internal examples | grep -v '_test\.go' || true)
+if [[ -n "$hits" ]]; then
+    echo "depcheck: deprecated SweepSpec.Progress call sites (use SweepSpec.Observer):" >&2
+    echo "$hits" >&2
+    fail=1
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+    exit 1
+fi
+echo "depcheck: no deprecated API call sites"

@@ -47,8 +47,20 @@ type SweepSpec struct {
 	// The result is byte-identical regardless of the worker count.
 	Workers int
 
+	// Observer, when set, receives one "sweep_run" TraceEvent after every
+	// completed run — the same Observer interface RunContext and the pdpad
+	// daemon accept. The event's ID identifies the finished grid point
+	// ("policy/mix/load/seed"), Done/Total report progress, and State is
+	// "cell_done" when the run completed its cell's last replicate. Calls
+	// are serialized but arrive in completion order.
+	Observer Observer `json:"-"`
+
 	// Progress, when set, is called after every completed run; calls are
 	// serialized but arrive in completion order.
+	//
+	// Deprecated: Progress is the pre-Observer callback, kept as a thin
+	// adapter over the same completion stream; new code should set Observer,
+	// which receives the identical completions as TraceEvents.
 	Progress func(SweepProgress) `json:"-"`
 }
 
@@ -98,17 +110,42 @@ func (s SweepSpec) config() sweep.Config {
 		params := s.PDPA.internal()
 		cfg.PDPAParams = &params
 	}
-	if s.Progress != nil {
+	if s.Progress != nil || s.Observer != nil {
+		// One internal progress hook feeds both the Observer stream and the
+		// deprecated Progress callback, so the two views always agree.
+		legacy, observer := s.Progress, s.Observer
 		cfg.Progress = func(p sweep.Progress) {
-			s.Progress(SweepProgress{
-				Done: p.Done, Total: p.Total,
-				Policy: Policy(p.Task.Policy), Mix: p.Task.Mix,
-				Load: p.Task.Load, Seed: p.Task.Seed,
-				CellDone: p.CellDone, CellsDone: p.CellsDone, Cells: p.Cells,
-			})
+			if observer != nil {
+				observer.Observe(sweepRunEvent(p))
+			}
+			if legacy != nil {
+				legacy(SweepProgress{
+					Done: p.Done, Total: p.Total,
+					Policy: Policy(p.Task.Policy), Mix: p.Task.Mix,
+					Load: p.Task.Load, Seed: p.Task.Seed,
+					CellDone: p.CellDone, CellsDone: p.CellsDone, Cells: p.Cells,
+				})
+			}
 		}
 	}
 	return cfg
+}
+
+// sweepRunEvent converts one sweep completion to its TraceEvent form.
+func sweepRunEvent(p sweep.Progress) TraceEvent {
+	e := TraceEvent{
+		Seq:  p.Done - 1,
+		Kind: "sweep_run",
+		Job:  -1,
+		ID: fmt.Sprintf("%s/%s/%.2f/%d",
+			p.Task.Policy, p.Task.Mix, p.Task.Load, p.Task.Seed),
+		Done:  p.Done,
+		Total: p.Total,
+	}
+	if p.CellDone {
+		e.State = "cell_done"
+	}
+	return e
 }
 
 // Validate checks the grid without running it: every policy and mix must be
