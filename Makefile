@@ -14,7 +14,7 @@ depcheck:
 	./scripts/depcheck.sh
 
 test:
-	go test ./...
+	go test -shuffle=on ./...
 
 # Run the gated benchmark suite with -benchmem, capture pprof profiles into
 # bench-artifacts/, and record a BENCH_<date>.json trajectory point.

@@ -50,13 +50,17 @@ func main() {
 		deadline     = flag.Duration("deadline", 0, "default per-run deadline, queue wait included (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for runs to finish before cancelling them")
 		traceLimit   = flag.Int("trace-limit", 2000, "decision-trace events retained per run, served at /v1/runs/{id}/trace (negative disables tracing)")
+		runTimeout   = flag.Duration("run-timeout", 0, "per-attempt wall-clock limit for a simulation; exceeded runs fail with a timeout error (0 = none)")
+		maxRetries   = flag.Int("max-retries", 0, "retries for transiently failed runs, with exponential backoff (0 = none)")
+		maxQueue     = flag.Int("max-queue", 0, "queue depth past which submissions are shed with 429 + Retry-After (0 = shed only at -queue)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "pdpad: unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
 	}
-	if *base < 1 || *max < 0 || *queueLimit < 1 || *cacheSize < 1 || *warmup < 0 || *deadline < 0 || *drainTimeout <= 0 {
+	if *base < 1 || *max < 0 || *queueLimit < 1 || *cacheSize < 1 || *warmup < 0 || *deadline < 0 || *drainTimeout <= 0 ||
+		*runTimeout < 0 || *maxRetries < 0 || *maxQueue < 0 {
 		fmt.Fprintln(os.Stderr, "pdpad: flag values must be positive")
 		os.Exit(2)
 	}
@@ -72,6 +76,9 @@ func main() {
 		CacheSize:       *cacheSize,
 		DefaultDeadline: *deadline,
 		TraceLimit:      *traceLimit,
+		RunTimeout:      *runTimeout,
+		MaxRetries:      *maxRetries,
+		ShedDepth:       *maxQueue,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: server.New(pool)}
 

@@ -1,0 +1,54 @@
+package invariant
+
+import (
+	"fmt"
+	"testing"
+
+	"pdpasim/internal/obs"
+	"pdpasim/internal/sim"
+	"pdpasim/internal/system"
+	"pdpasim/internal/workload"
+)
+
+// TestFaultFreeGrid runs every policy against every workload mix and demands
+// zero violations from both checker levels — the baseline the chaos suite's
+// under-injection runs are compared against.
+func TestFaultFreeGrid(t *testing.T) {
+	policies := append(system.ExtendedPolicyKinds(), system.AdaptivePDPA)
+	mixes := []string{"w1", "w2", "w3", "w4"}
+	for _, pol := range policies {
+		for _, mixName := range mixes {
+			t.Run(fmt.Sprintf("%s/%s", pol, mixName), func(t *testing.T) {
+				mix, err := workload.MixByName(mixName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w, err := workload.Generate(workload.GenConfig{
+					Mix: mix, Load: 0.8, NCPU: 32, Window: 60 * sim.Second, Seed: 7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				chk := New()
+				tr := obs.NewTrace(-1) // stream-only: the checker is the consumer
+				tr.SetSink(func(seq int, e obs.Event) { chk.Observe(obs.Export(seq, e)) })
+				res, err := system.Run(system.Config{
+					Workload:   w,
+					Policy:     pol,
+					Seed:       7,
+					KeepBursts: true,
+					Trace:      tr,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := chk.Err(); err != nil {
+					t.Errorf("stream invariants: %v", err)
+				}
+				if v := CheckResult(res); len(v) != 0 {
+					t.Errorf("recorded-history invariants: %v", v)
+				}
+			})
+		}
+	}
+}

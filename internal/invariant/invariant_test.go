@@ -1,0 +1,118 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"pdpasim/internal/obs"
+)
+
+func ev(kind string, at int64, job int) obs.ExportEvent {
+	return obs.ExportEvent{Kind: kind, AtUS: at, Job: job}
+}
+
+func realloc(at int64, job, old, new_ int) obs.ExportEvent {
+	return obs.ExportEvent{Kind: "realloc", AtUS: at, Job: job, Old: old, New: new_}
+}
+
+func feed(events ...obs.ExportEvent) *Checker {
+	c := New()
+	for _, e := range events {
+		c.Observe(e)
+	}
+	return c
+}
+
+func TestCleanStreamHasNoViolations(t *testing.T) {
+	c := feed(
+		obs.ExportEvent{Kind: "run_start", Procs: 4},
+		ev("job_arrive", 0, 0),
+		ev("job_start", 0, 0),
+		realloc(0, 0, 0, 4),
+		ev("job_arrive", 5, 1),
+		ev("job_start", 5, 1),
+		realloc(5, 0, 4, 2),
+		realloc(5, 1, 0, 2),
+		// Completion releases the partition implicitly (managers do not
+		// trace the release); the survivor may absorb it at the same instant.
+		ev("job_done", 10, 0),
+		realloc(10, 1, 2, 4),
+		ev("job_done", 20, 1),
+		ev("run_end", 20, -1),
+	)
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean stream flagged: %v", err)
+	}
+}
+
+func TestOverAllocationDetected(t *testing.T) {
+	c := feed(
+		obs.ExportEvent{Kind: "run_start", Procs: 4},
+		ev("job_arrive", 0, 0), ev("job_start", 0, 0),
+		ev("job_arrive", 0, 1), ev("job_start", 0, 1),
+		realloc(0, 0, 0, 3),
+		realloc(0, 1, 0, 3), // 6 > 4
+	)
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "exceeds machine") {
+		t.Fatalf("over-allocation not flagged: %v", err)
+	}
+}
+
+func TestReallocAfterCompletionDetected(t *testing.T) {
+	c := feed(
+		obs.ExportEvent{Kind: "run_start", Procs: 4},
+		ev("job_arrive", 0, 0), ev("job_start", 0, 0),
+		realloc(0, 0, 0, 2),
+		ev("job_done", 10, 0),
+		realloc(15, 0, 0, 2), // a completed job must never be granted CPUs
+	)
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "after completing") {
+		t.Fatalf("realloc-after-completion not flagged: %v", err)
+	}
+}
+
+func TestNegativeMPLDetected(t *testing.T) {
+	c := feed(
+		obs.ExportEvent{Kind: "run_start", Procs: 4},
+		ev("job_arrive", 0, 0), ev("job_start", 0, 0),
+		ev("job_done", 5, 0),
+		ev("job_done", 6, 0), // double completion drives running negative
+	)
+	err := c.Err()
+	if err == nil || !strings.Contains(err.Error(), "completed twice") ||
+		!strings.Contains(err.Error(), "MPL accounting negative") {
+		t.Fatalf("double completion / negative MPL not flagged: %v", err)
+	}
+}
+
+func TestLifecycleOrderDetected(t *testing.T) {
+	c := feed(
+		obs.ExportEvent{Kind: "run_start", Procs: 4},
+		ev("job_start", 0, 7), // never arrived
+	)
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "before arriving") {
+		t.Fatalf("start-before-arrive not flagged: %v", err)
+	}
+}
+
+func TestReallocMismatchDetected(t *testing.T) {
+	c := feed(
+		obs.ExportEvent{Kind: "run_start", Procs: 8},
+		ev("job_arrive", 0, 0), ev("job_start", 0, 0),
+		realloc(0, 0, 3, 4), // claims old=3 while the job holds 0
+	)
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "claims old=3") {
+		t.Fatalf("realloc mismatch not flagged: %v", err)
+	}
+}
+
+func TestUnfinishedJobAtRunEndDetected(t *testing.T) {
+	c := feed(
+		obs.ExportEvent{Kind: "run_start", Procs: 4},
+		ev("job_arrive", 0, 0), ev("job_start", 0, 0),
+		ev("run_end", 10, -1),
+	)
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "still running at run end") {
+		t.Fatalf("unfinished job not flagged: %v", err)
+	}
+}

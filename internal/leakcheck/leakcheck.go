@@ -1,0 +1,104 @@
+// Package leakcheck is a hand-rolled goroutine-leak detector for tests:
+// snapshot the goroutine population up front, and at cleanup poll until the
+// count subsides to the baseline, failing with a stack-dump diff of the
+// surviving goroutines grouped by creation site.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long the cleanup waits for goroutines to wind down: channel
+// closes and context cancellations propagate asynchronously, so a freshly
+// drained pool's workers may still be returning when the test body ends.
+const grace = 5 * time.Second
+
+// Check registers a cleanup that fails t if the test leaves more goroutines
+// behind than existed when Check was called. Call it first in the test so
+// the baseline precedes everything the test creates. Tests using it must
+// not run in parallel with tests that leave goroutines around, and must
+// shut down everything they start (drain pools, close servers).
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	beforeStacks := stacks()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		after := runtime.NumGoroutine()
+		t.Errorf("goroutine leak: %d before, %d after\n%s",
+			before, after, diff(beforeStacks, stacks()))
+	})
+}
+
+// stacks returns one stack dump per live goroutine.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return strings.Split(strings.TrimSpace(string(buf[:n])), "\n\n")
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}
+
+// site extracts a goroutine's grouping key: its creation site when present
+// (the "created by" trailer), else its top frame.
+func site(g string) string {
+	lines := strings.Split(g, "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		if strings.HasPrefix(lines[i], "created by ") {
+			return strings.TrimSpace(lines[i])
+		}
+	}
+	if len(lines) > 1 {
+		return strings.TrimSpace(lines[1])
+	}
+	return strings.TrimSpace(g)
+}
+
+// diff reports the goroutine groups more populous after than before, with
+// one sample stack each.
+func diff(before, after []string) string {
+	counts := make(map[string]int)
+	for _, g := range before {
+		counts[site(g)]++
+	}
+	leaked := make(map[string]int)
+	sample := make(map[string]string)
+	for _, g := range after {
+		k := site(g)
+		counts[k]--
+		if counts[k] < 0 {
+			leaked[k]++
+			sample[k] = g
+		}
+	}
+	if len(leaked) == 0 {
+		return "(no new goroutine groups; the extra goroutines match pre-existing creation sites)"
+	}
+	keys := make([]string, 0, len(leaked))
+	for k := range leaked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d new goroutine(s): %s\nsample stack:\n%s\n\n", leaked[k], k, sample[k])
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,54 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckPassesWhenBalanced: a goroutine started and stopped inside the
+// test must not trip the detector.
+func TestCheckPassesWhenBalanced(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// blockForever parks a goroutine so the diff has something to find. Named so
+// the creation site is recognizable in the report.
+func blockForever(release chan struct{}) { <-release }
+
+func TestDiffReportsNewGoroutines(t *testing.T) {
+	before := stacks()
+	release := make(chan struct{})
+	defer close(release)
+	go blockForever(release)
+	// Give the goroutine a beat to be scheduled and parked.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		report := diff(before, stacks())
+		if strings.Contains(report, "blockForever") {
+			if !strings.Contains(report, "1 new goroutine(s)") {
+				t.Fatalf("report missing count:\n%s", report)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("diff never reported the leaked goroutine:\n%s", report)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDiffIgnoresVanishedGoroutines(t *testing.T) {
+	release := make(chan struct{})
+	go blockForever(release)
+	time.Sleep(5 * time.Millisecond)
+	before := stacks()
+	close(release)
+	time.Sleep(5 * time.Millisecond)
+	if report := diff(before, stacks()); strings.Contains(report, "blockForever") {
+		t.Fatalf("diff reported a goroutine that exited:\n%s", report)
+	}
+}

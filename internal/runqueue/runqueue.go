@@ -5,11 +5,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
 	"pdpasim"
+	"pdpasim/internal/faults"
 	"pdpasim/internal/obs"
 )
 
@@ -35,7 +37,29 @@ var (
 	ErrNotFound  = errors.New("runqueue: no such run")
 	ErrDraining  = errors.New("runqueue: pool is draining, not accepting work")
 	ErrQueueFull = errors.New("runqueue: queue is full")
+	// ErrRunTimeout marks a run failed because no attempt produced a result
+	// within Config.RunTimeout; match with errors.Is.
+	ErrRunTimeout = errors.New("runqueue: run timeout")
 )
+
+// OverloadError is the load-shedding rejection: the queue is past the
+// configured shed depth and the submission was turned away before consuming
+// resources. RetryAfter estimates when capacity frees up, sized for an HTTP
+// Retry-After header. errors.Is(err, ErrQueueFull) matches, so callers
+// treating shedding like a full queue keep working.
+type OverloadError struct {
+	// Depth is the queue depth at rejection.
+	Depth int
+	// RetryAfter is the suggested wait before retrying, whole seconds.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("runqueue: overloaded: %d runs queued; retry in %v", e.Depth, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrQueueFull) succeed for shed submissions.
+func (e *OverloadError) Is(target error) bool { return target == ErrQueueFull }
 
 // SimulateFunc executes one spec; tests substitute it to control timing.
 type SimulateFunc func(ctx context.Context, spec Spec) (*pdpasim.Outcome, error)
@@ -78,6 +102,34 @@ type Config struct {
 	// simulator via pdpasim.RunContext, with decision tracing per
 	// TraceLimit).
 	Simulate SimulateFunc
+
+	// RunTimeout bounds each simulation attempt's wall clock, measured from
+	// attempt start (queue wait is DefaultDeadline's business). The attempt's
+	// context is cancelled, the engine aborts at its next interrupt check,
+	// and the run fails with an error matching ErrRunTimeout. 0 disables.
+	RunTimeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried (total
+	// attempts = MaxRetries+1). Only errors that expose Transient() bool ==
+	// true are retried — cancellations, deadlines, timeouts, and panics
+	// never are. Retries pause for RetryBackoff doubled per attempt plus
+	// seeded jitter. 0 disables retry.
+	MaxRetries int
+	// RetryBackoff is the base of the exponential retry backoff (default
+	// 50 ms, capped at 5 s per pause).
+	RetryBackoff time.Duration
+	// ShedDepth enables load shedding: a submission finding this many runs
+	// already queued is rejected with an *OverloadError carrying a
+	// Retry-After estimate, before the hard QueueLimit is ever reached.
+	// 0 disables shedding.
+	ShedDepth int
+	// EventBuffer is each SSE subscriber channel's capacity (default 16).
+	EventBuffer int
+	// ObserverBuffer bounds undelivered Config.Observer events (default 256).
+	ObserverBuffer int
+	// Faults, when set, is consulted at the pool's fault-injection sites
+	// (attempt start and finish, cache-hit serving) — chaos-test tooling.
+	// Nil, the production value, costs one nil check per site.
+	Faults *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +156,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceLimit == 0 {
 		c.TraceLimit = 2000
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.ShedDepth < 0 {
+		c.ShedDepth = 0
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 16
+	}
+	if c.ObserverBuffer <= 0 {
+		c.ObserverBuffer = observerBuffer
 	}
 	if c.Simulate == nil {
 		limit := c.TraceLimit
@@ -208,11 +275,17 @@ func wallFromSnapshot(s obs.HistogramSnapshot) WallHistogram {
 }
 
 // traceEventBuckets bucket per-run decision-trace event totals;
-// allocBuckets bucket per-job time-averaged processor allocations.
+// allocBuckets bucket per-job time-averaged processor allocations;
+// attemptBuckets bucket simulation attempts per run (1 = no retry).
 var (
 	traceEventBuckets = []float64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000}
 	allocBuckets      = []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64}
+	attemptBuckets    = []float64{1, 2, 3, 4, 5, 8}
 )
+
+// panicsHelp is shared with the HTTP layer, which registers the "http"
+// series of the same family.
+const panicsHelp = "Panics recovered without taking the daemon down, by origin."
 
 // poolMetrics is the pool's obs.Registry plus the instruments it owns. The
 // registry renders every pdpad_* series for the daemon's /metrics endpoint;
@@ -225,9 +298,15 @@ type poolMetrics struct {
 	queueWait   *obs.Histogram // queue wait per started run
 	traceEvents *obs.Histogram // decision events recorded per run
 	allocProcs  *obs.Histogram // time-averaged processors per finished job
+	attempts    *obs.Histogram // simulation attempts per run
 
 	sseDropped      *obs.Counter // events dropped on slow SSE subscribers
 	observerDropped *obs.Counter // events dropped on a slow Config.Observer
+	retries         *obs.Counter // attempts retried after transient failures
+	timeouts        *obs.Counter // attempts cancelled by RunTimeout
+	panics          *obs.Counter // worker panics recovered
+	sheds           *obs.Counter // submissions rejected by load shedding
+	degraded        *obs.Counter // SSE events suppressed under overload
 }
 
 func (p *Pool) initMetrics() {
@@ -282,10 +361,23 @@ func (p *Pool) initMetrics() {
 	m.allocProcs = reg.Histogram("pdpad_job_alloc_processors",
 		"Time-averaged processor allocation per finished job.", allocBuckets)
 
+	m.attempts = reg.Histogram("pdpad_run_attempts",
+		"Simulation attempts per run (1 = no retry).", attemptBuckets)
+
 	m.sseDropped = reg.Counter("pdpad_sse_dropped_total",
 		"Lifecycle events dropped on slow SSE subscribers.")
 	m.observerDropped = reg.Counter("pdpad_observer_dropped_total",
 		"Lifecycle events dropped because the configured observer lagged.")
+	m.retries = reg.Counter("pdpad_run_retries_total",
+		"Simulation attempts retried after a transient failure.")
+	m.timeouts = reg.Counter("pdpad_run_timeouts_total",
+		"Simulation attempts cancelled for exceeding the per-run wall-clock timeout.")
+	m.panics = reg.LabeledCounter("pdpad_recovered_panics_total",
+		panicsHelp, "where", "worker")
+	m.sheds = reg.Counter("pdpad_sheds_total",
+		"Submissions shed with an overload rejection because the queue exceeded the shed depth.")
+	m.degraded = reg.Counter("pdpad_sse_degraded_total",
+		"Intermediate SSE events suppressed while the pool was overloaded.")
 
 	p.met = m
 }
@@ -305,7 +397,14 @@ type Stats struct {
 	CacheHits   uint64
 	CacheMisses uint64
 	DedupHits   uint64
-	Wall        WallHistogram
+	// Robustness counters: attempts retried after transient failures, runs
+	// failed on the wall-clock timeout, worker panics contained, and
+	// submissions shed under overload.
+	Retries         uint64
+	Timeouts        uint64
+	RecoveredPanics uint64
+	Shed            uint64
+	Wall            WallHistogram
 }
 
 // Pool is the simulation worker pool. Create with New; all methods are safe
@@ -333,8 +432,15 @@ type Pool struct {
 	// observerCh decouples Config.Observer from the pool lock: lifecycle
 	// events are enqueued non-blockingly and a dedicated goroutine delivers
 	// them, so a slow observer drops events instead of stalling the pool.
-	observerCh chan pdpasim.TraceEvent
-	obsSeq     int
+	// Drain closes it once the pool is idle so a drained pool leaves no
+	// goroutine behind.
+	observerCh     chan pdpasim.TraceEvent
+	observerClosed bool
+	obsSeq         int
+
+	// retryRNG jitters retry backoff (guarded by mu). Fixed-seeded: jitter
+	// decorrelates concurrent retries, determinism keeps tests honest.
+	retryRNG *rand.Rand
 }
 
 // observerBuffer bounds how many undelivered observer events may be pending.
@@ -343,22 +449,24 @@ const observerBuffer = 256
 // New returns a ready pool.
 func New(cfg Config) *Pool {
 	p := &Pool{
-		cfg:     cfg.withDefaults(),
-		runs:    make(map[string]*run),
-		byKey:   make(map[string]*run),
-		running: make(map[*run]struct{}),
-		idle:    make(chan struct{}),
+		cfg:      cfg.withDefaults(),
+		runs:     make(map[string]*run),
+		byKey:    make(map[string]*run),
+		running:  make(map[*run]struct{}),
+		idle:     make(chan struct{}),
+		retryRNG: rand.New(rand.NewSource(1)),
 	}
 	p.initMetrics()
 	if p.cfg.Observer != nil {
-		p.observerCh = make(chan pdpasim.TraceEvent, observerBuffer)
+		p.observerCh = make(chan pdpasim.TraceEvent, p.cfg.ObserverBuffer)
 		go p.forwardObserver()
 	}
 	return p
 }
 
 // forwardObserver delivers queued lifecycle events to Config.Observer. It
-// lives for the pool's lifetime (pools have no close; a daemon runs one).
+// lives until Drain settles and closes the channel (after draining any
+// buffered events).
 func (p *Pool) forwardObserver() {
 	for e := range p.observerCh {
 		p.cfg.Observer.Observe(e)
@@ -378,10 +486,15 @@ func (p *Pool) Submit(spec Spec, deadline time.Duration) (SubmitResult, error) {
 		return SubmitResult{}, err
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	res, err := p.submitLocked(spec, deadline)
 	if err == nil {
 		p.admitLocked()
+	}
+	p.mu.Unlock()
+	if err == nil && res.CacheHit {
+		// An artificially slowed cache path (chaos testing) delays only this
+		// submitter, never the pool.
+		p.cfg.Faults.Sleep(faults.SiteCacheHit)
 	}
 	return res, err
 }
@@ -408,6 +521,10 @@ func (p *Pool) submitLocked(spec Spec, deadline time.Duration) (SubmitResult, er
 	if len(p.queue) >= p.cfg.QueueLimit {
 		return SubmitResult{}, ErrQueueFull
 	}
+	if p.cfg.ShedDepth > 0 && len(p.queue) >= p.cfg.ShedDepth {
+		p.met.sheds.Inc()
+		return SubmitResult{}, &OverloadError{Depth: len(p.queue), RetryAfter: p.retryAfterLocked()}
+	}
 	p.stats.CacheMisses++
 	if deadline <= 0 {
 		deadline = p.cfg.DefaultDeadline
@@ -427,6 +544,35 @@ func (p *Pool) submitLocked(spec Spec, deadline time.Duration) (SubmitResult, er
 	p.queue = append(p.queue, r)
 	p.broadcastLocked(r, "")
 	return SubmitResult{ID: r.id, State: r.state}, nil
+}
+
+// retryAfterLocked estimates when a shed client should retry: the queue
+// drains in waves of MaxWorkers runs, each lasting about the mean wall time
+// seen so far (1 s before any run has finished), clamped to [1s, 60s] and
+// rounded up to whole seconds — Retry-After's granularity.
+func (p *Pool) retryAfterLocked() time.Duration {
+	mean := time.Second
+	if s := p.met.wall.Snapshot(); s.Count > 0 {
+		mean = time.Duration(s.Sum / float64(s.Count) * float64(time.Second))
+	}
+	waves := len(p.queue)/p.cfg.MaxWorkers + 1
+	est := time.Duration(waves) * mean
+	if est > 60*time.Second {
+		est = 60 * time.Second
+	}
+	if rem := est % time.Second; rem != 0 {
+		est += time.Second - rem
+	}
+	if est < time.Second {
+		est = time.Second
+	}
+	return est
+}
+
+// overloadedLocked reports whether the pool is past its shed depth — the
+// regime where submissions are rejected and SSE fan-out degrades.
+func (p *Pool) overloadedLocked() bool {
+	return p.cfg.ShedDepth > 0 && len(p.queue) >= p.cfg.ShedDepth
 }
 
 // canStartLocked is the PDPA admission rule applied to the pool: below the
@@ -507,11 +653,94 @@ func (p *Pool) startLocked(r *run) {
 	go p.execute(ctx, cancel, r)
 }
 
-// execute runs the simulation outside the lock and records the outcome.
+// isTransient reports whether err marks itself retryable by exposing
+// Transient() bool. Cancellations, deadlines, timeouts, and recovered
+// panics never do.
+func isTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// maxRetryBackoff caps a single retry pause.
+const maxRetryBackoff = 5 * time.Second
+
+// backoffFor returns the pause before retry n (0-based): the base backoff
+// doubled per retry, capped, plus up to 50% seeded jitter so synchronized
+// retries don't re-collide.
+func (p *Pool) backoffFor(n int) time.Duration {
+	d := p.cfg.RetryBackoff << uint(n)
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
+	}
+	p.mu.Lock()
+	jitter := time.Duration(p.retryRNG.Int63n(int64(d)/2 + 1))
+	p.mu.Unlock()
+	return d + jitter
+}
+
+// attempt executes one simulation attempt under the per-attempt timeout,
+// with fault-injection sites around it and panic containment: a panicking
+// worker fails the attempt, never the pool.
+func (p *Pool) attempt(ctx context.Context, r *run) (out *pdpasim.Outcome, err error) {
+	actx := ctx
+	cancel := context.CancelFunc(func() {})
+	if p.cfg.RunTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, p.cfg.RunTimeout)
+	}
+	defer cancel()
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.met.panics.Inc()
+			out, err = nil, fmt.Errorf("runqueue: recovered worker panic: %v", rec)
+		}
+	}()
+	if err = p.cfg.Faults.Hit(actx, faults.SiteWorkerStart); err == nil {
+		out, err = p.cfg.Simulate(actx, r.spec)
+		if err == nil {
+			if err = p.cfg.Faults.Hit(actx, faults.SiteWorkerFinish); err != nil {
+				out = nil
+			}
+		}
+	}
+	// A failure caused by the attempt timeout (and not by the run's own
+	// deadline or cancellation) is reported as ErrRunTimeout — and is not
+	// transient, so it is never retried.
+	if err != nil && p.cfg.RunTimeout > 0 && ctx.Err() == nil &&
+		errors.Is(actx.Err(), context.DeadlineExceeded) {
+		p.met.timeouts.Inc()
+		err = fmt.Errorf("runqueue: no result within run timeout %v: %w", p.cfg.RunTimeout, ErrRunTimeout)
+	}
+	return out, err
+}
+
+// runAttempts drives the bounded-retry loop: transient failures are retried
+// up to MaxRetries times with exponential backoff plus jitter; everything
+// else — success, cancellation, deadline, timeout, panic — settles the run.
+func (p *Pool) runAttempts(ctx context.Context, r *run) (*pdpasim.Outcome, error) {
+	for n := 0; ; n++ {
+		out, err := p.attempt(ctx, r)
+		if err == nil || n >= p.cfg.MaxRetries || !isTransient(err) || ctx.Err() != nil {
+			p.met.attempts.Observe(float64(n + 1))
+			return out, err
+		}
+		p.met.retries.Inc()
+		pause := time.NewTimer(p.backoffFor(n))
+		select {
+		case <-pause.C:
+		case <-ctx.Done():
+			pause.Stop()
+			p.met.attempts.Observe(float64(n + 1))
+			return nil, fmt.Errorf("runqueue: %w while backing off from retryable failure: %v", ctx.Err(), err)
+		}
+	}
+}
+
+// execute runs the simulation outside the lock — timeout-bounded, retried on
+// transient failures, panic-contained — and records the outcome.
 func (p *Pool) execute(ctx context.Context, cancel context.CancelFunc, r *run) {
 	defer cancel()
 	span := obs.StartSpan(p.met.wall)
-	out, err := p.cfg.Simulate(ctx, r.spec)
+	out, err := p.runAttempts(ctx, r)
 	span.End()
 	var buf bytes.Buffer
 	var traceJSON []byte
@@ -641,6 +870,14 @@ func (p *Pool) broadcastLocked(r *run, msg string) {
 	if len(r.subs) == 0 {
 		return
 	}
+	// Graceful degradation: past the shed depth, intermediate fan-out is
+	// suppressed wholesale — terminal transitions still flow, and the SSE
+	// handler re-reads the final state on channel close, so no client
+	// misses an outcome while the pool sheds per-subscriber work.
+	if !r.state.Terminal() && p.overloadedLocked() {
+		p.met.degraded.Add(uint64(len(r.subs)))
+		return
+	}
 	ev := Event{RunID: r.id, State: r.state, At: time.Now(), Message: msg}
 	for _, ch := range r.subs {
 		select {
@@ -654,7 +891,7 @@ func (p *Pool) broadcastLocked(r *run, msg string) {
 // notifyObserverLocked enqueues one "run_state" TraceEvent for the pool
 // observer without blocking: overflow is dropped and counted.
 func (p *Pool) notifyObserverLocked(r *run, msg string) {
-	if p.observerCh == nil {
+	if p.observerCh == nil || p.observerClosed {
 		return
 	}
 	e := pdpasim.TraceEvent{
@@ -683,7 +920,7 @@ func (p *Pool) Subscribe(id string) (<-chan Event, func(), error) {
 	if !ok {
 		return nil, nil, ErrNotFound
 	}
-	ch := make(chan Event, 16)
+	ch := make(chan Event, p.cfg.EventBuffer)
 	ch <- Event{RunID: r.id, State: r.state, At: time.Now()}
 	if r.state.Terminal() {
 		close(ch)
@@ -797,6 +1034,7 @@ func (p *Pool) Drain(ctx context.Context) error {
 
 	select {
 	case <-idle:
+		p.stopBackground()
 		return nil
 	case <-ctx.Done():
 	}
@@ -816,7 +1054,24 @@ func (p *Pool) Drain(ctx context.Context) error {
 	}
 	p.mu.Unlock()
 	<-idle
+	p.stopBackground()
 	return ctx.Err()
+}
+
+// stopBackground ends the pool's housekeeping once a drain has settled: the
+// warm-up recheck timer and the observer forwarding goroutine (which drains
+// its buffer and exits), so a drained pool leaves no goroutines behind.
+func (p *Pool) stopBackground() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.recheck != nil {
+		p.recheck.Stop()
+		p.recheck = nil
+	}
+	if p.observerCh != nil && !p.observerClosed {
+		p.observerClosed = true
+		close(p.observerCh)
+	}
 }
 
 // Stats returns a consistent snapshot of the pool's counters.
@@ -828,6 +1083,10 @@ func (p *Pool) Stats() Stats {
 	s.Inflight = len(p.running)
 	s.CachedRuns = len(p.cacheLRU)
 	s.Draining = p.draining
+	s.Retries = p.met.retries.Value()
+	s.Timeouts = p.met.timeouts.Value()
+	s.RecoveredPanics = p.met.panics.Value()
+	s.Shed = p.met.sheds.Value()
 	s.Wall = wallFromSnapshot(p.met.wall.Snapshot())
 	return s
 }

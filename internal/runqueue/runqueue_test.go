@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pdpasim"
+	"pdpasim/internal/leakcheck"
 )
 
 // tinySpec is a fast real-simulation spec; vary seed to get distinct keys.
@@ -414,8 +415,9 @@ func TestDeadlineWhileRunning(t *testing.T) {
 }
 
 // TestGracefulDrain: drain completes in-flight and queued runs, then
-// rejects new work.
+// rejects new work, leaving no goroutines behind.
 func TestGracefulDrain(t *testing.T) {
+	leakcheck.Check(t)
 	var calls atomic.Int64
 	release := make(chan struct{})
 	p := New(Config{BaseWorkers: 1, MaxWorkers: 1, Simulate: blockingSim(t, &calls, release)})
@@ -450,8 +452,10 @@ func TestGracefulDrain(t *testing.T) {
 	}
 }
 
-// TestForcedDrain: an expired drain context cancels the stragglers.
+// TestForcedDrain: an expired drain context cancels the stragglers; the
+// cancelled workers' goroutines exit.
 func TestForcedDrain(t *testing.T) {
+	leakcheck.Check(t)
 	var calls atomic.Int64
 	release := make(chan struct{})
 	defer close(release)

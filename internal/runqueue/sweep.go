@@ -175,6 +175,13 @@ func (p *Pool) SubmitSweep(spec SweepSpec, deadline time.Duration) (SweepSubmitR
 	if len(p.queue)+fresh > p.cfg.QueueLimit {
 		return SweepSubmitResult{}, ErrQueueFull
 	}
+	// Load shedding applies to the batch as a whole: were any member going
+	// to land past the shed depth, submitLocked would reject it mid-batch —
+	// shed the sweep up front instead, keeping batch admission atomic.
+	if p.cfg.ShedDepth > 0 && len(p.queue)+fresh > p.cfg.ShedDepth {
+		p.met.sheds.Inc()
+		return SweepSubmitResult{}, &OverloadError{Depth: len(p.queue), RetryAfter: p.retryAfterLocked()}
+	}
 
 	res := SweepSubmitResult{RunIDs: make([]string, 0, len(members))}
 	for _, m := range members {

@@ -4,6 +4,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"pdpasim/internal/leakcheck"
 )
 
 func tinySweepSpec() SweepSpec {
@@ -135,8 +137,10 @@ func TestSweepAtomicRejection(t *testing.T) {
 	}
 }
 
-// TestSweepCancel cancels a sweep whose members are still in flight.
+// TestSweepCancel cancels a sweep whose members are still in flight, and
+// verifies cancellation leaves no goroutines behind.
 func TestSweepCancel(t *testing.T) {
+	leakcheck.Check(t)
 	var calls atomic.Int64
 	release := make(chan struct{})
 	defer close(release)

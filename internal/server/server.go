@@ -28,10 +28,17 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"pdpasim/internal/faults"
+	"pdpasim/internal/obs"
 	"pdpasim/internal/runqueue"
 )
+
+// maxRequestBody bounds submission payloads; larger bodies get 413. A full
+// sweep grid serializes well under a megabyte.
+const maxRequestBody = 1 << 20
 
 // Server routes HTTP traffic to a runqueue.Pool. Create with New; it
 // implements http.Handler.
@@ -39,11 +46,29 @@ type Server struct {
 	pool    *runqueue.Pool
 	mux     *http.ServeMux
 	started time.Time
+
+	faults    *faults.Injector
+	recovered *obs.Counter
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithFaults installs a fault injector evaluated at the top of every request
+// — chaos-test tooling. The default nil injector is a no-op.
+func WithFaults(inj *faults.Injector) Option {
+	return func(s *Server) { s.faults = inj }
 }
 
 // New returns a server backed by pool.
-func New(pool *runqueue.Pool) *Server {
+func New(pool *runqueue.Pool, opts ...Option) *Server {
 	s := &Server{pool: pool, mux: http.NewServeMux(), started: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
+	// The "http" series of the family whose "worker" series the pool owns.
+	s.recovered = pool.Metrics().LabeledCounter("pdpad_recovered_panics_total",
+		"Panics recovered without taking the daemon down, by origin.", "where", "http")
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
@@ -59,8 +84,73 @@ func New(pool *runqueue.Pool) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request passes through panic
+// recovery — a handler bug answers 500 and increments the recovered-panics
+// counter instead of killing the daemon — and, when a fault injector is
+// installed, an injection point that can fail the request with 503.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel, compared by identity
+			panic(rec) // deliberate connection abort, not a bug
+		}
+		s.recovered.Inc()
+		// Best-effort: if the handler already wrote a header this fails
+		// silently, but the connection still closes with a broken response.
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+	}()
+	if err := s.faults.Hit(r.Context(), faults.SiteHTTPRequest); err != nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("injected fault: %w", err))
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// submitError maps a pool submission error to an HTTP response. Overload
+// sheds carry the pool's backlog estimate as a Retry-After header; plain
+// queue-full rejections suggest retrying in a second.
+func (s *Server) submitError(w http.ResponseWriter, err error) {
+	var overload *runqueue.OverloadError
+	switch {
+	case errors.As(err, &overload): // before ErrQueueFull: OverloadError matches both
+		secs := int(overload.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, runqueue.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, runqueue.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// decodeBody decodes a JSON request body into v, capped at maxRequestBody.
+// The error it writes distinguishes oversized payloads (413) from malformed
+// ones (400).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
 
 // SubmitRequest is the POST /v1/runs payload: the spec plus an optional
 // per-run deadline in seconds (queue wait included).
@@ -128,10 +218,7 @@ func viewOf(snap runqueue.Snapshot, includeResult bool) RunView {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if req.DeadlineS < 0 {
@@ -141,15 +228,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec := runqueue.Spec{Workload: req.Workload, Options: req.Options}
 	deadline := time.Duration(req.DeadlineS * float64(time.Second))
 	res, err := s.pool.Submit(spec, deadline)
-	switch {
-	case errors.Is(err, runqueue.ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case errors.Is(err, runqueue.ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
-		return
-	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+	if err != nil {
+		s.submitError(w, err)
 		return
 	}
 	status := http.StatusAccepted
@@ -317,10 +397,7 @@ func sweepViewOf(st runqueue.SweepStatus, includeDetail bool) SweepView {
 
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepSubmitRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if req.DeadlineS < 0 {
@@ -328,15 +405,8 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.pool.SubmitSweep(req.SweepSpec, time.Duration(req.DeadlineS*float64(time.Second)))
-	switch {
-	case errors.Is(err, runqueue.ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case errors.Is(err, runqueue.ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
-		return
-	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+	if err != nil {
+		s.submitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, SweepSubmitResponse{
