@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain go tooling underneath.
 
-.PHONY: build test vet depcheck bench bench-gate
+.PHONY: build test vet depcheck bench bench-gate scenario-smoke
 
 build:
 	go build ./...
@@ -15,6 +15,15 @@ depcheck:
 
 test:
 	go test -shuffle=on ./...
+
+# Run the bundled scenario library twice at a fixed seed and require the JSON
+# reports to match byte for byte — the determinism contract of the scenario
+# runner (same check TestBundledScenarioLibrary applies in-process).
+scenario-smoke:
+	go run ./cmd/scenario run -json -seed 1 -o /tmp/scenario-report-a.json scenarios/*.yaml
+	go run ./cmd/scenario run -json -seed 1 -o /tmp/scenario-report-b.json scenarios/*.yaml
+	cmp /tmp/scenario-report-a.json /tmp/scenario-report-b.json
+	@echo "scenario reports byte-identical across replays"
 
 # Run the gated benchmark suite with -benchmem, capture pprof profiles into
 # bench-artifacts/, and record a BENCH_<date>.json trajectory point.

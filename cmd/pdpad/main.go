@@ -10,6 +10,11 @@
 //
 //	pdpad -addr :8080 -base 4 -max 8 -warmup 500ms
 //
+// For chaos testing, -inject arms seeded fault rules at the daemon's
+// injection sites using the same rule syntax scenario files use:
+//
+//	pdpad -inject "worker_start:error transient count=2" -inject-seed 7 -max-retries 3
+//
 // Quickstart:
 //
 //	curl -s localhost:8080/v1/runs -d '{"workload":{"mix":"w3"},"options":{"policy":"pdpa"}}'
@@ -35,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"pdpasim/internal/faults"
 	"pdpasim/internal/runqueue"
 	"pdpasim/internal/server"
 )
@@ -53,7 +59,18 @@ func main() {
 		runTimeout   = flag.Duration("run-timeout", 0, "per-attempt wall-clock limit for a simulation; exceeded runs fail with a timeout error (0 = none)")
 		maxRetries   = flag.Int("max-retries", 0, "retries for transiently failed runs, with exponential backoff (0 = none)")
 		maxQueue     = flag.Int("max-queue", 0, "queue depth past which submissions are shed with 429 + Retry-After (0 = shed only at -queue)")
+		injectSeed   = flag.Int64("inject-seed", 1, "seed for probabilistic -inject rules")
 	)
+	var injectRules []faults.Rule
+	flag.Func("inject", "fault-injection rule \"<site>:<kind> [after=N] [count=N] [prob=F] [delay=DUR] [transient] [err=MSG]\" (repeatable; chaos testing — same syntax as scenario files)",
+		func(s string) error {
+			rules, err := faults.ParseRules(s)
+			if err != nil {
+				return err
+			}
+			injectRules = append(injectRules, rules...)
+			return nil
+		})
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "pdpad: unexpected arguments: %v\n", flag.Args())
@@ -68,6 +85,14 @@ func main() {
 		*max = 2 * *base
 	}
 
+	var inj *faults.Injector
+	var serverOpts []server.Option
+	if len(injectRules) > 0 {
+		inj = faults.New(*injectSeed, injectRules...)
+		serverOpts = append(serverOpts, server.WithFaults(inj))
+		log.Printf("pdpad: fault injection armed: %d rule(s), seed %d", len(injectRules), *injectSeed)
+	}
+
 	pool := runqueue.New(runqueue.Config{
 		BaseWorkers:     *base,
 		MaxWorkers:      *max,
@@ -79,8 +104,9 @@ func main() {
 		RunTimeout:      *runTimeout,
 		MaxRetries:      *maxRetries,
 		ShedDepth:       *maxQueue,
+		Faults:          inj,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: server.New(pool)}
+	httpSrv := &http.Server{Addr: *addr, Handler: server.New(pool, serverOpts...)}
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)

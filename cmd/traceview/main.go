@@ -27,11 +27,11 @@ import (
 
 func main() {
 	var (
-		mix    = flag.String("mix", "w1", "workload mix: w1..w4")
-		load   = flag.Float64("load", 1.0, "demand fraction")
-		policy = flag.String("policy", "pdpa", "irix, equip, equal_eff, or pdpa")
-		seed   = flag.Int64("seed", 1, "workload seed")
-		width  = flag.Int("width", 100, "columns in the rendered view")
+		mix       = flag.String("mix", "w1", "workload mix: w1..w4")
+		load      = flag.Float64("load", 1.0, "demand fraction")
+		policy    = flag.String("policy", "pdpa", "irix, equip, equal_eff, or pdpa")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		width     = flag.Int("width", 100, "columns in the rendered view")
 		from      = flag.Float64("from", 0, "window start (seconds)")
 		to        = flag.Float64("to", 0, "window end (seconds, 0 = whole run)")
 		decisions = flag.Bool("decisions", false, "also print the decision trace (policy transitions, admissions, reallocations)")

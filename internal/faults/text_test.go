@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRuleStringRoundTrip: every representative rule survives
+// String → ParseRule → String unchanged, and the parsed rule matches the
+// original field for field.
+func TestRuleStringRoundTrip(t *testing.T) {
+	rules := []Rule{
+		{Site: SiteWorkerStart, Kind: KindPanic},
+		{Site: SiteWorkerStart, Kind: KindPanic, Count: 1},
+		{Site: SiteWorkerFinish, Kind: KindHang, After: 2},
+		{Site: SiteCacheHit, Kind: KindDelay, Delay: 30 * time.Millisecond},
+		{Site: SiteHTTPRequest, Kind: KindError, Transient: true, After: 1, Count: 3},
+		{Site: SiteWorkerStart, Kind: KindError, Prob: 0.25, Delay: 5 * time.Millisecond},
+		{Site: SiteWorkerStart, Kind: KindError, Err: errors.New("disk on fire")},
+		{Site: SiteWorkerStart, Kind: KindError, Err: errors.New(`quoted "msg"`), Transient: true},
+	}
+	for _, want := range rules {
+		text := want.String()
+		got, err := ParseRule(text)
+		if err != nil {
+			t.Fatalf("ParseRule(%q): %v", text, err)
+		}
+		if got.String() != text {
+			t.Errorf("round trip not a fixed point: %q → %q", text, got.String())
+		}
+		if got.Site != want.Site || got.Kind != want.Kind || got.After != want.After ||
+			got.Count != want.Count || got.Prob != want.Prob || got.Delay != want.Delay ||
+			got.Transient != want.Transient {
+			t.Errorf("ParseRule(%q) = %+v, want %+v", text, got, want)
+		}
+		switch {
+		case want.Err == nil && got.Err != nil:
+			t.Errorf("ParseRule(%q) invented error %v", text, got.Err)
+		case want.Err != nil && (got.Err == nil || got.Err.Error() != want.Err.Error()):
+			t.Errorf("ParseRule(%q) err = %v, want message %q", text, got.Err, want.Err)
+		}
+	}
+}
+
+// TestParseRuleSyntax: the parser accepts the documented grammar and rejects
+// everything else with a descriptive error.
+func TestParseRuleSyntax(t *testing.T) {
+	good := map[string]Rule{
+		"worker_start:panic":                  {Site: SiteWorkerStart, Kind: KindPanic},
+		"  cache_hit:delay   delay=10ms ":     {Site: SiteCacheHit, Kind: KindDelay, Delay: 10 * time.Millisecond},
+		"worker_start:error transient":        {Site: SiteWorkerStart, Kind: KindError, Transient: true},
+		"worker_start:error err=boom":         {Site: SiteWorkerStart, Kind: KindError, Err: errors.New("boom")},
+		`worker_finish:error err="two words"`: {Site: SiteWorkerFinish, Kind: KindError, Err: errors.New("two words")},
+		"http_request:error prob=0.5 after=1": {Site: SiteHTTPRequest, Kind: KindError, Prob: 0.5, After: 1},
+		"worker_start:hang count=2 after=0":   {Site: SiteWorkerStart, Kind: KindHang, Count: 2},
+		"worker_start:error delay=1s prob=1":  {Site: SiteWorkerStart, Kind: KindError, Delay: time.Second, Prob: 1},
+	}
+	for text, want := range good {
+		got, err := ParseRule(text)
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", text, err)
+			continue
+		}
+		if got.Site != want.Site || got.Kind != want.Kind || got.Transient != want.Transient ||
+			got.After != want.After || got.Count != want.Count || got.Prob != want.Prob || got.Delay != want.Delay {
+			t.Errorf("ParseRule(%q) = %+v, want %+v", text, got, want)
+		}
+	}
+
+	bad := []string{
+		"",
+		"worker_start",           // no kind
+		"nowhere:panic",          // unknown site
+		"worker_start:explode",   // unknown kind
+		"worker_start:panic x=1", // unknown option
+		"worker_start:panic after=-1",
+		"worker_start:panic count=two",
+		"worker_start:error prob=1.5",
+		"worker_start:error delay=fast",
+		"worker_start:error err=",
+		"worker_start:panic transient",   // transient on a non-error rule
+		"worker_start:hang err=nope",     // err on a non-error rule
+		"worker_start:panic transient=1", // transient takes no value
+		`worker_start:error err="unterminated`,
+	}
+	for _, text := range bad {
+		if r, err := ParseRule(text); err == nil {
+			t.Errorf("ParseRule(%q) = %+v, want error", text, r)
+		}
+	}
+}
+
+// TestParseRules: semicolon- and newline-separated lists parse in order.
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("worker_start:panic count=1; worker_start:error transient after=1\ncache_hit:delay delay=5ms;;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	if rules[0].Kind != KindPanic || rules[1].Transient != true || rules[2].Delay != 5*time.Millisecond {
+		t.Fatalf("rules parsed out of order: %+v", rules)
+	}
+	if _, err := ParseRules("worker_start:panic; bogus"); err == nil {
+		t.Fatal("bad list entry not rejected")
+	}
+}
+
+// TestParsedRulesDriveInjector: a text-built injector behaves identically to
+// the equivalent Go-built one — the property that lets the scenario DSL and
+// -inject flags reuse the chaos machinery.
+func TestParsedRulesDriveInjector(t *testing.T) {
+	rules, err := ParseRules("worker_start:error transient count=2; worker_start:panic after=2 count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(1, rules...)
+	for i := 0; i < 2; i++ {
+		err := inj.Hit(nil, SiteWorkerStart)
+		var fe *Error
+		if !errors.As(err, &fe) || !fe.Transient() {
+			t.Fatalf("occurrence %d: err %v, want transient injected error", i, err)
+		}
+	}
+	func() {
+		defer func() {
+			if rec := recover(); rec == nil || !strings.Contains(rec.(string), "injected panic") {
+				t.Errorf("occurrence 2: recover %v, want injected panic", rec)
+			}
+		}()
+		_ = inj.Hit(nil, SiteWorkerStart)
+	}()
+	if err := inj.Hit(nil, SiteWorkerStart); err != nil {
+		t.Fatalf("occurrence 3 past every window: %v", err)
+	}
+}

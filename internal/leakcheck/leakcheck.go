@@ -13,10 +13,41 @@ import (
 	"time"
 )
 
-// grace is how long the cleanup waits for goroutines to wind down: channel
+// Grace is how long a check waits for goroutines to wind down: channel
 // closes and context cancellations propagate asynchronously, so a freshly
-// drained pool's workers may still be returning when the test body ends.
-const grace = 5 * time.Second
+// drained pool's workers may still be returning when the check runs.
+const Grace = 5 * time.Second
+
+// Baseline is a snapshot of the goroutine population, taken before the work
+// under scrutiny starts. It is the non-testing entry point — the scenario
+// runner's no_leaks assertion uses it directly.
+type Baseline struct {
+	count  int
+	stacks []string
+}
+
+// Snapshot records the current goroutine population.
+func Snapshot() Baseline {
+	return Baseline{count: runtime.NumGoroutine(), stacks: stacks()}
+}
+
+// Wait polls until the goroutine count subsides to the baseline or grace
+// expires, then returns nil on success or an error describing the surviving
+// goroutine groups (one sample stack each).
+func (b Baseline) Wait(grace time.Duration) error {
+	deadline := time.Now().Add(grace)
+	for {
+		if runtime.NumGoroutine() <= b.count {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("goroutine leak: %d before, %d after\n%s",
+		b.count, runtime.NumGoroutine(), diff(b.stacks, stacks()))
+}
 
 // Check registers a cleanup that fails t if the test leaves more goroutines
 // behind than existed when Check was called. Call it first in the test so
@@ -25,22 +56,11 @@ const grace = 5 * time.Second
 // shut down everything they start (drain pools, close servers).
 func Check(t testing.TB) {
 	t.Helper()
-	before := runtime.NumGoroutine()
-	beforeStacks := stacks()
+	before := Snapshot()
 	t.Cleanup(func() {
-		deadline := time.Now().Add(grace)
-		for {
-			if runtime.NumGoroutine() <= before {
-				return
-			}
-			if time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(5 * time.Millisecond)
+		if err := before.Wait(Grace); err != nil {
+			t.Error(err)
 		}
-		after := runtime.NumGoroutine()
-		t.Errorf("goroutine leak: %d before, %d after\n%s",
-			before, after, diff(beforeStacks, stacks()))
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -179,6 +180,63 @@ func (r *Registry) LabeledHistogram(name, help, label, value string, buckets []f
 		f.hists[value] = h
 	}
 	return h
+}
+
+// Value reads one series' current value by family name and label value
+// (label is "" for unlabeled families): counters and counter funcs as their
+// count, gauges by evaluating their closure. Histogram families are
+// addressed through their derived series — "<family>_count" and
+// "<family>_sum". The bool reports whether the series exists. Value is how
+// programmatic consumers (scenario metric assertions) read the same numbers
+// WritePrometheus exposes.
+func (r *Registry) Value(name, label string) (float64, bool) {
+	r.mu.Lock()
+	f, ok := r.fams[name]
+	var hist *Histogram
+	var histField string
+	if !ok {
+		for _, suffix := range []string{"_count", "_sum"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base == name {
+				continue
+			}
+			if hf, hok := r.fams[base]; hok && hf.kind == kindHistogram {
+				hist, histField = hf.hists[label], suffix
+			}
+		}
+	}
+	// Read-time closures may lock the state they report on (e.g. the pool
+	// mutex), so evaluate them outside the registry lock.
+	var counter *Counter
+	var counterFn func() uint64
+	var gaugeFn func() float64
+	if ok {
+		switch f.kind {
+		case kindCounter:
+			counter, counterFn = f.counters[label], f.counterFns[label]
+		case kindGauge:
+			gaugeFn = f.gaugeFns[label]
+		case kindHistogram:
+			hist, histField = f.hists[label], "_count"
+		}
+	}
+	r.mu.Unlock()
+
+	switch {
+	case counter != nil:
+		return float64(counter.Value()), true
+	case counterFn != nil:
+		return float64(counterFn()), true
+	case gaugeFn != nil:
+		return gaugeFn(), true
+	case hist != nil:
+		s := hist.Snapshot()
+		if histField == "_sum" {
+			return s.Sum, true
+		}
+		return float64(s.Count), true
+	}
+	return 0, false
 }
 
 // WritePrometheus renders every registered family in the Prometheus text

@@ -1,0 +1,47 @@
+package obs
+
+import "testing"
+
+// TestRegistryValue: Value reads the same numbers WritePrometheus would
+// render, across every series shape — counters, counter funcs, gauges, and
+// histograms through their _count/_sum derived names.
+func TestRegistryValue(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("evictions_total", "h")
+	c.Add(3)
+	reg.LabeledCounter("finished_total", "h", "state", "done").Add(7)
+	reg.CounterFunc("submitted_total", "h", func() uint64 { return 11 })
+	reg.GaugeFunc("depth", "h", func() float64 { return 2.5 })
+	h := reg.Histogram("wall_seconds", "h", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+
+	cases := []struct {
+		name, label string
+		want        float64
+	}{
+		{"evictions_total", "", 3},
+		{"finished_total", "done", 7},
+		{"submitted_total", "", 11},
+		{"depth", "", 2.5},
+		{"wall_seconds_count", "", 2},
+		{"wall_seconds_sum", "", 5.5},
+		{"wall_seconds", "", 2}, // bare histogram name reads as _count
+	}
+	for _, tc := range cases {
+		got, ok := reg.Value(tc.name, tc.label)
+		if !ok || got != tc.want {
+			t.Errorf("Value(%q, %q) = %v, %v; want %v, true", tc.name, tc.label, got, ok, tc.want)
+		}
+	}
+
+	for _, tc := range []struct{ name, label string }{
+		{"nonexistent", ""},
+		{"finished_total", "exploded"}, // unknown label value
+		{"evictions_total_count", ""},  // _count on a non-histogram
+	} {
+		if v, ok := reg.Value(tc.name, tc.label); ok {
+			t.Errorf("Value(%q, %q) = %v, true; want missing", tc.name, tc.label, v)
+		}
+	}
+}

@@ -300,6 +300,7 @@ type poolMetrics struct {
 	allocProcs  *obs.Histogram // time-averaged processors per finished job
 	attempts    *obs.Histogram // simulation attempts per run
 
+	cacheEvictions  *obs.Counter // Done results evicted from the LRU cache
 	sseDropped      *obs.Counter // events dropped on slow SSE subscribers
 	observerDropped *obs.Counter // events dropped on a slow Config.Observer
 	retries         *obs.Counter // attempts retried after transient failures
@@ -364,6 +365,8 @@ func (p *Pool) initMetrics() {
 	m.attempts = reg.Histogram("pdpad_run_attempts",
 		"Simulation attempts per run (1 = no retry).", attemptBuckets)
 
+	m.cacheEvictions = reg.Counter("pdpad_cache_evictions_total",
+		"Completed results evicted from the LRU cache to respect Config.CacheSize.")
 	m.sseDropped = reg.Counter("pdpad_sse_dropped_total",
 		"Lifecycle events dropped on slow SSE subscribers.")
 	m.observerDropped = reg.Counter("pdpad_observer_dropped_total",
@@ -404,7 +407,10 @@ type Stats struct {
 	Timeouts        uint64
 	RecoveredPanics uint64
 	Shed            uint64
-	Wall            WallHistogram
+	// CacheEvictions counts completed results displaced from the LRU cache
+	// by Config.CacheSize.
+	CacheEvictions uint64
+	Wall           WallHistogram
 }
 
 // Pool is the simulation worker pool. Create with New; all methods are safe
@@ -822,6 +828,7 @@ func (p *Pool) insertCacheLocked(r *run) {
 		if cached, ok := p.byKey[oldest]; ok && cached.state == Done {
 			delete(p.byKey, oldest)
 		}
+		p.met.cacheEvictions.Inc()
 	}
 }
 
@@ -1087,6 +1094,7 @@ func (p *Pool) Stats() Stats {
 	s.Timeouts = p.met.timeouts.Value()
 	s.RecoveredPanics = p.met.panics.Value()
 	s.Shed = p.met.sheds.Value()
+	s.CacheEvictions = p.met.cacheEvictions.Value()
 	s.Wall = wallFromSnapshot(p.met.wall.Snapshot())
 	return s
 }

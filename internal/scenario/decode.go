@@ -1,0 +1,560 @@
+package scenario
+
+// Strict schema decoding: the generic YAML tree is walked field by field,
+// every unknown key is an error naming its path and the valid alternatives,
+// and every value is type-checked at decode time. A scenario that parses is
+// therefore a scenario the runner fully understands.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"pdpasim/internal/faults"
+	"pdpasim/internal/runqueue"
+)
+
+// Parse parses and validates a scenario document.
+func Parse(src []byte) (*Scenario, error) {
+	root, err := parseYAML(string(src))
+	if err != nil {
+		return nil, err
+	}
+	m, err := asMap(root, "document")
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{}
+	s := &Scenario{Seed: 1}
+	s.Name = d.str(m, "name", "")
+	s.Description = d.str(m, "description", "")
+	if v, ok := m["seed"]; ok {
+		s.Seed = d.int64Val(v, "seed")
+	}
+	if v, ok := m["pool"]; ok {
+		s.Pool = d.pool(v)
+	}
+	if v, ok := m["defaults"]; ok {
+		s.Defaults = d.spec(v, "defaults", runqueue.Spec{})
+	}
+	if v, ok := m["faults"]; ok {
+		s.Faults = d.faults(v)
+	}
+	if v, ok := m["events"]; ok {
+		s.Events = d.events(v)
+	}
+	if v, ok := m["assertions"]; ok {
+		s.Assertions = d.assertions(v)
+	}
+	d.unknown(m, "document", "name", "description", "seed", "pool", "defaults", "faults", "events", "assertions")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// decoder accumulates the first schema error; accessors after a failure are
+// no-ops so decode code reads straight-line.
+type decoder struct {
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = &ParseError{Msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+func asMap(v any, path string) (map[string]any, error) {
+	if v == nil {
+		return map[string]any{}, nil
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, &ParseError{Msg: fmt.Sprintf("%s must be a mapping", path)}
+	}
+	return m, nil
+}
+
+func (d *decoder) mapAt(v any, path string) map[string]any {
+	m, err := asMap(v, path)
+	if err != nil {
+		d.fail("%s must be a mapping", path)
+		return map[string]any{}
+	}
+	return m
+}
+
+func (d *decoder) seqAt(v any, path string) []any {
+	if v == nil {
+		return nil
+	}
+	s, ok := v.([]any)
+	if !ok {
+		d.fail("%s must be a sequence", path)
+		return nil
+	}
+	return s
+}
+
+func (d *decoder) unknown(m map[string]any, path string, known ...string) {
+	var extra []string
+	for k := range m {
+		found := false
+		for _, valid := range known {
+			if k == valid {
+				found = true
+				break
+			}
+		}
+		if !found {
+			extra = append(extra, k)
+		}
+	}
+	if len(extra) > 0 {
+		sort.Strings(extra)
+		d.fail("%s: unknown key %q (valid: %s)", path, extra[0], strings.Join(known, ", "))
+	}
+}
+
+func (d *decoder) str(m map[string]any, key, path string) string {
+	v, ok := m[key]
+	if !ok {
+		return ""
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.fail("%s%s must be a string", dot(path), key)
+		return ""
+	}
+	return s
+}
+
+func (d *decoder) int64Val(v any, path string) int64 {
+	n, ok := v.(int64)
+	if !ok {
+		d.fail("%s must be an integer", path)
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) intField(m map[string]any, key, path string, dst *int) {
+	if v, ok := m[key]; ok {
+		*dst = int(d.int64Val(v, dot(path)+key))
+	}
+}
+
+func (d *decoder) int64Field(m map[string]any, key, path string, dst *int64) {
+	if v, ok := m[key]; ok {
+		*dst = d.int64Val(v, dot(path)+key)
+	}
+}
+
+func (d *decoder) floatVal(v any, path string) float64 {
+	switch n := v.(type) {
+	case int64:
+		return float64(n)
+	case float64:
+		return n
+	}
+	d.fail("%s must be a number", path)
+	return 0
+}
+
+func (d *decoder) floatField(m map[string]any, key, path string, dst *float64) {
+	if v, ok := m[key]; ok {
+		*dst = d.floatVal(v, dot(path)+key)
+	}
+}
+
+func (d *decoder) durField(m map[string]any, key, path string, dst *time.Duration) {
+	v, ok := m[key]
+	if !ok {
+		return
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.fail("%s%s must be a duration string like 250ms", dot(path), key)
+		return
+	}
+	dur, err := time.ParseDuration(s)
+	if err != nil || dur < 0 {
+		d.fail("%s%s: bad duration %q", dot(path), key, s)
+		return
+	}
+	*dst = dur
+}
+
+func dot(path string) string {
+	if path == "" {
+		return ""
+	}
+	return path + "."
+}
+
+func (d *decoder) pool(v any) PoolParams {
+	m := d.mapAt(v, "pool")
+	var p PoolParams
+	d.intField(m, "base_workers", "pool", &p.BaseWorkers)
+	d.intField(m, "max_workers", "pool", &p.MaxWorkers)
+	d.durField(m, "warmup", "pool", &p.Warmup)
+	d.intField(m, "queue_limit", "pool", &p.QueueLimit)
+	d.intField(m, "cache_size", "pool", &p.CacheSize)
+	d.intField(m, "shed_depth", "pool", &p.ShedDepth)
+	d.durField(m, "run_timeout", "pool", &p.RunTimeout)
+	d.intField(m, "max_retries", "pool", &p.MaxRetries)
+	d.durField(m, "retry_backoff", "pool", &p.RetryBackoff)
+	d.unknown(m, "pool", "base_workers", "max_workers", "warmup", "queue_limit",
+		"cache_size", "shed_depth", "run_timeout", "max_retries", "retry_backoff")
+	return p
+}
+
+// spec decodes a workload/options pair as overrides onto base — the same
+// shape serves the defaults template and per-submit overrides.
+func (d *decoder) spec(v any, path string, base runqueue.Spec) runqueue.Spec {
+	m := d.mapAt(v, path)
+	out := base
+	if wv, ok := m["workload"]; ok {
+		out.Workload = d.workload(wv, path+".workload", base.Workload)
+	}
+	if ov, ok := m["options"]; ok {
+		out.Options = d.options(ov, path+".options", base.Options)
+	}
+	d.unknown(m, path, "workload", "options")
+	return out
+}
+
+func (d *decoder) workload(v any, path string, base runqueue.WorkloadSpec) runqueue.WorkloadSpec {
+	m := d.mapAt(v, path)
+	out := base
+	if s := d.str(m, "mix", path); s != "" {
+		out.Mix = s
+	}
+	d.floatField(m, "load", path, &out.Load)
+	d.intField(m, "ncpu", path, &out.NCPU)
+	d.floatField(m, "window_s", path, &out.WindowS)
+	d.int64Field(m, "seed", path, &out.Seed)
+	d.intField(m, "uniform_request", path, &out.UniformRequest)
+	d.unknown(m, path, "mix", "load", "ncpu", "window_s", "seed", "uniform_request")
+	return out
+}
+
+func (d *decoder) options(v any, path string, base runqueue.RunOptions) runqueue.RunOptions {
+	m := d.mapAt(v, path)
+	out := base
+	if s := d.str(m, "policy", path); s != "" {
+		out.Policy = s
+	}
+	d.floatField(m, "target_eff", path, &out.TargetEff)
+	d.floatField(m, "high_eff", path, &out.HighEff)
+	d.intField(m, "step", path, &out.Step)
+	d.intField(m, "base_mpl", path, &out.BaseMPL)
+	d.intField(m, "max_stable_transitions", path, &out.MaxStableTransitions)
+	d.intField(m, "fixed_mpl", path, &out.FixedMPL)
+	d.floatField(m, "noise_sigma", path, &out.NoiseSigma)
+	d.int64Field(m, "seed", path, &out.Seed)
+	d.intField(m, "numa_node_size", path, &out.NUMANodeSize)
+	d.unknown(m, path, "policy", "target_eff", "high_eff", "step", "base_mpl",
+		"max_stable_transitions", "fixed_mpl", "noise_sigma", "seed", "numa_node_size")
+	return out
+}
+
+func (d *decoder) faults(v any) []faults.Rule {
+	var rules []faults.Rule
+	for i, rv := range d.seqAt(v, "faults") {
+		s, ok := rv.(string)
+		if !ok {
+			d.fail("faults[%d] must be a rule string (\"<site>:<kind> [options]\")", i)
+			return nil
+		}
+		r, err := faults.ParseRule(s)
+		if err != nil {
+			d.fail("faults[%d]: %v", i, err)
+			return nil
+		}
+		rules = append(rules, r)
+	}
+	return rules
+}
+
+func (d *decoder) events(v any) []Event {
+	var events []Event
+	for i, ev := range d.seqAt(v, "events") {
+		path := fmt.Sprintf("events[%d]", i)
+		m := d.mapAt(ev, path)
+		if len(m) != 1 {
+			d.fail("%s must have exactly one event key (submit, arrivals, set_policy, wait, wait_all, cancel)", path)
+			return nil
+		}
+		var e Event
+		for key, body := range m {
+			switch key {
+			case "submit":
+				e.Submit = d.submit(body, path+".submit")
+			case "arrivals":
+				e.Arrivals = d.arrivals(body, path+".arrivals")
+			case "set_policy":
+				bm := d.mapAt(body, path+".set_policy")
+				policy := d.str(bm, "policy", path+".set_policy")
+				if policy == "" {
+					d.fail("%s.set_policy needs a policy", path)
+				}
+				d.unknown(bm, path+".set_policy", "policy")
+				e.SetPolicy = &SetPolicyEvent{Policy: policy}
+			case "wait":
+				bm := d.mapAt(body, path+".wait")
+				w := &WaitEvent{Run: d.str(bm, "run", path+".wait"), State: d.str(bm, "state", path+".wait")}
+				if w.State == "" {
+					w.State = "terminal"
+				}
+				switch w.State {
+				case "terminal", "running", string(runqueue.Done), string(runqueue.Failed), string(runqueue.Canceled):
+				default:
+					d.fail("%s.wait.state %q invalid (terminal, running, done, failed, canceled)", path, w.State)
+				}
+				d.unknown(bm, path+".wait", "run", "state")
+				e.Wait = w
+			case "wait_all":
+				if body != nil {
+					if bm, ok := body.(map[string]any); !ok || len(bm) != 0 {
+						d.fail("%s.wait_all takes no parameters", path)
+					}
+				}
+				e.WaitAll = true
+			case "cancel":
+				bm := d.mapAt(body, path+".cancel")
+				e.Cancel = &CancelEvent{Run: d.str(bm, "run", path+".cancel")}
+				d.unknown(bm, path+".cancel", "run")
+			default:
+				d.fail("%s: unknown event %q (valid: submit, arrivals, set_policy, wait, wait_all, cancel)", path, key)
+			}
+		}
+		events = append(events, e)
+		if d.err != nil {
+			return nil
+		}
+	}
+	return events
+}
+
+func (d *decoder) submit(v any, path string) *SubmitEvent {
+	m := d.mapAt(v, path)
+	e := &SubmitEvent{Name: d.str(m, "name", path)}
+	if e.Name == "" {
+		d.fail("%s needs a name", path)
+	}
+	if wv, ok := m["workload"]; ok {
+		w := d.workload(wv, path+".workload", runqueue.WorkloadSpec{})
+		e.Workload = &w
+	}
+	if ov, ok := m["options"]; ok {
+		o := d.options(ov, path+".options", runqueue.RunOptions{})
+		e.Options = &o
+	}
+	d.unknown(m, path, "name", "workload", "options")
+	return e
+}
+
+func (d *decoder) arrivals(v any, path string) *ArrivalsEvent {
+	m := d.mapAt(v, path)
+	e := &ArrivalsEvent{
+		Prefix:  d.str(m, "prefix", path),
+		Pattern: d.str(m, "pattern", path),
+	}
+	d.intField(m, "count", path, &e.Count)
+	d.floatField(m, "load_min", path, &e.LoadMin)
+	d.floatField(m, "load_max", path, &e.LoadMax)
+	d.intField(m, "period", path, &e.Period)
+	d.unknown(m, path, "prefix", "pattern", "count", "load_min", "load_max", "period")
+	if e.Prefix == "" {
+		d.fail("%s needs a prefix", path)
+	}
+	if e.Count <= 0 {
+		d.fail("%s needs a positive count", path)
+	}
+	switch e.Pattern {
+	case "", "burst":
+		e.Pattern = "burst"
+	case "uniform":
+	case "diurnal":
+		if e.LoadMin <= 0 || e.LoadMax < e.LoadMin {
+			d.fail("%s: diurnal needs 0 < load_min <= load_max", path)
+		}
+		if e.Period <= 0 {
+			e.Period = e.Count
+		}
+	default:
+		d.fail("%s.pattern %q invalid (burst, uniform, diurnal)", path, e.Pattern)
+	}
+	return e
+}
+
+func (d *decoder) assertions(v any) []Assertion {
+	var asserts []Assertion
+	for i, av := range d.seqAt(v, "assertions") {
+		path := fmt.Sprintf("assertions[%d]", i)
+		m := d.mapAt(av, path)
+		if len(m) != 1 {
+			d.fail("%s must have exactly one assertion key", path)
+			return nil
+		}
+		var a Assertion
+		for key, body := range m {
+			switch key {
+			case "state":
+				bm := d.mapAt(body, path+".state")
+				a.State = &StateAssertion{Run: d.str(bm, "run", path+".state"), Is: d.str(bm, "is", path+".state")}
+				d.terminalState(a.State.Is, path+".state.is")
+				d.unknown(bm, path+".state", "run", "is")
+			case "states":
+				bm := d.mapAt(body, path+".states")
+				st := &StatesAssertion{Prefix: d.str(bm, "prefix", path+".states"), All: d.str(bm, "all", path+".states")}
+				for j, sv := range d.seqAt(bm["are"], path+".states.are") {
+					s, ok := sv.(string)
+					if !ok {
+						d.fail("%s.states.are[%d] must be a state string", path, j)
+						break
+					}
+					// Rejected submissions never reach a run state; they report
+					// their rejection verdict in the state's place.
+					if s != admShed && s != admQueueFull {
+						d.terminalState(s, fmt.Sprintf("%s.states.are[%d]", path, j))
+					}
+					st.Are = append(st.Are, s)
+				}
+				if st.All != "" {
+					d.terminalState(st.All, path+".states.all")
+				}
+				if (len(st.Are) == 0) == (st.All == "") {
+					d.fail("%s.states needs exactly one of are: [...] or all: <state>", path)
+				}
+				d.unknown(bm, path+".states", "prefix", "are", "all")
+				a.States = st
+			case "admission":
+				bm := d.mapAt(body, path+".admission")
+				adm := &AdmissionAssertion{Run: d.str(bm, "run", path+".admission"), Is: d.str(bm, "is", path+".admission")}
+				switch adm.Is {
+				case admFresh, admCacheHit, admDedup, admShed, admQueueFull:
+				default:
+					d.fail("%s.admission.is %q invalid (fresh, cache_hit, dedup, shed, queue_full)", path, adm.Is)
+				}
+				d.unknown(bm, path+".admission", "run", "is")
+				a.Admission = adm
+			case "error_contains":
+				bm := d.mapAt(body, path+".error_contains")
+				a.ErrorContains = &ErrorContainsAssertion{
+					Run:    d.str(bm, "run", path+".error_contains"),
+					Substr: d.str(bm, "substr", path+".error_contains"),
+				}
+				if a.ErrorContains.Substr == "" {
+					d.fail("%s.error_contains needs a substr", path)
+				}
+				d.unknown(bm, path+".error_contains", "run", "substr")
+			case "metric":
+				bm := d.mapAt(body, path+".metric")
+				ma := &MetricAssertion{Name: d.str(bm, "name", path+".metric"), Label: d.str(bm, "label", path+".metric")}
+				if ma.Name == "" {
+					d.fail("%s.metric needs a name", path)
+				}
+				if v, ok := bm["min"]; ok {
+					f := d.floatVal(v, path+".metric.min")
+					ma.Min = &f
+				}
+				if v, ok := bm["max"]; ok {
+					f := d.floatVal(v, path+".metric.max")
+					ma.Max = &f
+				}
+				if v, ok := bm["equals"]; ok {
+					if ma.Min != nil || ma.Max != nil {
+						d.fail("%s.metric: equals excludes min/max", path)
+					}
+					f := d.floatVal(v, path+".metric.equals")
+					ma.Min, ma.Max = &f, &f
+				}
+				if ma.Min == nil && ma.Max == nil {
+					d.fail("%s.metric needs equals, min, or max", path)
+				}
+				d.unknown(bm, path+".metric", "name", "label", "min", "max", "equals")
+				a.Metric = ma
+			case "outcome":
+				bm := d.mapAt(body, path+".outcome")
+				oa := &OutcomeAssertion{
+					Run:      d.str(bm, "run", path+".outcome"),
+					Policy:   d.str(bm, "policy", path+".outcome"),
+					Workload: d.str(bm, "workload", path+".outcome"),
+				}
+				if v, ok := bm["jobs"]; ok {
+					n := int(d.int64Val(v, path+".outcome.jobs"))
+					oa.Jobs = &n
+				}
+				if v, ok := bm["makespan_min_s"]; ok {
+					f := d.floatVal(v, path+".outcome.makespan_min_s")
+					oa.MakespanSMin = &f
+				}
+				if v, ok := bm["makespan_max_s"]; ok {
+					f := d.floatVal(v, path+".outcome.makespan_max_s")
+					oa.MakespanSMax = &f
+				}
+				d.unknown(bm, path+".outcome", "run", "policy", "workload", "jobs", "makespan_min_s", "makespan_max_s")
+				a.Outcome = oa
+			case "same_result":
+				bm := d.mapAt(body, path+".same_result")
+				sr := &SameResultAssertion{}
+				for j, rv := range d.seqAt(bm["runs"], path+".same_result.runs") {
+					s, ok := rv.(string)
+					if !ok {
+						d.fail("%s.same_result.runs[%d] must be a run name", path, j)
+						break
+					}
+					sr.Runs = append(sr.Runs, s)
+				}
+				if len(sr.Runs) < 2 {
+					d.fail("%s.same_result needs at least two runs", path)
+				}
+				d.unknown(bm, path+".same_result", "runs")
+				a.SameResult = sr
+			case "injected":
+				bm := d.mapAt(body, path+".injected")
+				site, err := faults.ParseSite(d.str(bm, "site", path+".injected"))
+				if err != nil {
+					d.fail("%s.injected: %v", path, err)
+				}
+				ia := &InjectedAssertion{Site: site}
+				d.intField(bm, "count", path+".injected", &ia.Count)
+				d.unknown(bm, path+".injected", "site", "count")
+				a.Injected = ia
+			case "invariants", "no_leaks":
+				if body != nil {
+					if bm, ok := body.(map[string]any); !ok || len(bm) != 0 {
+						d.fail("%s.%s takes no parameters", path, key)
+					}
+				}
+				if key == "invariants" {
+					a.Invariants = true
+				} else {
+					a.NoLeaks = true
+				}
+			default:
+				d.fail("%s: unknown assertion %q (valid: state, states, admission, error_contains, metric, outcome, same_result, injected, invariants, no_leaks)", path, key)
+			}
+		}
+		asserts = append(asserts, a)
+		if d.err != nil {
+			return nil
+		}
+	}
+	return asserts
+}
+
+func (d *decoder) terminalState(s, path string) {
+	switch runqueue.State(s) {
+	case runqueue.Done, runqueue.Failed, runqueue.Canceled:
+	default:
+		d.fail("%s: %q is not a terminal state (done, failed, canceled)", path, s)
+	}
+}

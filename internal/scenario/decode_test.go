@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pdpasim/internal/faults"
+)
+
+const validDoc = `
+name: full
+description: exercises every schema corner
+seed: 9
+pool:
+  base_workers: 1
+  max_workers: 2
+  warmup: 1ms
+  queue_limit: 8
+  cache_size: 2
+  shed_depth: 3
+  run_timeout: 50ms
+  max_retries: 2
+  retry_backoff: 1ms
+defaults:
+  workload: {mix: w2, load: 0.7, ncpu: 16, window_s: 30, seed: 4, uniform_request: 8}
+  options: {policy: pdpa, target_eff: 0.6, step: 2}
+faults:
+  - "worker_start:error transient count=2"
+  - "cache_hit:delay delay=5ms"
+events:
+  - submit: {name: a, workload: {seed: 11}, options: {policy: equip}}
+  - arrivals: {prefix: b, count: 2, pattern: diurnal, load_min: 0.2, load_max: 0.8, period: 2}
+  - set_policy: {policy: gang}
+  - wait: {run: a, state: done}
+  - wait_all:
+  - cancel: {run: b1}
+assertions:
+  - state: {run: a, is: done}
+  - states: {prefix: b, are: [done, canceled]}
+  - admission: {run: a, is: fresh}
+  - error_contains: {run: b1, substr: canceled}
+  - metric: {name: pdpad_sheds_total, equals: 0}
+  - metric: {name: pdpad_run_wall_seconds_count, min: 1, max: 10}
+  - outcome: {run: a, policy: Equip, jobs: 3, makespan_min_s: 1, makespan_max_s: 500}
+  - same_result: {runs: [a, b0]}
+  - injected: {site: worker_start, count: 2}
+  - invariants:
+  - no_leaks:
+`
+
+func TestParseFullSchema(t *testing.T) {
+	s, err := Parse([]byte(validDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "full" || s.Seed != 9 {
+		t.Fatalf("header %q/%d", s.Name, s.Seed)
+	}
+	if s.Pool.RunTimeout != 50*time.Millisecond || s.Pool.CacheSize != 2 {
+		t.Fatalf("pool %+v", s.Pool)
+	}
+	if s.Defaults.Workload.Mix != "w2" || s.Defaults.Options.TargetEff != 0.6 {
+		t.Fatalf("defaults %+v", s.Defaults)
+	}
+	if len(s.Faults) != 2 || s.Faults[0].Site != faults.SiteWorkerStart || !s.Faults[0].Transient {
+		t.Fatalf("faults %+v", s.Faults)
+	}
+	if len(s.Events) != 6 || len(s.Assertions) != 11 {
+		t.Fatalf("%d events, %d assertions", len(s.Events), len(s.Assertions))
+	}
+	sub := s.Events[0].Submit
+	if sub.Name != "a" || sub.Workload.Seed != 11 || sub.Options.Policy != "equip" {
+		t.Fatalf("submit %+v", sub)
+	}
+	arr := s.Events[1].Arrivals
+	if arr.Pattern != "diurnal" || arr.LoadMax != 0.8 || arr.Period != 2 {
+		t.Fatalf("arrivals %+v", arr)
+	}
+	m := s.Assertions[5].Metric
+	if m.Name != "pdpad_run_wall_seconds_count" || *m.Min != 1 || *m.Max != 10 {
+		t.Fatalf("metric %+v", m)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	base := "name: x\nevents:\n  - submit: {name: a}\n"
+	cases := map[string]string{
+		"events:\n  - submit: {name: a}\n":        "needs a name",
+		"name: x\n":                               "no events",
+		base + "bogus: 1\n":                       "unknown key",
+		base + "pool: {workers: 2}\n":             "unknown key",
+		base + "pool: {warmup: fast}\n":           "bad duration",
+		base + "seed: many\n":                     "must be an integer",
+		base + "faults:\n  - \"nowhere:panic\"\n": "unknown site",
+		base + "faults:\n  - 7\n":                 "rule string",
+		"name: x\nevents:\n  - submit: {name: a}\n  - submit: {name: a}\n":               "duplicate run name",
+		"name: x\nevents:\n  - wait: {run: ghost}\n":                                     "before any event names it",
+		"name: x\nevents:\n  - submit: {name: a}\n  - wait: {run: a, state: sideways}\n": "invalid",
+		"name: x\nevents:\n  - submit: {name: a, nonsense: 1}\n":                         "unknown key",
+		"name: x\nevents:\n  - arrivals: {prefix: p}\n":                                  "positive count",
+		"name: x\nevents:\n  - arrivals: {prefix: p, count: 2, pattern: tidal}\n":        "invalid",
+		base + "assertions:\n  - state: {run: a, is: paused}\n":                          "not a terminal state",
+		base + "assertions:\n  - admission: {run: a, is: teleported}\n":                  "invalid",
+		base + "assertions:\n  - metric: {name: m}\n":                                    "needs equals, min, or max",
+		base + "assertions:\n  - metric: {name: m, equals: 1, min: 0}\n":                 "excludes",
+		base + "assertions:\n  - same_result: {runs: [a]}\n":                             "at least two",
+		base + "assertions:\n  - state: {run: ghost, is: done}\n":                        "before any event names it",
+		base + "assertions:\n  - haunted: {}\n":                                          "unknown assertion",
+		base + "assertions:\n  - states: {prefix: a, are: [done], all: done}\n":          "exactly one of",
+	}
+	for src, wantSub := range cases {
+		_, err := Parse([]byte(src))
+		if err == nil {
+			t.Errorf("%q: parsed, want error containing %q", src, wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%q: error %q, want substring %q", src, err.Error(), wantSub)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport is a fixed report exercising every renderer branch: pass and
+// fail verdicts, rejected submissions, observed values, and a runtime error
+// stays out because assertions are present.
+func goldenReport() *Report {
+	return &Report{
+		Scenario:    "golden",
+		Description: "fixed report for renderer regression",
+		Seed:        42,
+		Pass:        false,
+		Submissions: []SubReport{
+			{Name: "a", ID: "run-000001", Admission: "fresh", State: "done"},
+			{Name: "hung", ID: "run-000002", Admission: "fresh", State: "failed",
+				Error: "runqueue: no result within run timeout 50ms: runqueue: run timeout"},
+			{Name: "b0", Admission: "shed",
+				Error: "runqueue: overloaded: 2 runs queued; retry in 1s"},
+			{Name: "c", ID: "run-000001", Admission: "cache_hit", State: "done"},
+		},
+		Assertions: []AssertReport{
+			{Kind: "state", Detail: "run=a is=done", Observed: "done", Pass: true},
+			{Kind: "metric", Detail: "pdpad_sheds_total equals 1", Observed: "1", Pass: true},
+			{Kind: "state", Detail: "run=hung is=done", Observed: "failed", Pass: false},
+			{Kind: "invariants", Detail: "all invariants hold across 2 simulation attempts",
+				Observed: "clean", Pass: true},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden file:\n--- got\n%s\n--- want\n%s", name, got, want)
+	}
+}
+
+func TestReportGoldenText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.golden.txt", buf.Bytes())
+}
+
+func TestReportGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.golden.json", buf.Bytes())
+}
+
+// TestReportGoldenErrorText covers the runtime-failure rendering path.
+func TestReportGoldenErrorText(t *testing.T) {
+	rep := &Report{
+		Scenario: "wedged",
+		Seed:     1,
+		Error:    `events[2]: wait "a": still not terminal after 30s`,
+		Submissions: []SubReport{
+			{Name: "a", ID: "run-000001", Admission: "fresh", State: "running"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report_error.golden.txt", buf.Bytes())
+}

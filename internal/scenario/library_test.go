@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestBundledScenarioLibrary runs every scenario under scenarios/ twice: each
+// must pass, and the two JSON reports must be byte-identical — the
+// determinism contract CI's scenario-smoke job re-checks from the CLI.
+func TestBundledScenarioLibrary(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 6 {
+		t.Fatalf("found %d bundled scenarios, want at least 6", len(files))
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func() []byte {
+				s, err := Parse(src)
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				rep := Run(s)
+				if !rep.Pass {
+					var buf bytes.Buffer
+					rep.WriteText(&buf)
+					t.Fatalf("scenario failed:\n%s", buf.String())
+				}
+				var buf bytes.Buffer
+				if err := rep.WriteJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			first := render()
+			if second := render(); !bytes.Equal(first, second) {
+				t.Fatalf("reports diverge across replays:\n--- first\n%s\n--- second\n%s", first, second)
+			}
+		})
+	}
+}

@@ -1,0 +1,634 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pdpasim"
+	"pdpasim/internal/faults"
+	"pdpasim/internal/invariant"
+	"pdpasim/internal/leakcheck"
+	"pdpasim/internal/runqueue"
+)
+
+// Admission verdicts recorded per submission and checkable by assertions.
+const (
+	admFresh     = "fresh"
+	admCacheHit  = "cache_hit"
+	admDedup     = "dedup"
+	admShed      = "shed"
+	admQueueFull = "queue_full"
+)
+
+// waitTimeout bounds each wait event and the final drain. Scenarios run
+// in-process simulations that finish in milliseconds; a scenario that needs
+// half a minute for one step is wedged, not slow.
+const waitTimeout = 30 * time.Second
+
+// submission is the runner's record of one named submit.
+type submission struct {
+	name      string
+	id        string
+	admission string
+	submitErr error
+}
+
+// runner holds one scenario execution's mutable state.
+type runner struct {
+	s    *Scenario
+	pool *runqueue.Pool
+	inj  *faults.Injector
+
+	mu       sync.Mutex
+	checkers []*invariant.Checker
+
+	subs   []*submission
+	byName map[string]*submission
+	// template is the current defaults spec; set_policy events mutate it.
+	template runqueue.Spec
+	// arrivalIdx numbers generated submissions across all arrival phases, so
+	// derived workload seeds never repeat within a scenario.
+	arrivalIdx int
+}
+
+// Run executes the scenario and returns its report. Runtime failures (a wait
+// that never settles, a drain that times out) are reported in Report.Error
+// with Pass=false; Run itself only errs on input that Parse should have
+// rejected.
+func Run(s *Scenario) *Report {
+	rep := &Report{
+		Scenario:    s.Name,
+		Description: s.Description,
+		Seed:        s.Seed,
+	}
+
+	var baseline leakcheck.Baseline
+	wantLeakCheck := false
+	for _, a := range s.Assertions {
+		if a.NoLeaks {
+			wantLeakCheck = true
+		}
+	}
+	if wantLeakCheck {
+		baseline = leakcheck.Snapshot()
+	}
+
+	r := &runner{
+		s:        s,
+		inj:      faults.New(s.Seed, s.Faults...),
+		byName:   map[string]*submission{},
+		template: s.Defaults,
+	}
+	cfg := s.Pool.config()
+	cfg.Faults = r.inj
+	// Every simulation attempt streams its decision trace through a fresh
+	// invariant checker; the "invariants" assertion reads their verdicts
+	// after the drain. Attaching an observer never changes the outcome.
+	cfg.Simulate = func(ctx context.Context, spec runqueue.Spec) (*pdpasim.Outcome, error) {
+		ws, opts := spec.Facade()
+		chk := invariant.New()
+		opts.Observer = pdpasim.ObserverFunc(chk.Observe)
+		r.mu.Lock()
+		r.checkers = append(r.checkers, chk)
+		r.mu.Unlock()
+		return pdpasim.RunContext(ctx, ws, opts)
+	}
+	r.pool = runqueue.New(cfg)
+
+	err := r.events()
+	ctx, cancel := context.WithTimeout(context.Background(), waitTimeout)
+	drainErr := r.pool.Drain(ctx)
+	cancel()
+	if err == nil && drainErr != nil {
+		err = fmt.Errorf("drain: %w", drainErr)
+	}
+
+	for _, sub := range r.subs {
+		sr := SubReport{Name: sub.name, ID: sub.id, Admission: sub.admission}
+		if sub.submitErr != nil {
+			sr.Error = sub.submitErr.Error()
+		} else if snap, gerr := r.pool.Get(sub.id); gerr == nil {
+			sr.State = string(snap.State)
+			if snap.Err != nil {
+				sr.Error = snap.Err.Error()
+			}
+		}
+		rep.Submissions = append(rep.Submissions, sr)
+	}
+
+	if err != nil {
+		rep.Error = err.Error()
+		return rep
+	}
+
+	rep.Pass = true
+	for _, a := range s.Assertions {
+		ar := r.evaluate(a, baseline)
+		if !ar.Pass {
+			rep.Pass = false
+		}
+		rep.Assertions = append(rep.Assertions, ar)
+	}
+	return rep
+}
+
+// events walks the timeline in order; the first failing event aborts the
+// scenario.
+func (r *runner) events() error {
+	for i, e := range r.s.Events {
+		var err error
+		switch {
+		case e.Submit != nil:
+			err = r.submit(e.Submit.Name, r.merged(e.Submit))
+		case e.Arrivals != nil:
+			err = r.arrivals(e.Arrivals)
+		case e.SetPolicy != nil:
+			r.template.Options.Policy = e.SetPolicy.Policy
+		case e.Wait != nil:
+			err = r.wait(e.Wait.Run, e.Wait.State)
+		case e.WaitAll:
+			err = r.waitAll()
+		case e.Cancel != nil:
+			err = r.cancel(e.Cancel.Run)
+		}
+		if err != nil {
+			return fmt.Errorf("events[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// merged applies a submit event's overrides onto the current template.
+// Override fields left zero keep the template value — the same convention the
+// facade uses for defaulting, so an explicit zero and "unset" coincide.
+func (r *runner) merged(e *SubmitEvent) runqueue.Spec {
+	spec := r.template
+	if w := e.Workload; w != nil {
+		if w.Mix != "" {
+			spec.Workload.Mix = w.Mix
+		}
+		if w.Load != 0 {
+			spec.Workload.Load = w.Load
+		}
+		if w.NCPU != 0 {
+			spec.Workload.NCPU = w.NCPU
+		}
+		if w.WindowS != 0 {
+			spec.Workload.WindowS = w.WindowS
+		}
+		if w.Seed != 0 {
+			spec.Workload.Seed = w.Seed
+		}
+		if w.UniformRequest != 0 {
+			spec.Workload.UniformRequest = w.UniformRequest
+		}
+	}
+	if o := e.Options; o != nil {
+		if o.Policy != "" {
+			spec.Options.Policy = o.Policy
+		}
+		if o.TargetEff != 0 {
+			spec.Options.TargetEff = o.TargetEff
+		}
+		if o.HighEff != 0 {
+			spec.Options.HighEff = o.HighEff
+		}
+		if o.Step != 0 {
+			spec.Options.Step = o.Step
+		}
+		if o.BaseMPL != 0 {
+			spec.Options.BaseMPL = o.BaseMPL
+		}
+		if o.MaxStableTransitions != 0 {
+			spec.Options.MaxStableTransitions = o.MaxStableTransitions
+		}
+		if o.FixedMPL != 0 {
+			spec.Options.FixedMPL = o.FixedMPL
+		}
+		if o.NoiseSigma != 0 {
+			spec.Options.NoiseSigma = o.NoiseSigma
+		}
+		if o.Seed != 0 {
+			spec.Options.Seed = o.Seed
+		}
+		if o.NUMANodeSize != 0 {
+			spec.Options.NUMANodeSize = o.NUMANodeSize
+		}
+	}
+	return spec
+}
+
+func (r *runner) submit(name string, spec runqueue.Spec) error {
+	sub := &submission{name: name}
+	res, err := r.pool.Submit(spec, 0)
+	switch {
+	case err == nil && res.CacheHit:
+		sub.id, sub.admission = res.ID, admCacheHit
+	case err == nil && res.Deduped:
+		sub.id, sub.admission = res.ID, admDedup
+	case err == nil:
+		sub.id, sub.admission = res.ID, admFresh
+	default:
+		var ov *runqueue.OverloadError
+		switch {
+		case errors.As(err, &ov):
+			sub.admission, sub.submitErr = admShed, err
+		case errors.Is(err, runqueue.ErrQueueFull):
+			sub.admission, sub.submitErr = admQueueFull, err
+		default:
+			return fmt.Errorf("submit %q: %w", name, err)
+		}
+	}
+	r.subs = append(r.subs, sub)
+	r.byName[name] = sub
+	return nil
+}
+
+// arrivals submits one generated phase. Each submission derives its workload
+// seed from the master seed and its phase-global index unless the template
+// pins one, so phases reshuffle coherently under a seed override and distinct
+// arrivals never collapse into one cache entry.
+func (r *runner) arrivals(e *ArrivalsEvent) error {
+	for j := 0; j < e.Count; j++ {
+		spec := r.template
+		if spec.Workload.Seed == 0 {
+			spec.Workload.Seed = derivedSeed(r.s.Seed, r.arrivalIdx)
+		}
+		if e.Pattern == "diurnal" {
+			phase := 2 * math.Pi * float64(j) / float64(e.Period)
+			spec.Workload.Load = e.LoadMin + (e.LoadMax-e.LoadMin)*(0.5-0.5*math.Cos(phase))
+		}
+		r.arrivalIdx++
+		if err := r.submit(fmt.Sprintf("%s%d", e.Prefix, j), spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// derivedSeed is a splitmix64 step over the master seed and index — stable,
+// well-spread, and never zero-colliding for adjacent indices.
+func derivedSeed(master int64, idx int) int64 {
+	z := uint64(master) + uint64(idx+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z >> 1)
+}
+
+func (r *runner) admitted(name string) (*submission, error) {
+	sub, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("run %q was never submitted", name)
+	}
+	if sub.submitErr != nil {
+		return nil, fmt.Errorf("run %q was not admitted (%s)", name, sub.admission)
+	}
+	return sub, nil
+}
+
+func (r *runner) wait(name, state string) error {
+	sub, err := r.admitted(name)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(waitTimeout)
+	if state == "terminal" || runqueue.State(state).Terminal() {
+		done, err := r.pool.Done(sub.id)
+		if err != nil {
+			return fmt.Errorf("wait %q: %w", name, err)
+		}
+		select {
+		case <-done:
+		case <-time.After(waitTimeout):
+			return fmt.Errorf("wait %q: still not terminal after %v", name, waitTimeout)
+		}
+		if state == "terminal" {
+			return nil
+		}
+	}
+	for {
+		snap, err := r.pool.Get(sub.id)
+		if err != nil {
+			return fmt.Errorf("wait %q: %w", name, err)
+		}
+		if string(snap.State) == state {
+			return nil
+		}
+		if snap.State.Terminal() {
+			return fmt.Errorf("wait %q: wanted %s, run settled as %s", name, state, snap.State)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("wait %q: not %s after %v (still %s)", name, state, waitTimeout, snap.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (r *runner) waitAll() error {
+	for _, sub := range r.subs {
+		if sub.submitErr != nil {
+			continue
+		}
+		done, err := r.pool.Done(sub.id)
+		if err != nil {
+			return fmt.Errorf("wait_all %q: %w", sub.name, err)
+		}
+		select {
+		case <-done:
+		case <-time.After(waitTimeout):
+			return fmt.Errorf("wait_all: %q still not terminal after %v", sub.name, waitTimeout)
+		}
+	}
+	return nil
+}
+
+func (r *runner) cancel(name string) error {
+	sub, err := r.admitted(name)
+	if err != nil {
+		return err
+	}
+	if _, err := r.pool.Cancel(sub.id); err != nil {
+		return fmt.Errorf("cancel %q: %w", name, err)
+	}
+	return nil
+}
+
+// evaluate checks one assertion against the drained pool.
+func (r *runner) evaluate(a Assertion, baseline leakcheck.Baseline) AssertReport {
+	switch {
+	case a.State != nil:
+		return r.checkState(a.State)
+	case a.States != nil:
+		return r.checkStates(a.States)
+	case a.Admission != nil:
+		return r.checkAdmission(a.Admission)
+	case a.ErrorContains != nil:
+		return r.checkErrorContains(a.ErrorContains)
+	case a.Metric != nil:
+		return r.checkMetric(a.Metric)
+	case a.Outcome != nil:
+		return r.checkOutcome(a.Outcome)
+	case a.SameResult != nil:
+		return r.checkSameResult(a.SameResult)
+	case a.Injected != nil:
+		got := r.inj.Injected(a.Injected.Site)
+		return AssertReport{
+			Kind:     "injected",
+			Detail:   fmt.Sprintf("site=%s count=%d", a.Injected.Site, a.Injected.Count),
+			Observed: fmt.Sprintf("%d", got),
+			Pass:     got == a.Injected.Count,
+		}
+	case a.Invariants:
+		return r.checkInvariants()
+	case a.NoLeaks:
+		ar := AssertReport{Kind: "no_leaks", Detail: "no goroutines leaked", Pass: true}
+		if err := baseline.Wait(leakcheck.Grace); err != nil {
+			ar.Pass = false
+			ar.Observed = err.Error()
+		}
+		return ar
+	}
+	return AssertReport{Kind: "unknown", Detail: "empty assertion", Pass: false}
+}
+
+// snapFor resolves a run name to its terminal snapshot for an assertion.
+func (r *runner) snapFor(name string) (runqueue.Snapshot, string) {
+	sub, ok := r.byName[name]
+	if !ok {
+		return runqueue.Snapshot{}, fmt.Sprintf("run %q was never submitted", name)
+	}
+	if sub.submitErr != nil {
+		return runqueue.Snapshot{}, fmt.Sprintf("run %q was not admitted (%s)", name, sub.admission)
+	}
+	snap, err := r.pool.Get(sub.id)
+	if err != nil {
+		return runqueue.Snapshot{}, fmt.Sprintf("run %q: %v", name, err)
+	}
+	return snap, ""
+}
+
+func (r *runner) checkState(a *StateAssertion) AssertReport {
+	ar := AssertReport{Kind: "state", Detail: fmt.Sprintf("run=%s is=%s", a.Run, a.Is)}
+	snap, msg := r.snapFor(a.Run)
+	if msg != "" {
+		ar.Observed = msg
+		return ar
+	}
+	ar.Observed = string(snap.State)
+	ar.Pass = string(snap.State) == a.Is
+	return ar
+}
+
+func (r *runner) checkStates(a *StatesAssertion) AssertReport {
+	ar := AssertReport{Kind: "states"}
+	var got []string
+	for _, sub := range r.subs {
+		if !strings.HasPrefix(sub.name, a.Prefix) {
+			continue
+		}
+		if sub.submitErr != nil {
+			got = append(got, sub.admission)
+			continue
+		}
+		snap, err := r.pool.Get(sub.id)
+		if err != nil {
+			got = append(got, "unknown")
+			continue
+		}
+		got = append(got, string(snap.State))
+	}
+	ar.Observed = strings.Join(got, ",")
+	if a.All != "" {
+		ar.Detail = fmt.Sprintf("prefix=%s all=%s", a.Prefix, a.All)
+		ar.Pass = len(got) > 0
+		for _, s := range got {
+			if s != a.All {
+				ar.Pass = false
+			}
+		}
+		return ar
+	}
+	ar.Detail = fmt.Sprintf("prefix=%s are=%s", a.Prefix, strings.Join(a.Are, ","))
+	ar.Pass = len(got) == len(a.Are)
+	if ar.Pass {
+		for i := range got {
+			if got[i] != a.Are[i] {
+				ar.Pass = false
+			}
+		}
+	}
+	return ar
+}
+
+func (r *runner) checkAdmission(a *AdmissionAssertion) AssertReport {
+	ar := AssertReport{Kind: "admission", Detail: fmt.Sprintf("run=%s is=%s", a.Run, a.Is)}
+	sub, ok := r.byName[a.Run]
+	if !ok {
+		ar.Observed = fmt.Sprintf("run %q was never submitted", a.Run)
+		return ar
+	}
+	ar.Observed = sub.admission
+	ar.Pass = sub.admission == a.Is
+	return ar
+}
+
+func (r *runner) checkErrorContains(a *ErrorContainsAssertion) AssertReport {
+	ar := AssertReport{Kind: "error_contains", Detail: fmt.Sprintf("run=%s substr=%q", a.Run, a.Substr)}
+	sub, ok := r.byName[a.Run]
+	if !ok {
+		ar.Observed = fmt.Sprintf("run %q was never submitted", a.Run)
+		return ar
+	}
+	var msg string
+	if sub.submitErr != nil {
+		msg = sub.submitErr.Error()
+	} else if snap, err := r.pool.Get(sub.id); err == nil && snap.Err != nil {
+		msg = snap.Err.Error()
+	}
+	if msg == "" {
+		ar.Observed = "no error"
+		return ar
+	}
+	ar.Observed = msg
+	ar.Pass = strings.Contains(msg, a.Substr)
+	return ar
+}
+
+func (r *runner) checkMetric(a *MetricAssertion) AssertReport {
+	ar := AssertReport{Kind: "metric", Detail: metricDetail(a)}
+	v, ok := r.pool.Metrics().Value(a.Name, a.Label)
+	if !ok {
+		ar.Observed = "no such series"
+		return ar
+	}
+	ar.Observed = trimFloat(v)
+	ar.Pass = (a.Min == nil || v >= *a.Min) && (a.Max == nil || v <= *a.Max)
+	return ar
+}
+
+func metricDetail(a *MetricAssertion) string {
+	name := a.Name
+	if a.Label != "" {
+		name += "{" + a.Label + "}"
+	}
+	if a.Min != nil && a.Max != nil && *a.Min == *a.Max {
+		return fmt.Sprintf("%s equals %s", name, trimFloat(*a.Min))
+	}
+	s := name
+	if a.Min != nil {
+		s += fmt.Sprintf(" min=%s", trimFloat(*a.Min))
+	}
+	if a.Max != nil {
+		s += fmt.Sprintf(" max=%s", trimFloat(*a.Max))
+	}
+	return s
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// outcomeWire is the slice of the result JSON the outcome assertion reads.
+type outcomeWire struct {
+	Policy    string            `json:"policy"`
+	Workload  string            `json:"workload"`
+	MakespanS float64           `json:"makespan_s"`
+	Jobs      []json.RawMessage `json:"jobs"`
+}
+
+func (r *runner) checkOutcome(a *OutcomeAssertion) AssertReport {
+	ar := AssertReport{Kind: "outcome", Detail: outcomeDetail(a)}
+	snap, msg := r.snapFor(a.Run)
+	if msg != "" {
+		ar.Observed = msg
+		return ar
+	}
+	if len(snap.ResultJSON) == 0 {
+		ar.Observed = fmt.Sprintf("run %q has no result (state %s)", a.Run, snap.State)
+		return ar
+	}
+	var w outcomeWire
+	if err := json.Unmarshal(snap.ResultJSON, &w); err != nil {
+		ar.Observed = fmt.Sprintf("bad result JSON: %v", err)
+		return ar
+	}
+	ar.Observed = fmt.Sprintf("policy=%s workload=%s jobs=%d makespan_s=%s",
+		w.Policy, w.Workload, len(w.Jobs), trimFloat(w.MakespanS))
+	ar.Pass = (a.Policy == "" || w.Policy == a.Policy) &&
+		(a.Workload == "" || w.Workload == a.Workload) &&
+		(a.Jobs == nil || len(w.Jobs) == *a.Jobs) &&
+		(a.MakespanSMin == nil || w.MakespanS >= *a.MakespanSMin) &&
+		(a.MakespanSMax == nil || w.MakespanS <= *a.MakespanSMax)
+	return ar
+}
+
+func outcomeDetail(a *OutcomeAssertion) string {
+	parts := []string{"run=" + a.Run}
+	if a.Policy != "" {
+		parts = append(parts, "policy="+a.Policy)
+	}
+	if a.Workload != "" {
+		parts = append(parts, "workload="+a.Workload)
+	}
+	if a.Jobs != nil {
+		parts = append(parts, fmt.Sprintf("jobs=%d", *a.Jobs))
+	}
+	if a.MakespanSMin != nil {
+		parts = append(parts, "makespan_min_s="+trimFloat(*a.MakespanSMin))
+	}
+	if a.MakespanSMax != nil {
+		parts = append(parts, "makespan_max_s="+trimFloat(*a.MakespanSMax))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (r *runner) checkSameResult(a *SameResultAssertion) AssertReport {
+	ar := AssertReport{Kind: "same_result", Detail: "runs=" + strings.Join(a.Runs, ",")}
+	var first []byte
+	for i, name := range a.Runs {
+		snap, msg := r.snapFor(name)
+		if msg != "" {
+			ar.Observed = msg
+			return ar
+		}
+		if len(snap.ResultJSON) == 0 {
+			ar.Observed = fmt.Sprintf("run %q has no result (state %s)", name, snap.State)
+			return ar
+		}
+		if i == 0 {
+			first = snap.ResultJSON
+		} else if !bytes.Equal(first, snap.ResultJSON) {
+			ar.Observed = fmt.Sprintf("run %q diverges from %q", name, a.Runs[0])
+			return ar
+		}
+	}
+	ar.Observed = fmt.Sprintf("%d identical results", len(a.Runs))
+	ar.Pass = true
+	return ar
+}
+
+func (r *runner) checkInvariants() AssertReport {
+	ar := AssertReport{Kind: "invariants", Pass: true}
+	r.mu.Lock()
+	checkers := r.checkers
+	r.mu.Unlock()
+	ar.Detail = fmt.Sprintf("all invariants hold across %d simulation attempts", len(checkers))
+	for _, chk := range checkers {
+		if err := chk.Err(); err != nil {
+			ar.Pass = false
+			ar.Observed = err.Error()
+			return ar
+		}
+	}
+	ar.Observed = "clean"
+	return ar
+}

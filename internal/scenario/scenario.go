@@ -1,0 +1,282 @@
+// Package scenario is the stress/chaos DSL: a YAML file declares a worker
+// pool, a default workload/options template, seeded fault-injection rules at
+// the internal/faults sites, a timeline of events (single and bursty
+// arrivals, diurnal load phases, a mid-run policy switch, cancellation), and
+// assertions on the outcome (exact terminal run states, admission verdicts,
+// metric bounds read from the pool's obs registry, byte-identical-result
+// checks, invariant-checker verdicts, goroutine-leak checks). The runner
+// executes the scenario deterministically against an in-process
+// runqueue.Pool — same seed, same report, byte for byte — and renders a
+// pass/fail report as text or JSON.
+//
+// The package turns the PR-5 chaos/invariant machinery from closed Go test
+// code into an open-ended scenario library: everything a hand-written chaos
+// test can script against the pool, a YAML file can now declare.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"pdpasim/internal/faults"
+	"pdpasim/internal/runqueue"
+)
+
+// Scenario is one parsed, validated scenario file.
+type Scenario struct {
+	Name        string
+	Description string
+	// Seed is the master seed: it drives the fault injector and derives the
+	// workload seeds of generated arrivals. Explicit workload.seed fields in
+	// the file are never touched, so assertions tied to a pinned workload
+	// survive a seed override.
+	Seed int64
+	Pool PoolParams
+	// Defaults is the spec template events submit; per-event overrides merge
+	// onto it field by field.
+	Defaults runqueue.Spec
+	// Faults are the injection rules, in the shared faults text syntax.
+	Faults     []faults.Rule
+	Events     []Event
+	Assertions []Assertion
+}
+
+// PoolParams sizes the in-process pool a scenario runs against. The zero
+// value means a deterministic single-worker pool (base=max=1) with a 1 ms
+// warm-up — the configuration under which occurrence-indexed fault rules
+// fire in submission order.
+type PoolParams struct {
+	BaseWorkers  int
+	MaxWorkers   int
+	Warmup       time.Duration
+	QueueLimit   int
+	CacheSize    int
+	ShedDepth    int
+	RunTimeout   time.Duration
+	MaxRetries   int
+	RetryBackoff time.Duration
+}
+
+func (p PoolParams) config() runqueue.Config {
+	base := p.BaseWorkers
+	if base <= 0 {
+		base = 1
+	}
+	max := p.MaxWorkers
+	if max <= 0 {
+		max = base
+	}
+	warmup := p.Warmup
+	if warmup <= 0 {
+		warmup = time.Millisecond
+	}
+	backoff := p.RetryBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	return runqueue.Config{
+		BaseWorkers:  base,
+		MaxWorkers:   max,
+		Warmup:       warmup,
+		QueueLimit:   p.QueueLimit,
+		CacheSize:    p.CacheSize,
+		ShedDepth:    p.ShedDepth,
+		RunTimeout:   p.RunTimeout,
+		MaxRetries:   p.MaxRetries,
+		RetryBackoff: backoff,
+		TraceLimit:   -1, // runs carry their own Observer; no retained traces
+	}
+}
+
+// Event is one timeline step. Exactly one field is set.
+type Event struct {
+	Submit    *SubmitEvent
+	Arrivals  *ArrivalsEvent
+	SetPolicy *SetPolicyEvent
+	Wait      *WaitEvent
+	WaitAll   bool
+	Cancel    *CancelEvent
+}
+
+// SubmitEvent submits one named run built from the defaults template plus
+// overrides.
+type SubmitEvent struct {
+	// Name labels the submission for waits, cancels, and assertions.
+	Name string
+	// Workload and Options override individual template fields; nil keeps
+	// the template.
+	Workload *runqueue.WorkloadSpec
+	Options  *runqueue.RunOptions
+}
+
+// ArrivalsEvent submits a generated phase of runs named "<prefix>0",
+// "<prefix>1", ... Their workload seeds derive from the master seed and the
+// submission index, so the phase reshuffles coherently under -seed.
+type ArrivalsEvent struct {
+	Prefix string
+	Count  int
+	// Pattern shapes per-submission load: "burst" and "uniform" submit at
+	// the template load; "diurnal" sweeps load sinusoidally between LoadMin
+	// and LoadMax over Period submissions (day-and-night arrival pressure).
+	Pattern string
+	LoadMin float64
+	LoadMax float64
+	Period  int
+}
+
+// SetPolicyEvent switches the defaults template's policy mid-run: every
+// subsequent submission schedules under the new regime.
+type SetPolicyEvent struct {
+	Policy string
+}
+
+// WaitEvent blocks until the named run reaches a state ("done", "failed",
+// "canceled", "running", or "terminal" for any final state).
+type WaitEvent struct {
+	Run   string
+	State string
+}
+
+// CancelEvent cancels the named run.
+type CancelEvent struct {
+	Run string
+}
+
+// Assertion is one outcome check. Exactly one field is set.
+type Assertion struct {
+	State         *StateAssertion
+	States        *StatesAssertion
+	Admission     *AdmissionAssertion
+	ErrorContains *ErrorContainsAssertion
+	Metric        *MetricAssertion
+	Outcome       *OutcomeAssertion
+	SameResult    *SameResultAssertion
+	Injected      *InjectedAssertion
+	Invariants    bool
+	NoLeaks       bool
+}
+
+// StateAssertion pins one run's exact terminal state.
+type StateAssertion struct {
+	Run string
+	Is  string
+}
+
+// StatesAssertion pins the terminal states of a generated phase, in
+// submission order ("are"), or requires one state of every member ("all").
+type StatesAssertion struct {
+	Prefix string
+	Are    []string
+	All    string
+}
+
+// AdmissionAssertion pins how a submission was admitted: "fresh",
+// "cache_hit", "dedup", "shed", or "queue_full".
+type AdmissionAssertion struct {
+	Run string
+	Is  string
+}
+
+// ErrorContainsAssertion requires a run's error message to contain a
+// substring.
+type ErrorContainsAssertion struct {
+	Run    string
+	Substr string
+}
+
+// MetricAssertion bounds one series of the pool's metric registry (the same
+// numbers /metrics exposes). Min/Max are inclusive; a nil bound is open.
+type MetricAssertion struct {
+	Name  string
+	Label string
+	Min   *float64
+	Max   *float64
+}
+
+// OutcomeAssertion checks fields of a completed run's result.
+type OutcomeAssertion struct {
+	Run          string
+	Policy       string
+	Workload     string
+	Jobs         *int
+	MakespanSMin *float64
+	MakespanSMax *float64
+}
+
+// SameResultAssertion requires the named runs' result JSON to be
+// byte-identical — the check that proves fault handling has no blast radius
+// beyond its target.
+type SameResultAssertion struct {
+	Runs []string
+}
+
+// InjectedAssertion pins how many occurrences of a site fired a rule.
+type InjectedAssertion struct {
+	Site  faults.Site
+	Count int
+}
+
+// Validate applies cross-field checks the per-field decoder cannot see.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return &ParseError{Msg: "scenario needs a name"}
+	}
+	if len(s.Events) == 0 {
+		return &ParseError{Msg: fmt.Sprintf("scenario %q declares no events", s.Name)}
+	}
+	named := map[string]bool{}
+	refs := func(name, where string) error {
+		if !named[name] {
+			return &ParseError{Msg: fmt.Sprintf("%s references run %q before any event names it", where, name)}
+		}
+		return nil
+	}
+	for i, e := range s.Events {
+		where := fmt.Sprintf("events[%d]", i)
+		switch {
+		case e.Submit != nil:
+			if named[e.Submit.Name] {
+				return &ParseError{Msg: fmt.Sprintf("%s: duplicate run name %q", where, e.Submit.Name)}
+			}
+			named[e.Submit.Name] = true
+		case e.Arrivals != nil:
+			for j := 0; j < e.Arrivals.Count; j++ {
+				n := fmt.Sprintf("%s%d", e.Arrivals.Prefix, j)
+				if named[n] {
+					return &ParseError{Msg: fmt.Sprintf("%s: generated run name %q collides", where, n)}
+				}
+				named[n] = true
+			}
+		case e.Wait != nil:
+			if err := refs(e.Wait.Run, where); err != nil {
+				return err
+			}
+		case e.Cancel != nil:
+			if err := refs(e.Cancel.Run, where); err != nil {
+				return err
+			}
+		}
+	}
+	for i, a := range s.Assertions {
+		where := fmt.Sprintf("assertions[%d]", i)
+		var check []string
+		switch {
+		case a.State != nil:
+			check = []string{a.State.Run}
+		case a.Admission != nil:
+			check = []string{a.Admission.Run}
+		case a.ErrorContains != nil:
+			check = []string{a.ErrorContains.Run}
+		case a.Outcome != nil:
+			check = []string{a.Outcome.Run}
+		case a.SameResult != nil:
+			check = a.SameResult.Runs
+		}
+		for _, n := range check {
+			if err := refs(n, where); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

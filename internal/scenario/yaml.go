@@ -1,0 +1,447 @@
+package scenario
+
+// A hand-rolled parser for the strict YAML subset the scenario DSL uses.
+// The repository takes no external dependencies, so rather than vendoring a
+// full YAML implementation this parser accepts exactly the constructs the
+// DSL needs — block mappings and sequences by indentation, one-line flow
+// collections ([a, b] and {k: v}), quoted and plain scalars, comments — and
+// rejects everything else with a *ParseError carrying the line number.
+// Malformed input must never panic (FuzzParseScenario enforces it): every
+// failure path returns a typed error.
+//
+// Deliberate restrictions, each an error rather than a silent surprise:
+// tabs in indentation, duplicate mapping keys, multi-document streams,
+// anchors/aliases/tags, and multi-line block scalars (| and >) are all
+// rejected.
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ParseError is the typed error every YAML or schema failure surfaces as.
+type ParseError struct {
+	// Line is the 1-based input line, 0 when the error is not line-scoped.
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("scenario: line %d: %s", e.Line, e.Msg)
+	}
+	return "scenario: " + e.Msg
+}
+
+func parseErrf(line int, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// maxDepth bounds nesting so hostile input cannot exhaust the stack.
+const maxDepth = 64
+
+// yamlLine is one significant input line: indentation stripped, comment
+// removed, original line number kept for errors.
+type yamlLine struct {
+	num    int
+	indent int
+	text   string
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML parses a document into nested map[string]any / []any / scalar
+// values (string, int64, float64, bool, nil).
+func parseYAML(src string) (any, error) {
+	p := &yamlParser{}
+	if err := p.split(src); err != nil {
+		return nil, err
+	}
+	if len(p.lines) == 0 {
+		return nil, parseErrf(0, "empty document")
+	}
+	v, err := p.value(p.lines[0].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, parseErrf(l.num, "unexpected content %q after the document (indentation decreased past the top level?)", l.text)
+	}
+	return v, nil
+}
+
+// split breaks the source into significant lines, stripping comments and
+// blanks and validating indentation.
+func (p *yamlParser) split(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		num := i + 1
+		indent := 0
+		for indent < len(raw) && raw[indent] == ' ' {
+			indent++
+		}
+		rest := raw[indent:]
+		if strings.HasPrefix(rest, "\t") {
+			return parseErrf(num, "tab in indentation (use spaces)")
+		}
+		rest = strings.TrimRight(stripComment(rest), " \t")
+		if rest == "" {
+			continue
+		}
+		if rest == "---" && len(p.lines) == 0 {
+			continue // leading document marker
+		}
+		if rest == "---" || rest == "..." {
+			return parseErrf(num, "multi-document streams are not supported")
+		}
+		if strings.HasPrefix(rest, "&") || strings.HasPrefix(rest, "*") || strings.HasPrefix(rest, "!!") {
+			return parseErrf(num, "anchors, aliases, and tags are not supported")
+		}
+		p.lines = append(p.lines, yamlLine{num: num, indent: indent, text: rest})
+	}
+	return nil
+}
+
+// stripComment removes a trailing comment: an unquoted "#" preceded by start
+// of line or whitespace.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote == '"' && c == '\\':
+			i++
+		case quote != 0 && c == quote:
+			quote = 0
+		case quote == 0 && (c == '"' || c == '\''):
+			quote = c
+		case quote == 0 && c == '#' && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// value parses the block starting at the current line, whose indent must be
+// exactly indent (the caller has already established it).
+func (p *yamlParser) value(indent, depth int) (any, error) {
+	if depth > maxDepth {
+		return nil, parseErrf(p.lines[p.pos].num, "nesting deeper than %d levels", maxDepth)
+	}
+	l := p.lines[p.pos]
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.sequence(indent, depth)
+	}
+	return p.mapping(indent, depth)
+}
+
+// sequence parses "- item" lines at the given indent.
+func (p *yamlParser) sequence(indent, depth int) (any, error) {
+	var out []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			break
+		}
+		if l.text != "-" && !strings.HasPrefix(l.text, "- ") {
+			return nil, parseErrf(l.num, "expected a \"- \" sequence item at this indentation, got %q", l.text)
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		if rest == "" {
+			// Item is a nested block on the following deeper lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			v, err := p.value(p.lines[p.pos].indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		// Inline item content: re-inject it as a line indented to where the
+		// content starts, so "- key: value" plus continuation keys at that
+		// column parse as one mapping.
+		inner := l.indent + (len(l.text) - len(rest))
+		p.lines[p.pos] = yamlLine{num: l.num, indent: inner, text: rest}
+		if isMappingStart(rest) || rest == "-" || strings.HasPrefix(rest, "- ") {
+			v, err := p.value(inner, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		v, err := scalar(rest, l.num, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		p.pos++
+	}
+	return out, nil
+}
+
+// keyRe is the shape of a plain mapping key.
+var keyRe = regexp.MustCompile(`^[A-Za-z0-9_.-]+$`)
+
+// isMappingStart reports whether a line's content begins a mapping entry:
+// "key:" or "key: value" with a plain key.
+func isMappingStart(s string) bool {
+	key, _, ok := cutUnquotedColon(s)
+	return ok && keyRe.MatchString(strings.TrimSpace(key))
+}
+
+// cutUnquotedColon splits s at the first ": " (or trailing ":") outside
+// quotes and flow collections.
+func cutUnquotedColon(s string) (key, val string, ok bool) {
+	var quote byte
+	flowDepth := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote == '"' && c == '\\':
+			i++
+		case quote != 0 && c == quote:
+			quote = 0
+		case quote == 0 && (c == '"' || c == '\''):
+			quote = c
+		case quote == 0 && (c == '[' || c == '{'):
+			flowDepth++
+		case quote == 0 && (c == ']' || c == '}'):
+			flowDepth--
+		case quote == 0 && flowDepth == 0 && c == ':':
+			if i == len(s)-1 {
+				return s[:i], "", true
+			}
+			if s[i+1] == ' ' {
+				return s[:i], strings.TrimSpace(s[i+2:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// mapping parses "key: value" lines at the given indent.
+func (p *yamlParser) mapping(indent, depth int) (any, error) {
+	out := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, parseErrf(l.num, "unexpected indentation")
+			}
+			break
+		}
+		key, val, ok := cutUnquotedColon(l.text)
+		key = strings.TrimSpace(key)
+		if !ok || !keyRe.MatchString(key) {
+			return nil, parseErrf(l.num, "expected \"key: value\", got %q", l.text)
+		}
+		if _, dup := out[key]; dup {
+			return nil, parseErrf(l.num, "duplicate key %q", key)
+		}
+		if val != "" {
+			v, err := scalar(val, l.num, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+			p.pos++
+			continue
+		}
+		// "key:" — a nested block on deeper lines, a sequence at the same
+		// indent (the common "items under the key's column" style), or null.
+		p.pos++
+		if p.pos >= len(p.lines) || p.lines[p.pos].indent < indent {
+			out[key] = nil
+			continue
+		}
+		if next := p.lines[p.pos]; next.indent == indent {
+			if next.text != "-" && !strings.HasPrefix(next.text, "- ") {
+				out[key] = nil
+				continue
+			}
+		}
+		v, err := p.value(p.lines[p.pos].indent, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = v
+	}
+	return out, nil
+}
+
+// scalar parses a one-line value: a flow collection, a quoted string, or a
+// typed plain scalar.
+func scalar(s string, line, depth int) (any, error) {
+	if depth > maxDepth {
+		return nil, parseErrf(line, "nesting deeper than %d levels", maxDepth)
+	}
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, nil
+	case s[0] == '[' || s[0] == '{':
+		v, rest, err := flowValue(s, line, depth)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, parseErrf(line, "trailing content %q after flow collection", rest)
+		}
+		return v, nil
+	case s[0] == '"':
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, parseErrf(line, "bad double-quoted string %s", s)
+		}
+		return unq, nil
+	case s[0] == '\'':
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, parseErrf(line, "unterminated single-quoted string %s", s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	case s == "|" || s == ">" || strings.HasPrefix(s, "| ") || strings.HasPrefix(s, "> "):
+		return nil, parseErrf(line, "block scalars (| and >) are not supported")
+	case s[0] == '&' || s[0] == '*' || s[0] == '!':
+		return nil, parseErrf(line, "anchors, aliases, and tags are not supported")
+	}
+	return plainScalar(s), nil
+}
+
+// plainScalar types an unquoted scalar.
+func plainScalar(s string) any {
+	switch s {
+	case "null", "~", "Null", "NULL":
+		return nil
+	case "true", "True", "TRUE":
+		return true
+	case "false", "False", "FALSE":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil && !strings.HasPrefix(s, "+") {
+		return f
+	}
+	return s
+}
+
+// flowValue parses one value of a flow collection starting at s[0],
+// returning the remainder of the string after it.
+func flowValue(s string, line, depth int) (any, string, error) {
+	if depth > maxDepth {
+		return nil, "", parseErrf(line, "nesting deeper than %d levels", maxDepth)
+	}
+	s = strings.TrimLeft(s, " ")
+	if s == "" {
+		return nil, "", parseErrf(line, "missing value in flow collection")
+	}
+	switch s[0] {
+	case '[':
+		return flowSeq(s[1:], line, depth)
+	case '{':
+		return flowMap(s[1:], line, depth)
+	case '"':
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+			} else if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, "", parseErrf(line, "unterminated string in flow collection")
+		}
+		unq, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, "", parseErrf(line, "bad quoted string in flow collection")
+		}
+		return unq, s[end+1:], nil
+	case '\'':
+		end := strings.IndexByte(s[1:], '\'')
+		if end < 0 {
+			return nil, "", parseErrf(line, "unterminated string in flow collection")
+		}
+		return s[1 : end+1], s[end+2:], nil
+	}
+	// Plain scalar: up to the next structural character.
+	end := strings.IndexAny(s, ",]}")
+	if end < 0 {
+		end = len(s)
+	}
+	return plainScalar(strings.TrimSpace(s[:end])), s[end:], nil
+}
+
+// flowSeq parses "[a, b, ...]" content after the opening bracket.
+func flowSeq(s string, line, depth int) (any, string, error) {
+	out := []any{}
+	s = strings.TrimLeft(s, " ")
+	if strings.HasPrefix(s, "]") {
+		return out, s[1:], nil
+	}
+	for {
+		v, rest, err := flowValue(s, line, depth+1)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, v)
+		rest = strings.TrimLeft(rest, " ")
+		switch {
+		case strings.HasPrefix(rest, ","):
+			s = rest[1:]
+		case strings.HasPrefix(rest, "]"):
+			return out, rest[1:], nil
+		default:
+			return nil, "", parseErrf(line, "expected \",\" or \"]\" in flow sequence")
+		}
+	}
+}
+
+// flowMap parses "{k: v, ...}" content after the opening brace.
+func flowMap(s string, line, depth int) (any, string, error) {
+	out := map[string]any{}
+	s = strings.TrimLeft(s, " ")
+	if strings.HasPrefix(s, "}") {
+		return out, s[1:], nil
+	}
+	for {
+		s = strings.TrimLeft(s, " ")
+		colon := strings.IndexByte(s, ':')
+		if colon < 0 {
+			return nil, "", parseErrf(line, "expected \"key: value\" in flow mapping")
+		}
+		key := strings.TrimSpace(s[:colon])
+		if !keyRe.MatchString(key) {
+			return nil, "", parseErrf(line, "bad flow mapping key %q", key)
+		}
+		if _, dup := out[key]; dup {
+			return nil, "", parseErrf(line, "duplicate key %q", key)
+		}
+		v, rest, err := flowValue(s[colon+1:], line, depth+1)
+		if err != nil {
+			return nil, "", err
+		}
+		out[key] = v
+		rest = strings.TrimLeft(rest, " ")
+		switch {
+		case strings.HasPrefix(rest, ","):
+			s = rest[1:]
+		case strings.HasPrefix(rest, "}"):
+			return out, rest[1:], nil
+		default:
+			return nil, "", parseErrf(line, "expected \",\" or \"}\" in flow mapping")
+		}
+	}
+}

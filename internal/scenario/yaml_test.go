@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestYAMLScalars(t *testing.T) {
+	got, err := parseYAML(`
+a: hello
+b: 42
+c: 3.5
+d: true
+e: null
+f: "quoted # not comment"
+g: 'single ''quoted'''
+h: -7
+i: 1e3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"a": "hello", "b": int64(42), "c": 3.5, "d": true, "e": nil,
+		"f": "quoted # not comment", "g": "single 'quoted'", "h": int64(-7), "i": 1e3,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestYAMLNesting(t *testing.T) {
+	got, err := parseYAML(`
+top:
+  mid:
+    - name: x
+      n: 1
+    - name: y
+  flowseq: [1, 2, three]
+  flowmap: {a: 1, b: two}
+list:
+- plain
+- {k: v}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"top": map[string]any{
+			"mid": []any{
+				map[string]any{"name": "x", "n": int64(1)},
+				map[string]any{"name": "y"},
+			},
+			"flowseq": []any{int64(1), int64(2), "three"},
+			"flowmap": map[string]any{"a": int64(1), "b": "two"},
+		},
+		"list": []any{"plain", map[string]any{"k": "v"}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"\ta: 1":                        "tab",
+		"a: 1\na: 2":                    "duplicate",
+		"a: [1, 2":                      "expected \",\" or \"]\"",
+		"a: {x: 1":                      "expected \",\" or \"}\"",
+		"a: |\n  block":                 "block scalars",
+		"a: &anchor b":                  "anchors",
+		"a: *ref":                       "anchors",
+		"a: !!str b":                    "anchors, aliases, and tags",
+		"a: 1\n---\nb: 2":               "multi-document",
+		"just a scalar":                 "key: value",
+		"a: \"unterminated":             "double-quoted",
+		"? complex":                     "key: value",
+		"a: " + strings.Repeat("[", 80): "nesting deeper",
+		"a: {b: {c: [1, 2, }":           "expected \",\" or \"]\"",
+	}
+	for src, wantSub := range cases {
+		_, err := parseYAML(src)
+		if err == nil {
+			t.Errorf("%q: parsed, want error containing %q", src, wantSub)
+			continue
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("%q: error %T, want *ParseError", src, err)
+			continue
+		}
+		if !strings.Contains(pe.Error(), wantSub) {
+			t.Errorf("%q: error %q, want substring %q", src, pe.Error(), wantSub)
+		}
+	}
+}
+
+// TestYAMLSequenceAtKeyIndent: the common style where a key's sequence items
+// sit at the key's own indentation.
+func TestYAMLSequenceAtKeyIndent(t *testing.T) {
+	got, err := parseYAML("events:\n- submit: x\n- wait: y\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{"events": []any{
+		map[string]any{"submit": "x"},
+		map[string]any{"wait": "y"},
+	}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestYAMLComments(t *testing.T) {
+	got, err := parseYAML(`
+# leading comment
+a: 1  # trailing
+# between
+
+b: 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{"a": int64(1), "b": int64(2)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v\nwant %#v", got, want)
+	}
+}
