@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain go tooling underneath.
 
-.PHONY: build test vet depcheck bench bench-gate scenario-smoke
+.PHONY: build test vet depcheck bench bench-gate scenario-smoke loadtest-smoke
 
 build:
 	go build ./...
@@ -8,8 +8,8 @@ build:
 vet:
 	go vet ./...
 
-# Fail on call sites of the deprecated facade APIs (Run/RunSWF,
-# SweepSpec.Progress) outside tests.
+# Keep the removed facade APIs removed (Run/RunSWF, SweepSpec.Progress)
+# and reject stray Deprecated: markers.
 depcheck:
 	./scripts/depcheck.sh
 
@@ -24,6 +24,13 @@ scenario-smoke:
 	go run ./cmd/scenario run -json -seed 1 -o /tmp/scenario-report-b.json scenarios/*.yaml
 	cmp /tmp/scenario-report-a.json /tmp/scenario-report-b.json
 	@echo "scenario reports byte-identical across replays"
+
+# End-to-end durability + sustained-load smoke against a real pdpad process:
+# kill -9 recovery with byte-identical run bodies, a pdpaload soak that must
+# observe 429 shedding with coherent retry hints, and a clean SIGTERM drain.
+# Knobs: LOADTEST_PORT, LOADTEST_DURATION, LOADTEST_WORKERS.
+loadtest-smoke:
+	./scripts/loadtest.sh
 
 # Run the gated benchmark suite with -benchmem, capture pprof profiles into
 # bench-artifacts/, and record a BENCH_<date>.json trajectory point.

@@ -340,17 +340,6 @@ func (o *Outcome) DecisionTrace() *DecisionTrace {
 	return &DecisionTrace{tr: o.trace}
 }
 
-// Run generates the workload described by spec and executes it under the
-// given options. The identical spec replayed under different policies sees
-// identical submissions.
-//
-// Deprecated: new code should call RunContext, which supports cancellation
-// and deadlines; Run is RunContext with a background context and is kept for
-// compatibility.
-func Run(spec WorkloadSpec, opts Options) (*Outcome, error) {
-	return RunContext(context.Background(), spec, opts)
-}
-
 // RunContext generates the workload described by spec and executes it under
 // the given options, aborting promptly — mid-simulation — when ctx is
 // cancelled or its deadline passes. The returned error then wraps ctx.Err().
@@ -376,19 +365,10 @@ func RunContext(ctx context.Context, spec WorkloadSpec, opts Options) (*Outcome,
 	return out, nil
 }
 
-// RunSWF replays a Standard Workload Format trace (as produced by
+// RunSWFContext replays a Standard Workload Format trace (as produced by
 // WorkloadSpec.WriteSWF, or any SWF v2 input trace using the same field
-// conventions) under the given options.
-//
-// Deprecated: new code should call RunSWFContext, which supports
-// cancellation and deadlines; RunSWF is RunSWFContext with a background
-// context and is kept for compatibility.
-func RunSWF(in io.Reader, opts Options) (*Outcome, error) {
-	return RunSWFContext(context.Background(), in, opts)
-}
-
-// RunSWFContext is RunSWF with cancellation, with the same contract as
-// RunContext.
+// conventions) under the given options, with the same cancellation contract
+// as RunContext.
 func RunSWFContext(ctx context.Context, in io.Reader, opts Options) (*Outcome, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err

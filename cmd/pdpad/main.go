@@ -43,6 +43,7 @@ import (
 	"pdpasim/internal/faults"
 	"pdpasim/internal/runqueue"
 	"pdpasim/internal/server"
+	"pdpasim/internal/store"
 )
 
 func main() {
@@ -60,6 +61,8 @@ func main() {
 		maxRetries   = flag.Int("max-retries", 0, "retries for transiently failed runs, with exponential backoff (0 = none)")
 		maxQueue     = flag.Int("max-queue", 0, "queue depth past which submissions are shed with 429 + Retry-After (0 = shed only at -queue)")
 		injectSeed   = flag.Int64("inject-seed", 1, "seed for probabilistic -inject rules")
+		storeDir     = flag.String("store", "", "directory for the durable run store; completed runs survive restarts (empty = in-memory only)")
+		storeSync    = flag.Duration("store-sync", 50*time.Millisecond, "fsync batching interval for the run store (negative = fsync every append)")
 	)
 	var injectRules []faults.Rule
 	flag.Func("inject", "fault-injection rule \"<site>:<kind> [after=N] [count=N] [prob=F] [delay=DUR] [transient] [err=MSG]\" (repeatable; chaos testing — same syntax as scenario files)",
@@ -93,6 +96,18 @@ func main() {
 		log.Printf("pdpad: fault injection armed: %d rule(s), seed %d", len(injectRules), *injectSeed)
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{SyncInterval: *storeSync})
+		if err != nil {
+			log.Fatalf("pdpad: open store %s: %v", *storeDir, err)
+		}
+		stats := st.Stats()
+		log.Printf("pdpad: store %s: recovered %d record(s) (%d truncated tail(s), %d corrupt frame(s))",
+			*storeDir, stats.RecoveredEntries, stats.TruncatedTails, stats.CorruptFrames)
+	}
+
 	pool := runqueue.New(runqueue.Config{
 		BaseWorkers:     *base,
 		MaxWorkers:      *max,
@@ -105,6 +120,7 @@ func main() {
 		MaxRetries:      *maxRetries,
 		ShedDepth:       *maxQueue,
 		Faults:          inj,
+		Store:           st,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: server.New(pool, serverOpts...)}
 
@@ -135,6 +151,11 @@ func main() {
 	defer cancelShutdown()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("pdpad: http shutdown: %v", err)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("pdpad: store close: %v", err)
+		}
 	}
 	log.Print("pdpad: bye")
 }

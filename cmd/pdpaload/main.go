@@ -1,0 +1,526 @@
+// Command pdpaload drives sustained submit/poll/SSE traffic against a live
+// pdpad daemon and reports what the service did under load: client-observed
+// latency percentiles, completion and shed counts, and whether the daemon's
+// backpressure contract held (429 responses carry retry hints, which the
+// load generator honors).
+//
+// Usage:
+//
+//	pdpaload -addr http://localhost:8080 -duration 30s -workers 16
+//
+// Each worker runs a closed loop: submit a distinct spec, follow the run to
+// a terminal state (polling, or via SSE for -sse-fraction of the runs),
+// record the submit-to-terminal latency, repeat. A -cache-fraction of
+// submissions repeat an earlier spec to exercise the daemon's result cache.
+// When the daemon sheds (429), the worker sleeps the advertised
+// retry_after_seconds and tries again — so a soak against an overloaded
+// daemon measures the shed/retry path rather than hammering it.
+//
+// Assertion flags turn the report into a gate for CI:
+//
+//	pdpaload -duration 10s -workers 16 -min-completed 20 -require-shed -max-p99 5s
+//
+// Exit status: 0 when the soak ran and every assertion held, 1 when an
+// assertion failed, 2 when the soak could not run at all.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdpasim/internal/leakcheck"
+)
+
+func main() {
+	cfg := defaultConfig()
+	flag.StringVar(&cfg.Addr, "addr", "http://localhost:8080", "base URL of the pdpad daemon")
+	flag.DurationVar(&cfg.Duration, "duration", 30*time.Second, "how long to keep submitting")
+	flag.IntVar(&cfg.Workers, "workers", 8, "concurrent closed-loop submitters")
+	flag.Float64Var(&cfg.SSEFraction, "sse-fraction", 0.25, "fraction of runs followed via SSE instead of polling")
+	flag.Float64Var(&cfg.CacheFraction, "cache-fraction", 0.25, "fraction of submissions repeating an earlier spec")
+	flag.DurationVar(&cfg.PollInterval, "poll-interval", 20*time.Millisecond, "status poll cadence")
+	flag.DurationVar(&cfg.RunTimeout, "run-timeout", 60*time.Second, "give up following a run after this long")
+	maxP99 := flag.Duration("max-p99", 0, "fail (exit 1) when the submit-to-terminal p99 exceeds this (0 = no bound)")
+	requireShed := flag.Bool("require-shed", false, "fail (exit 1) unless at least one 429 shed with a retry hint was observed")
+	minCompleted := flag.Int("min-completed", 1, "fail (exit 1) with fewer completed runs")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
+	flag.Parse()
+
+	baseline := leakcheck.Snapshot()
+	report, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdpaload:", err)
+		os.Exit(2)
+	}
+	if lerr := baseline.Wait(leakcheck.Grace); lerr != nil {
+		report.LeakedGoroutines = lerr.Error()
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(report)
+	} else {
+		fmt.Print(report.Text())
+	}
+
+	failed := false
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			failed = true
+			fmt.Fprintf(os.Stderr, "pdpaload: FAIL: "+format+"\n", args...)
+		}
+	}
+	check(report.Completed >= *minCompleted,
+		"completed %d runs, want >= %d", report.Completed, *minCompleted)
+	check(*maxP99 == 0 || report.P99 <= *maxP99,
+		"p99 %v exceeds bound %v", report.P99, *maxP99)
+	check(!*requireShed || (report.Shed > 0 && report.RetryHintsSeen > 0),
+		"no shed with retry hint observed (shed %d, hints %d)", report.Shed, report.RetryHintsSeen)
+	check(report.BadResponses == 0,
+		"%d responses outside the v1 contract (last: %s)", report.BadResponses, report.LastBadResponse)
+	check(report.LeakedGoroutines == "",
+		"load generator leaked goroutines:\n%s", report.LeakedGoroutines)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// loadConfig parameterizes one soak.
+type loadConfig struct {
+	Addr          string
+	Duration      time.Duration
+	Workers       int
+	SSEFraction   float64
+	CacheFraction float64
+	PollInterval  time.Duration
+	RunTimeout    time.Duration
+}
+
+func defaultConfig() loadConfig {
+	return loadConfig{
+		Addr: "http://localhost:8080", Duration: 30 * time.Second, Workers: 8,
+		SSEFraction: 0.25, CacheFraction: 0.25,
+		PollInterval: 20 * time.Millisecond, RunTimeout: 60 * time.Second,
+	}
+}
+
+// Report is what a soak measured.
+type Report struct {
+	DurationS float64 `json:"duration_s"`
+	Workers   int     `json:"workers"`
+
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"` // runs followed to state done
+	Failed    int `json:"failed"`    // terminal failed/canceled
+	CacheHits int `json:"cache_hits"`
+	SSERuns   int `json:"sse_runs"`
+
+	// Shed counts 429 responses; RetryHintsSeen counts those carrying a
+	// positive retry_after_seconds in the envelope that matched the
+	// Retry-After header. Draining counts 503s during shutdown.
+	Shed           int `json:"shed"`
+	RetryHintsSeen int `json:"retry_hints_seen"`
+	Draining       int `json:"draining"`
+
+	// BadResponses counts responses violating the v1 contract — a non-2xx
+	// without a well-formed error envelope, or an unexpected status.
+	BadResponses    int    `json:"bad_responses"`
+	LastBadResponse string `json:"last_bad_response,omitempty"`
+
+	// Client-observed submit-to-terminal latency percentiles.
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+
+	// DaemonMetrics samples selected pdpad_* series from /metrics after the
+	// soak (absent when the scrape failed).
+	DaemonMetrics map[string]float64 `json:"daemon_metrics,omitempty"`
+
+	LeakedGoroutines string `json:"leaked_goroutines,omitempty"`
+}
+
+// Text renders the human-readable report.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pdpaload: %d workers for %.1fs\n", r.Workers, r.DurationS)
+	fmt.Fprintf(&b, "  submitted %d (cache hits %d, via SSE %d)\n", r.Submitted, r.CacheHits, r.SSERuns)
+	fmt.Fprintf(&b, "  completed %d, failed %d (%.1f runs/s)\n",
+		r.Completed, r.Failed, float64(r.Completed)/r.DurationS)
+	fmt.Fprintf(&b, "  shed %d (retry hints %d), draining %d, contract violations %d\n",
+		r.Shed, r.RetryHintsSeen, r.Draining, r.BadResponses)
+	fmt.Fprintf(&b, "  latency p50 %v  p95 %v  p99 %v  max %v\n",
+		r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond),
+		r.P99.Round(time.Millisecond), r.Max.Round(time.Millisecond))
+	if len(r.DaemonMetrics) > 0 {
+		keys := make([]string, 0, len(r.DaemonMetrics))
+		for k := range r.DaemonMetrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("  daemon:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%g", strings.TrimPrefix(k, "pdpad_"), r.DaemonMetrics[k])
+		}
+		b.WriteString("\n")
+	}
+	if r.LeakedGoroutines != "" {
+		fmt.Fprintf(&b, "  LEAK: %s\n", r.LeakedGoroutines)
+	}
+	return b.String()
+}
+
+// errorEnvelope mirrors the server's v1 error body.
+type errorEnvelope struct {
+	Error struct {
+		Code              string `json:"code"`
+		Message           string `json:"message"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	} `json:"error"`
+}
+
+// submitResponse mirrors the server's submit reply.
+type submitResponse struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+}
+
+// runView mirrors the fields of GET /v1/runs/{id} the generator reads.
+type runView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// loadState is the soak's shared mutable state.
+type loadState struct {
+	cfg    loadConfig
+	client *http.Client
+	stop   <-chan struct{}
+
+	mu        sync.Mutex
+	report    Report
+	latencies []time.Duration
+
+	seq atomic.Int64
+}
+
+// runLoad executes one soak and assembles the report.
+func runLoad(cfg loadConfig) (*Report, error) {
+	if cfg.Workers < 1 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("need positive workers and duration")
+	}
+	// Fail fast when no daemon is listening — a soak against nothing should
+	// be exit 2, not a report full of zeroes.
+	client := &http.Client{Timeout: cfg.RunTimeout}
+	resp, err := client.Get(cfg.Addr + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("daemon unreachable: %w", err)
+	}
+	resp.Body.Close()
+
+	stop := make(chan struct{})
+	st := &loadState{cfg: cfg, client: client, stop: stop}
+	st.report.Workers = cfg.Workers
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			st.workerLoop(worker)
+		}(i)
+	}
+	time.AfterFunc(cfg.Duration, func() { close(stop) })
+	wg.Wait()
+	st.report.DurationS = time.Since(start).Seconds()
+
+	sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+	st.report.P50 = percentile(st.latencies, 0.50)
+	st.report.P95 = percentile(st.latencies, 0.95)
+	st.report.P99 = percentile(st.latencies, 0.99)
+	if n := len(st.latencies); n > 0 {
+		st.report.Max = st.latencies[n-1]
+	}
+	st.report.DaemonMetrics = scrapeMetrics(client, cfg.Addr)
+	// Drop pooled keep-alive connections so their persistConn goroutines
+	// exit before the caller's leak check runs.
+	client.CloseIdleConnections()
+	return &st.report, nil
+}
+
+// percentile reads the q-quantile from sorted samples (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// workerLoop is one closed-loop submitter: submit, follow to terminal,
+// record, repeat until the soak ends.
+func (st *loadState) workerLoop(worker int) {
+	rng := rand.New(rand.NewSource(int64(worker) + 1))
+	for {
+		select {
+		case <-st.stop:
+			return
+		default:
+		}
+		st.oneRun(rng, worker)
+	}
+}
+
+// specBody renders a small distinct spec; seed diversity makes each
+// submission a fresh simulation, reuse makes it a cache hit.
+func specBody(seed int64) string {
+	return fmt.Sprintf(
+		`{"workload":{"mix":"w1","load":0.6,"window_s":60,"seed":%d},"options":{"policy":"equip"}}`, seed)
+}
+
+func (st *loadState) oneRun(rng *rand.Rand, worker int) {
+	seq := st.seq.Add(1)
+	seed := seq
+	if rng.Float64() < st.cfg.CacheFraction && seq > int64(st.cfg.Workers) {
+		seed = 1 + rng.Int63n(seq-1) // repeat an earlier spec
+	}
+
+	submitted := time.Now()
+	resp, err := st.client.Post(st.cfg.Addr+"/v1/runs", "application/json",
+		strings.NewReader(specBody(seed)))
+	if err != nil {
+		st.note(func(r *Report) { r.BadResponses++; r.LastBadResponse = err.Error() })
+		return
+	}
+	body, _ := readAll(resp)
+	switch resp.StatusCode {
+	case http.StatusAccepted, http.StatusOK:
+		var sr submitResponse
+		if err := json.Unmarshal(body, &sr); err != nil || sr.ID == "" {
+			st.note(func(r *Report) { r.BadResponses++; r.LastBadResponse = trim(body) })
+			return
+		}
+		st.note(func(r *Report) {
+			r.Submitted++
+			if sr.CacheHit {
+				r.CacheHits++
+			}
+		})
+		st.follow(rng, sr.ID, submitted)
+	case http.StatusTooManyRequests:
+		st.recordShed(resp, body)
+	case http.StatusServiceUnavailable:
+		st.note(func(r *Report) { r.Draining++ })
+		st.sleep(time.Second)
+	default:
+		st.note(func(r *Report) {
+			r.BadResponses++
+			r.LastBadResponse = fmt.Sprintf("submit: status %d: %s", resp.StatusCode, trim(body))
+		})
+	}
+}
+
+// recordShed verifies the 429 contract: envelope code, a positive retry
+// hint, and header/body agreement — then honors the hint.
+func (st *loadState) recordShed(resp *http.Response, body []byte) {
+	var env errorEnvelope
+	err := json.Unmarshal(body, &env)
+	ok := err == nil &&
+		(env.Error.Code == "overloaded" || env.Error.Code == "queue_full") &&
+		env.Error.RetryAfterSeconds >= 1 &&
+		resp.Header.Get("Retry-After") == fmt.Sprint(env.Error.RetryAfterSeconds)
+	st.note(func(r *Report) {
+		r.Shed++
+		if ok {
+			r.RetryHintsSeen++
+		} else {
+			r.BadResponses++
+			r.LastBadResponse = fmt.Sprintf("429 without a coherent retry hint: %s", trim(body))
+		}
+	})
+	if ok {
+		st.sleep(time.Duration(env.Error.RetryAfterSeconds) * time.Second)
+	}
+}
+
+// follow tracks a submitted run to a terminal state, via SSE for a fraction
+// of runs and polling otherwise, and records the latency.
+func (st *loadState) follow(rng *rand.Rand, id string, submitted time.Time) {
+	var state string
+	if rng.Float64() < st.cfg.SSEFraction {
+		state = st.followSSE(id)
+		if state != "" {
+			st.note(func(r *Report) { r.SSERuns++ })
+		}
+	}
+	if state == "" {
+		state = st.poll(id)
+	}
+	if state == "" {
+		return // soak ended or run timed out mid-follow
+	}
+	latency := time.Since(submitted)
+	st.note(func(r *Report) {
+		if state == "done" {
+			r.Completed++
+		} else {
+			r.Failed++
+		}
+	})
+	st.mu.Lock()
+	st.latencies = append(st.latencies, latency)
+	st.mu.Unlock()
+}
+
+// poll fetches the run's status until it is terminal. Returns "" on
+// timeout or when the run outlives the soak's grace period.
+func (st *loadState) poll(id string) string {
+	deadline := time.Now().Add(st.cfg.RunTimeout)
+	var stopped time.Time
+	for time.Now().Before(deadline) {
+		resp, err := st.client.Get(st.cfg.Addr + "/v1/runs/" + id)
+		if err != nil {
+			return ""
+		}
+		body, _ := readAll(resp)
+		var v runView
+		if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &v) != nil {
+			st.note(func(r *Report) {
+				r.BadResponses++
+				r.LastBadResponse = fmt.Sprintf("poll %s: status %d", id, resp.StatusCode)
+			})
+			return ""
+		}
+		switch v.State {
+		case "done", "failed", "canceled":
+			return v.State
+		}
+		time.Sleep(st.cfg.PollInterval)
+		// After the soak ends keep following briefly so in-flight latencies
+		// still land, then abandon runs that outlive the grace period.
+		select {
+		case <-st.stop:
+			if stopped.IsZero() {
+				stopped = time.Now()
+			} else if time.Since(stopped) > 2*time.Second {
+				return ""
+			}
+		default:
+		}
+	}
+	return ""
+}
+
+// followSSE streams the run's lifecycle events and returns its terminal
+// state, or "" to fall back to polling.
+func (st *loadState) followSSE(id string) string {
+	resp, err := st.client.Get(st.cfg.Addr + "/v1/runs/" + id + "/events")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return ""
+	}
+	defer resp.Body.Close()
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev struct {
+			State string `json:"state"`
+		}
+		if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) != nil {
+			continue
+		}
+		switch ev.State {
+		case "done", "failed", "canceled":
+			return ev.State
+		}
+	}
+	return ""
+}
+
+// scrapeMetrics samples the daemon's counters most relevant to a soak.
+func scrapeMetrics(client *http.Client, addr string) map[string]float64 {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil
+	}
+	body, _ := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	want := map[string]bool{
+		"pdpad_sheds_total": true, "pdpad_cache_hits_total": true,
+		"pdpad_runs_finished_total": true, "pdpad_store_appended_entries_total": true,
+		"pdpad_store_fsyncs_total": true, "pdpad_store_journal_bytes": true,
+		"pdpad_recovered_panics_total": true,
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		name, rest, found := strings.Cut(line, " ")
+		base, _, _ := strings.Cut(name, "{")
+		if !found || !want[base] {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+			out[base] += v
+		}
+	}
+	return out
+}
+
+// note applies a mutation to the report under the lock.
+func (st *loadState) note(fn func(*Report)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	fn(&st.report)
+}
+
+// sleep waits d or until the soak stops.
+func (st *loadState) sleep(d time.Duration) {
+	select {
+	case <-time.After(d):
+	case <-st.stop:
+	}
+}
+
+// readAll drains and closes a response body.
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+// trim bounds a body for error messages.
+func trim(body []byte) string {
+	s := strings.Join(strings.Fields(string(body)), " ")
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}

@@ -55,20 +55,34 @@
 //
 // # API migration
 //
-// Earlier revisions exposed several narrower hooks; each remains as a thin
-// compatibility wrapper, and new code should use the replacement:
+// The v1 cleanup removed the compatibility wrappers earlier revisions kept
+// for narrower hooks. Code still using a removed symbol migrates
+// mechanically:
 //
-//   - Run(spec, opts) → RunContext(ctx, spec, opts): identical result bytes,
-//     plus mid-simulation cancellation when ctx ends.
-//   - RunSWF(r, opts) → RunSWFContext(ctx, r, opts): same as above for SWF
-//     replay.
-//   - SweepSpec.Progress → SweepSpec.Observer: the callback survives as an
-//     adapter over the Observer stream; an Observer receives the identical
-//     completions as "sweep_run" TraceEvents.
+//   - Run(spec, opts) was removed → call RunContext(ctx, spec, opts):
+//     identical result bytes, plus mid-simulation cancellation when ctx
+//     ends. context.Background() reproduces the old behavior exactly.
+//   - RunSWF(r, opts) was removed → call RunSWFContext(ctx, r, opts): same
+//     as above for SWF replay.
+//   - SweepSpec.Progress and the SweepProgress type were removed → set
+//     SweepSpec.Observer: it receives the identical completions as
+//     "sweep_run" TraceEvents (the event ID is "policy/mix/load/seed";
+//     State "cell_done" marks a cell's last replicate).
 //
-// The deprecated forms are frozen — they delegate in one line and gain no
-// new behavior — and scripts/depcheck.sh (run in CI) keeps non-test code off
-// them.
+// scripts/depcheck.sh (run in CI) keeps the removed symbols removed and
+// rejects new Deprecated: markers without a recorded removal plan.
+//
+// In the same cleanup, the pdpad daemon's HTTP API settled its v1 error
+// contract: every non-2xx response carries one envelope,
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_seconds": N}}
+//
+// with a stable machine-readable code (internal/server documents the code
+// set) and a retry hint mirrored in the Retry-After header exactly when
+// retrying later can succeed. Clients that matched on the old flat
+// {"error": "..."} body should read .error.code instead. The list
+// endpoints (GET /v1/runs, GET /v1/sweeps) now paginate: pass limit= and
+// follow next_cursor; state= filters by lifecycle state.
 //
 // Simulations can also be served as a service: cmd/pdpad is an HTTP daemon
 // (see the README's quickstart) whose worker pool reuses PDPA's own

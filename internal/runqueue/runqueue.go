@@ -13,6 +13,7 @@ import (
 	"pdpasim"
 	"pdpasim/internal/faults"
 	"pdpasim/internal/obs"
+	"pdpasim/internal/store"
 )
 
 // State is a run's lifecycle state.
@@ -130,6 +131,17 @@ type Config struct {
 	// (attempt start and finish, cache-hit serving) — chaos-test tooling.
 	// Nil, the production value, costs one nil check per site.
 	Faults *faults.Injector
+
+	// Store, when set, makes terminal runs and accepted sweeps durable: the
+	// pool appends them to the store's journal as they settle and rehydrates
+	// its result cache, run history, and sweep index from the recovered
+	// records in New. The pool takes over the opened store's recovered
+	// records but not its lifecycle — the owner still calls Store.Close
+	// after Drain.
+	Store *store.Store
+	// StoreCompactBytes is the journal size past which the pool compacts
+	// the store down to its live record set (default 8 MiB).
+	StoreCompactBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -171,6 +183,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ObserverBuffer <= 0 {
 		c.ObserverBuffer = observerBuffer
+	}
+	if c.StoreCompactBytes <= 0 {
+		c.StoreCompactBytes = 8 << 20
 	}
 	if c.Simulate == nil {
 		limit := c.TraceLimit
@@ -308,6 +323,8 @@ type poolMetrics struct {
 	panics          *obs.Counter // worker panics recovered
 	sheds           *obs.Counter // submissions rejected by load shedding
 	degraded        *obs.Counter // SSE events suppressed under overload
+	storeErrors     *obs.Counter // store writes/records that failed or were unreadable
+	storeEvicted    *obs.Counter // recovered runs dropped to respect HistoryLimit
 }
 
 func (p *Pool) initMetrics() {
@@ -381,6 +398,37 @@ func (p *Pool) initMetrics() {
 		"Submissions shed with an overload rejection because the queue exceeded the shed depth.")
 	m.degraded = reg.Counter("pdpad_sse_degraded_total",
 		"Intermediate SSE events suppressed while the pool was overloaded.")
+	m.storeErrors = reg.Counter("pdpad_store_errors_total",
+		"Store operations that failed or recovered records that could not be decoded; the pool keeps serving from memory.")
+	m.storeEvicted = reg.Counter("pdpad_store_evicted_runs_total",
+		"Recovered runs dropped at boot to respect Config.HistoryLimit.")
+
+	if st := p.cfg.Store; st != nil {
+		reg.CounterFunc("pdpad_store_appended_entries_total",
+			"Records appended to the durable store's journal.",
+			func() uint64 { return st.Stats().AppendedEntries })
+		reg.CounterFunc("pdpad_store_appended_bytes_total",
+			"Bytes appended to the durable store's journal, framing included.",
+			func() uint64 { return st.Stats().AppendedBytes })
+		reg.CounterFunc("pdpad_store_fsyncs_total",
+			"Batched journal fsyncs performed by the durable store.",
+			func() uint64 { return st.Stats().Fsyncs })
+		reg.CounterFunc("pdpad_store_compactions_total",
+			"Store compactions (snapshot written, journal reset).",
+			func() uint64 { return st.Stats().Compactions })
+		reg.CounterFunc("pdpad_store_recovered_entries_total",
+			"Records recovered from the store at boot.",
+			func() uint64 { return st.Stats().RecoveredEntries })
+		reg.CounterFunc("pdpad_store_truncated_tails_total",
+			"Torn journal tails cut off during recovery (crash mid-append).",
+			func() uint64 { return st.Stats().TruncatedTails })
+		reg.CounterFunc("pdpad_store_corrupt_frames_total",
+			"Journal frames dropped during recovery for a CRC mismatch.",
+			func() uint64 { return st.Stats().CorruptFrames })
+		reg.GaugeFunc("pdpad_store_journal_bytes",
+			"Current size of the durable store's journal.",
+			func() float64 { return float64(st.JournalBytes()) })
+	}
 
 	p.met = m
 }
@@ -463,6 +511,9 @@ func New(cfg Config) *Pool {
 		retryRNG: rand.New(rand.NewSource(1)),
 	}
 	p.initMetrics()
+	if p.cfg.Store != nil {
+		p.rehydrate(p.cfg.Store.TakeRecovered())
+	}
 	if p.cfg.Observer != nil {
 		p.observerCh = make(chan pdpasim.TraceEvent, p.cfg.ObserverBuffer)
 		go p.forwardObserver()
@@ -792,9 +843,13 @@ func (p *Pool) execute(ctx context.Context, cancel context.CancelFunc, r *run) {
 }
 
 // finishLocked settles a terminal run: cache bookkeeping, history eviction,
-// subscriber notification, drain signalling.
+// persistence, subscriber notification, drain signalling. Timestamps are
+// wall-normalized (monotonic reading stripped) so a run's externally
+// visible timings survive a store round trip byte-identically.
 func (p *Pool) finishLocked(r *run, msg string) {
-	r.finished = time.Now()
+	r.finished = time.Now().Round(0)
+	r.submitted = r.submitted.Round(0)
+	r.started = r.started.Round(0)
 	switch r.state {
 	case Done:
 		p.stats.Done++
@@ -816,6 +871,7 @@ func (p *Pool) finishLocked(r *run, msg string) {
 	r.subs = nil
 	p.history = append(p.history, r.id)
 	p.evictHistoryLocked()
+	p.persistRunLocked(r)
 	p.signalIdleLocked()
 }
 

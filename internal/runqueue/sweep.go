@@ -209,6 +209,7 @@ func (p *Pool) SubmitSweep(spec SweepSpec, deadline time.Duration) (SweepSubmitR
 		p.sweeps = make(map[string]*sweepRec)
 	}
 	p.sweeps[rec.id] = rec
+	p.persistSweepLocked(rec)
 	res.ID = rec.id
 	p.admitLocked()
 	return res, nil

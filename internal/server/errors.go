@@ -1,0 +1,80 @@
+package server
+
+// The unified v1 error envelope. Every non-2xx JSON response has the shape
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_seconds": N}}
+//
+// where code is a stable machine-readable discriminator (the message is
+// free-form and may change between releases) and retry_after_seconds is
+// present exactly when the request is worth retrying after a pause — it
+// mirrors the Retry-After header on the same response.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Stable error codes, one per way a v1 request can fail.
+const (
+	// CodeInvalidRequest: the request was malformed — bad JSON, unknown
+	// fields, an invalid spec, or bad query parameters (400).
+	CodeInvalidRequest = "invalid_request"
+	// CodeNotFound: no run or sweep with that ID (404).
+	CodeNotFound = "not_found"
+	// CodePayloadTooLarge: the request body exceeded the submission size
+	// cap (413).
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeOverloaded: the submission was shed by the admission controller's
+	// backlog estimate; retry_after_seconds carries its estimate (429).
+	CodeOverloaded = "overloaded"
+	// CodeQueueFull: the hard queue bound rejected the submission (429).
+	CodeQueueFull = "queue_full"
+	// CodeDraining: the daemon is shutting down and not accepting work (503).
+	CodeDraining = "draining"
+	// CodeUnavailable: an injected fault or other transient server-side
+	// condition failed the request (503).
+	CodeUnavailable = "unavailable"
+	// CodeInternal: a handler bug; the panic was recovered and counted (500).
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the envelope's payload.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterSeconds suggests a pause before retrying; 0 (omitted) means
+	// the error is not retryable-after-a-wait.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// ErrorResponse is the wire form of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// writeError answers with the error envelope.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: err.Error()}})
+}
+
+// writeRetryError answers with the error envelope plus a retry hint, in
+// both the Retry-After header and the body.
+func writeRetryError(w http.ResponseWriter, status int, code string, err error, retryAfterSeconds int) {
+	if retryAfterSeconds < 1 {
+		retryAfterSeconds = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{
+		Code: code, Message: err.Error(), RetryAfterSeconds: retryAfterSeconds,
+	}})
+}
+
+// writeJSON writes v as indented JSON with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

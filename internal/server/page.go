@@ -1,0 +1,108 @@
+package server
+
+// Pagination for the list endpoints. Both collections are ordered newest
+// first by zero-padded sequence IDs, so "everything strictly older than the
+// last ID the client saw" is a stable page boundary even while new work
+// arrives: new runs get larger IDs and never shift an old cursor's page.
+// The cursor is opaque to clients — base64url over a versioned payload —
+// so the ordering scheme can change without breaking them.
+
+import (
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"pdpasim/internal/runqueue"
+)
+
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+	cursorVersion    = "v1:"
+)
+
+// pageParams are the parsed list-endpoint query parameters.
+type pageParams struct {
+	limit int
+	// afterID is the decoded cursor: only items with ID strictly less than
+	// it (strictly older, in newest-first order) belong to the page. Empty
+	// means start from the newest.
+	afterID string
+	// state filters to items in that lifecycle state; empty means all.
+	state runqueue.State
+}
+
+// parsePageParams reads limit, cursor, and state from the query string.
+func parsePageParams(r *http.Request) (pageParams, error) {
+	p := pageParams{limit: defaultPageLimit}
+	q := r.URL.Query()
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			return p, fmt.Errorf("limit %q: want a positive integer", raw)
+		}
+		if n > maxPageLimit {
+			n = maxPageLimit
+		}
+		p.limit = n
+	}
+	if raw := q.Get("cursor"); raw != "" {
+		id, err := decodeCursor(raw)
+		if err != nil {
+			return p, err
+		}
+		p.afterID = id
+	}
+	if raw := q.Get("state"); raw != "" {
+		switch s := runqueue.State(raw); s {
+		case runqueue.Queued, runqueue.Running, runqueue.Done, runqueue.Failed, runqueue.Canceled:
+			p.state = s
+		default:
+			return p, fmt.Errorf("state %q: want one of queued, running, done, failed, canceled", raw)
+		}
+	}
+	return p, nil
+}
+
+func encodeCursor(lastID string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(cursorVersion + lastID))
+}
+
+func decodeCursor(raw string) (string, error) {
+	b, err := base64.RawURLEncoding.DecodeString(raw)
+	if err != nil {
+		return "", fmt.Errorf("cursor %q: not a valid cursor", raw)
+	}
+	s := string(b)
+	if !strings.HasPrefix(s, cursorVersion) {
+		return "", fmt.Errorf("cursor %q: unknown cursor version", raw)
+	}
+	return strings.TrimPrefix(s, cursorVersion), nil
+}
+
+// paginate selects the page from a newest-first item list. keep reports
+// whether an item passes the state filter; id yields its ordering key.
+// It returns the page's indices and the next cursor ("" on the last page).
+func paginate[T any](items []T, p pageParams, id func(T) string, keep func(T) bool) ([]T, string) {
+	page := make([]T, 0, min(p.limit, len(items)))
+	next := ""
+	for _, it := range items {
+		if p.afterID != "" && id(it) >= p.afterID {
+			continue // at or before the cursor position
+		}
+		if !keep(it) {
+			continue
+		}
+		if len(page) == p.limit {
+			// A further match exists, so this page is not the last one; the
+			// cursor points at the page's final item and the next page
+			// resumes right after it, filters included.
+			next = encodeCursor(id(page[len(page)-1]))
+			break
+		}
+		page = append(page, it)
+	}
+	return page, next
+}

@@ -2,17 +2,22 @@
 // the pdpad daemon's API surface. Endpoints:
 //
 //	POST   /v1/runs             submit a WorkloadSpec+Options payload
-//	GET    /v1/runs             list known runs, newest first
+//	GET    /v1/runs             list runs, newest first (limit=, cursor=, state=)
 //	GET    /v1/runs/{id}        status, and the full result once done
 //	DELETE /v1/runs/{id}        cancel a queued or running simulation
 //	GET    /v1/runs/{id}/events server-sent lifecycle events
 //	GET    /v1/runs/{id}/trace  the run's recorded decision trace (JSON)
 //	POST   /v1/sweeps           submit a policy × mix × load × seed grid
-//	GET    /v1/sweeps           list known sweeps, newest first
+//	GET    /v1/sweeps           list sweeps, newest first (limit=, cursor=, state=)
 //	GET    /v1/sweeps/{id}      progress, and per-cell aggregates once done
 //	DELETE /v1/sweeps/{id}      cancel a sweep's remaining members
 //	GET    /healthz             liveness probe
 //	GET    /metrics             Prometheus text exposition
+//
+// The list endpoints paginate with an opaque cursor: pass limit= (default
+// 100, capped at 1000) and follow the response's next_cursor until it is
+// absent; state= filters to one lifecycle state. Every non-2xx response
+// carries the unified error envelope documented in errors.go.
 //
 // A sweep expands into member runs that share the pool's PDPA-style
 // admission, result cache, and singleflight index with individually
@@ -28,7 +33,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"time"
 
 	"pdpasim/internal/faults"
@@ -100,35 +104,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.recovered.Inc()
 		// Best-effort: if the handler already wrote a header this fails
 		// silently, but the connection still closes with a broken response.
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+		writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Errorf("internal error: %v", rec))
 	}()
 	if err := s.faults.Hit(r.Context(), faults.SiteHTTPRequest); err != nil {
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("injected fault: %w", err))
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, fmt.Errorf("injected fault: %w", err))
 		return
 	}
 	s.mux.ServeHTTP(w, r)
 }
 
 // submitError maps a pool submission error to an HTTP response. Overload
-// sheds carry the pool's backlog estimate as a Retry-After header; plain
-// queue-full rejections suggest retrying in a second.
+// sheds carry the pool's backlog estimate as a retry hint (header and
+// envelope body); plain queue-full rejections suggest retrying in a second.
 func (s *Server) submitError(w http.ResponseWriter, err error) {
 	var overload *runqueue.OverloadError
 	switch {
 	case errors.As(err, &overload): // before ErrQueueFull: OverloadError matches both
-		secs := int(overload.RetryAfter / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeError(w, http.StatusTooManyRequests, err)
+		writeRetryError(w, http.StatusTooManyRequests, CodeOverloaded, err,
+			int(overload.RetryAfter/time.Second))
 	case errors.Is(err, runqueue.ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, err)
 	case errors.Is(err, runqueue.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err)
+		writeRetryError(w, http.StatusTooManyRequests, CodeQueueFull, err, 1)
 	default:
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 	}
 }
 
@@ -142,11 +141,11 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("decoding request: %w", err))
 		return false
 	}
 	return true
@@ -222,7 +221,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.DeadlineS < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("negative deadline_s %v", req.DeadlineS))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("negative deadline_s %v", req.DeadlineS))
 		return
 	}
 	spec := runqueue.Spec{Workload: req.Workload, Options: req.Options}
@@ -244,19 +243,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// RunListResponse is one page of GET /v1/runs, newest first. NextCursor,
+// when present, fetches the next page via ?cursor=; its absence marks the
+// last page.
+type RunListResponse struct {
+	Runs       []RunView `json:"runs"`
+	NextCursor string    `json:"next_cursor,omitempty"`
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	snaps := s.pool.Runs()
-	views := make([]RunView, len(snaps))
-	for i, snap := range snaps {
+	p, err := parsePageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
+		return
+	}
+	page, next := paginate(s.pool.Runs(), p,
+		func(snap runqueue.Snapshot) string { return snap.ID },
+		func(snap runqueue.Snapshot) bool { return p.state == "" || snap.State == p.state })
+	views := make([]RunView, len(page))
+	for i, snap := range page {
 		views[i] = viewOf(snap, false)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"runs": views})
+	writeJSON(w, http.StatusOK, RunListResponse{Runs: views, NextCursor: next})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.pool.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, viewOf(snap, true))
@@ -265,7 +279,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.pool.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, viewOf(snap, false))
@@ -276,13 +290,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		writeError(w, http.StatusInternalServerError, CodeInternal, errors.New("streaming unsupported"))
 		return
 	}
 	id := r.PathValue("id")
 	events, unsub, err := s.pool.Subscribe(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	defer unsub()
@@ -331,11 +345,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.pool.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	if len(snap.TraceJSON) == 0 {
-		writeError(w, http.StatusNotFound,
+		writeError(w, http.StatusNotFound, CodeNotFound,
 			fmt.Errorf("run %s has no decision trace (state %s; tracing may be disabled)", snap.ID, snap.State))
 		return
 	}
@@ -401,7 +415,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.DeadlineS < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("negative deadline_s %v", req.DeadlineS))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("negative deadline_s %v", req.DeadlineS))
 		return
 	}
 	res, err := s.pool.SubmitSweep(req.SweepSpec, time.Duration(req.DeadlineS*float64(time.Second)))
@@ -417,19 +431,32 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// SweepListResponse is one page of GET /v1/sweeps, newest first.
+type SweepListResponse struct {
+	Sweeps     []SweepView `json:"sweeps"`
+	NextCursor string      `json:"next_cursor,omitempty"`
+}
+
 func (s *Server) handleListSweeps(w http.ResponseWriter, r *http.Request) {
-	stats := s.pool.Sweeps()
-	views := make([]SweepView, len(stats))
-	for i, st := range stats {
+	p, err := parsePageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
+		return
+	}
+	page, next := paginate(s.pool.Sweeps(), p,
+		func(st runqueue.SweepStatus) string { return st.ID },
+		func(st runqueue.SweepStatus) bool { return p.state == "" || st.State == p.state })
+	views := make([]SweepView, len(page))
+	for i, st := range page {
 		views[i] = sweepViewOf(st, false)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sweeps": views})
+	writeJSON(w, http.StatusOK, SweepListResponse{Sweeps: views, NextCursor: next})
 }
 
 func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
 	st, err := s.pool.GetSweep(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sweepViewOf(st, true))
@@ -438,7 +465,7 @@ func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
 	st, err := s.pool.CancelSweep(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sweepViewOf(st, false))
@@ -456,16 +483,4 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"queue":    st.QueueDepth,
 		"inflight": st.Inflight,
 	})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -1,0 +1,112 @@
+package store
+
+// The frame format shared by journals and snapshots. Each record is one
+// frame:
+//
+//	u32le payload length (kind + blob)
+//	u32le CRC-32 (IEEE) of the payload
+//	u8    kind length
+//	      kind bytes
+//	      payload blob
+//
+// The CRC covers the kind and the blob, so a torn or bit-flipped frame is
+// detected wherever the damage lands. There is no file header: an empty
+// file is an empty store, and the first frame starts at offset zero.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// frameHeaderSize is the fixed prefix: payload length + CRC.
+const frameHeaderSize = 8
+
+// maxFrameSize bounds a single record (64 MiB): a length prefix beyond it
+// is treated as corruption rather than honored as an allocation request.
+const maxFrameSize = 64 << 20
+
+// encodeFrame renders one record in the frame format.
+func encodeFrame(rec Record) []byte {
+	payload := make([]byte, 0, 1+len(rec.Kind)+len(rec.Payload))
+	payload = append(payload, byte(len(rec.Kind)))
+	payload = append(payload, rec.Kind...)
+	payload = append(payload, rec.Payload...)
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	return frame
+}
+
+// decodeResult is what decoding a journal or snapshot yields: the intact
+// records, the offset of the first damaged byte (== file length when the
+// whole file decoded), and what kind of damage ended the scan.
+type decodeResult struct {
+	records   []Record
+	goodBytes int64 // offset of the last intact frame's end
+	// truncated: the file ended inside a frame (torn tail).
+	// corrupt: a frame's CRC or structure was invalid.
+	truncated    bool
+	corrupt      bool
+	droppedBytes int64 // bytes past goodBytes
+}
+
+// decodeFrames scans data as a sequence of frames, stopping at the first
+// torn or corrupt frame. Everything after the stop point is counted as
+// dropped: in an append-only file, bytes after damage cannot be trusted to
+// be frame-aligned.
+func decodeFrames(data []byte) decodeResult {
+	var res decodeResult
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeaderSize {
+			res.truncated = true
+			break
+		}
+		plen := binary.LittleEndian.Uint32(data[off : off+4])
+		if plen < 1 || plen > maxFrameSize {
+			res.corrupt = true
+			break
+		}
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		end := off + frameHeaderSize + int(plen)
+		if end > len(data) {
+			res.truncated = true
+			break
+		}
+		payload := data[off+frameHeaderSize : end]
+		if crc32.ChecksumIEEE(payload) != want {
+			res.corrupt = true
+			break
+		}
+		klen := int(payload[0])
+		if 1+klen > len(payload) {
+			res.corrupt = true
+			break
+		}
+		res.records = append(res.records, Record{
+			Kind:    string(payload[1 : 1+klen]),
+			Payload: append([]byte(nil), payload[1+klen:]...),
+		})
+		off = end
+		res.goodBytes = int64(off)
+	}
+	res.droppedBytes = int64(len(data)) - res.goodBytes
+	return res
+}
+
+// decodeFile reads and decodes one journal or snapshot file.
+func decodeFile(path string) (decodeResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return decodeResult{}, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return decodeResult{}, err
+	}
+	return decodeFrames(data), nil
+}

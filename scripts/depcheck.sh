@@ -1,27 +1,37 @@
 #!/usr/bin/env bash
-# Deprecation gate: non-test code must not call the deprecated facade entry
-# points. Run/RunSWF are kept only as compatibility wrappers over
-# RunContext/RunSWFContext, and SweepSpec.Progress only as an adapter over
-# SweepSpec.Observer; new call sites belong on the replacements. Tests are
-# exempt — the determinism suite deliberately pins Run ≡ RunContext.
+# Removed-API gate. The v1 cleanup deleted the deprecated facade symbols —
+# Run and RunSWF (use RunContext/RunSWFContext) and SweepSpec.Progress /
+# SweepProgress (use SweepSpec.Observer). This check keeps them deleted:
+# no definition may reintroduce them, and no new `Deprecated:` marker may
+# accumulate without a removal plan recorded here.
 #
-# staticcheck would flag these through SA1019, but the repo is stdlib-only;
-# this grep is the dependency-free equivalent, run by CI next to go vet.
+# staticcheck would flag reintroductions through SA1019, but the repo is
+# stdlib-only; this grep is the dependency-free equivalent, run by CI next
+# to go vet.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fail=0
 
-hits=$(grep -rn --include='*.go' -E 'pdpasim\.Run(SWF)?\(' cmd internal examples | grep -v '_test\.go' || true)
+# The facade lives in the repo root (package pdpasim); internal packages
+# may name things Run freely.
+hits=$(grep -n -E '^func Run(SWF)?\(' ./*.go || true)
 if [[ -n "$hits" ]]; then
-    echo "depcheck: deprecated pdpasim.Run/RunSWF call sites (use RunContext/RunSWFContext):" >&2
+    echo "depcheck: removed facade symbols Run/RunSWF reintroduced (keep RunContext/RunSWFContext):" >&2
     echo "$hits" >&2
     fail=1
 fi
 
-hits=$(grep -rn --include='*.go' -E 'SweepSpec\{[^}]*Progress:|\.Progress = ' cmd internal examples | grep -v '_test\.go' || true)
+hits=$(grep -rn --include='*.go' -E 'Progress func\(SweepProgress\)|type SweepProgress ' . || true)
 if [[ -n "$hits" ]]; then
-    echo "depcheck: deprecated SweepSpec.Progress call sites (use SweepSpec.Observer):" >&2
+    echo "depcheck: removed SweepSpec.Progress/SweepProgress reintroduced (keep SweepSpec.Observer):" >&2
+    echo "$hits" >&2
+    fail=1
+fi
+
+hits=$(grep -rn --include='*.go' 'Deprecated:' . || true)
+if [[ -n "$hits" ]]; then
+    echo "depcheck: new Deprecated: markers — remove the symbol or register its removal plan here:" >&2
     echo "$hits" >&2
     fail=1
 fi
@@ -29,4 +39,4 @@ fi
 if [[ "$fail" -ne 0 ]]; then
     exit 1
 fi
-echo "depcheck: no deprecated API call sites"
+echo "depcheck: removed APIs stayed removed, no stray deprecation markers"

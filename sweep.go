@@ -54,29 +54,6 @@ type SweepSpec struct {
 	// "cell_done" when the run completed its cell's last replicate. Calls
 	// are serialized but arrive in completion order.
 	Observer Observer `json:"-"`
-
-	// Progress, when set, is called after every completed run; calls are
-	// serialized but arrive in completion order.
-	//
-	// Deprecated: Progress is the pre-Observer callback, kept as a thin
-	// adapter over the same completion stream; new code should set Observer,
-	// which receives the identical completions as TraceEvents.
-	Progress func(SweepProgress) `json:"-"`
-}
-
-// SweepProgress reports sweep advancement after one completed run.
-type SweepProgress struct {
-	// Done runs out of Total are complete.
-	Done, Total int
-	// Policy, Mix, Load, and Seed identify the run that just finished.
-	Policy Policy
-	Mix    string
-	Load   float64
-	Seed   int64
-	// CellDone reports that the run completed its cell's last replicate;
-	// CellsDone counts finished cells out of Cells.
-	CellDone         bool
-	CellsDone, Cells int
 }
 
 // CellResult is the aggregated result of one (policy, mix, load) cell:
@@ -110,22 +87,9 @@ func (s SweepSpec) config() sweep.Config {
 		params := s.PDPA.internal()
 		cfg.PDPAParams = &params
 	}
-	if s.Progress != nil || s.Observer != nil {
-		// One internal progress hook feeds both the Observer stream and the
-		// deprecated Progress callback, so the two views always agree.
-		legacy, observer := s.Progress, s.Observer
+	if observer := s.Observer; observer != nil {
 		cfg.Progress = func(p sweep.Progress) {
-			if observer != nil {
-				observer.Observe(sweepRunEvent(p))
-			}
-			if legacy != nil {
-				legacy(SweepProgress{
-					Done: p.Done, Total: p.Total,
-					Policy: Policy(p.Task.Policy), Mix: p.Task.Mix,
-					Load: p.Task.Load, Seed: p.Task.Seed,
-					CellDone: p.CellDone, CellsDone: p.CellsDone, Cells: p.Cells,
-				})
-			}
+			observer.Observe(sweepRunEvent(p))
 		}
 	}
 	return cfg

@@ -93,19 +93,19 @@ func TestSweepWriteCSVAndJSON(t *testing.T) {
 	}
 }
 
-// TestSweepCancellationMidGrid aborts a sweep from its own progress callback
-// and expects prompt cancellation, not a completed grid.
+// TestSweepCancellationMidGrid aborts a sweep from its own observer and
+// expects prompt cancellation, not a completed grid.
 func TestSweepCancellationMidGrid(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	spec := testSweepSpec()
 	spec.Seeds = []int64{1, 2, 3, 4}
 	var first atomic.Bool
-	spec.Progress = func(p SweepProgress) {
+	spec.Observer = ObserverFunc(func(e TraceEvent) {
 		if first.CompareAndSwap(false, true) {
 			cancel()
 		}
-	}
+	})
 	res, err := Sweep(ctx, spec)
 	if res != nil {
 		t.Fatal("cancelled sweep returned a result")
@@ -115,24 +115,26 @@ func TestSweepCancellationMidGrid(t *testing.T) {
 	}
 }
 
-func TestSweepProgressIdentifiesRuns(t *testing.T) {
+// TestSweepObserverIdentifiesRuns: the sweep_run event stream identifies
+// every finished grid point and reports consistent totals.
+func TestSweepObserverIdentifiesRuns(t *testing.T) {
 	spec := testSweepSpec()
 	var total atomic.Int32
 	var sawPDPA atomic.Bool
-	spec.Progress = func(p SweepProgress) {
+	spec.Observer = ObserverFunc(func(e TraceEvent) {
 		total.Add(1)
-		if p.Policy == PDPA && p.Mix == "w1" {
+		if strings.HasPrefix(e.ID, "pdpa/w1/") {
 			sawPDPA.Store(true)
 		}
-		if p.Total != 4 || p.Cells != 2 {
-			t.Errorf("progress totals wrong: %+v", p)
+		if e.Kind != "sweep_run" || e.Total != 4 {
+			t.Errorf("sweep event wrong: %+v", e)
 		}
-	}
+	})
 	if _, err := Sweep(context.Background(), spec); err != nil {
 		t.Fatal(err)
 	}
 	if total.Load() != 4 || !sawPDPA.Load() {
-		t.Fatalf("progress fired %d times (sawPDPA=%v)", total.Load(), sawPDPA.Load())
+		t.Fatalf("observer fired %d times (sawPDPA=%v)", total.Load(), sawPDPA.Load())
 	}
 }
 
