@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain go tooling underneath.
 
-.PHONY: build test vet depcheck bench bench-gate scenario-smoke loadtest-smoke
+.PHONY: build test vet depcheck bench bench-gate bench-throughput scenario-smoke loadtest-smoke
 
 build:
 	go build ./...
@@ -38,8 +38,15 @@ loadtest-smoke:
 bench:
 	./scripts/bench.sh
 
+# One pass of the million-job sweep (BenchmarkSweepManyJobs): a w1 trace
+# spanning an 8.4M-second window under PDPA in coarse throughput mode. The
+# benchmark fails itself if fewer than a million jobs complete, so this is
+# both a scaling demo and a correctness smoke for Options.Throughput.
+bench-throughput:
+	go test -run '^$$' -bench SweepManyJobs -benchtime 1x -benchmem .
+
 # Compare a fresh run against the most recent committed trajectory point.
-# Fails on significant regression (loose on ns/op, tight on allocs/op).
+# Fails on significant regression (loose on ns/op, tight on allocs/op and B/op).
 bench-gate: bench
 	go run ./cmd/benchgate compare \
 		-baseline $$(ls BENCH_*.json | sort | tail -n 1) \

@@ -245,6 +245,15 @@ type Options struct {
 	// everything. Disabled tracing costs nothing on the simulation hot
 	// paths.
 	DecisionTrace int
+	// Throughput > 1 enables coarse throughput mode: each application fuses
+	// up to Throughput undisturbed iterations into one simulation event, so
+	// very large workloads process far fewer events. Scheduling decisions
+	// are unchanged — any reallocation or penalty collapses the fusion at
+	// the exact iteration it lands in — but performance measurements are
+	// sampled once per fused span instead of once per iteration, so results
+	// are deterministic per seed yet not byte-equal to exact mode. IRIX
+	// runs ignore the setting. 0 or 1 keeps exact per-iteration simulation.
+	Throughput int
 	// Observer, when set, receives every decision-trace event live as the
 	// simulation produces it — the streaming counterpart of DecisionTrace,
 	// and the same hook Sweep and the pdpad daemon accept. Calls are
@@ -268,6 +277,9 @@ func (o Options) Validate() error {
 	if o.DecisionTrace < DecisionTraceUnlimited {
 		return fmt.Errorf("pdpasim: invalid decision-trace limit %d", o.DecisionTrace)
 	}
+	if o.Throughput < 0 {
+		return fmt.Errorf("pdpasim: negative throughput stride %d", o.Throughput)
+	}
 	if (o.Policy == PDPA || o.Policy == AdaptivePDPA) && o.PDPA != (PDPAParams{}) {
 		if err := o.PDPA.internal().Validate(); err != nil {
 			return err
@@ -286,6 +298,7 @@ func (o Options) config(w *workload.Workload) system.Config {
 		Seed:         o.Seed,
 		KeepBursts:   o.KeepTrace,
 		NUMANodeSize: o.NUMANodeSize,
+		Throughput:   o.Throughput,
 	}
 	if (o.Policy == PDPA || o.Policy == AdaptivePDPA) && o.PDPA != (PDPAParams{}) {
 		params := o.PDPA.internal()
@@ -381,6 +394,68 @@ func RunSWFContext(ctx context.Context, in io.Reader, opts Options) (*Outcome, e
 	tr := newRunTrace(opts.DecisionTrace, opts.Observer)
 	cfg.Trace = tr
 	res, err := system.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := newOutcome(res)
+	out.trace = tr
+	return out, nil
+}
+
+// Runner executes runs back to back while recycling the simulation's
+// internal arenas — the event heap, trace recorder, machine model, queuing
+// slabs, and per-job runtime state — so steady-state runs allocate almost
+// nothing. Results are byte-identical to the package-level RunContext: every
+// recycled component reinitializes to exactly the state a fresh run builds.
+//
+// A Runner is NOT safe for concurrent use. Callers that fan runs out across
+// goroutines should give each its own Runner (Sweep does this internally,
+// one per worker). The zero value is ready to use.
+type Runner struct {
+	sys system.System
+}
+
+// NewRunner returns an empty Runner; its arenas are grown by the first run
+// and recycled by every run after it.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run generates the workload described by spec and executes it under opts,
+// recycling this Runner's arenas. See RunContext for the semantics.
+func (r *Runner) Run(spec WorkloadSpec, opts Options) (*Outcome, error) {
+	return r.RunContext(context.Background(), spec, opts)
+}
+
+// RunContext is Run with cancellation, identical to the package-level
+// RunContext but reusing this Runner's arenas.
+func (r *Runner) RunContext(ctx context.Context, spec WorkloadSpec, opts Options) (*Outcome, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := spec.build()
+	if err != nil {
+		return nil, err
+	}
+	return r.runWorkload(ctx, w, opts)
+}
+
+// RunSWFContext replays a Standard Workload Format trace, identical to the
+// package-level RunSWFContext but reusing this Runner's arenas.
+func (r *Runner) RunSWFContext(ctx context.Context, in io.Reader, opts Options) (*Outcome, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := workload.ParseSWF(in)
+	if err != nil {
+		return nil, err
+	}
+	return r.runWorkload(ctx, w, opts)
+}
+
+func (r *Runner) runWorkload(ctx context.Context, w *workload.Workload, opts Options) (*Outcome, error) {
+	cfg := opts.config(w)
+	tr := newRunTrace(opts.DecisionTrace, opts.Observer)
+	cfg.Trace = tr
+	res, err := r.sys.RunContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -234,6 +234,69 @@ func BenchmarkSingleRunPDPA(b *testing.B) {
 	}
 }
 
+// BenchmarkSingleRunPDPAReuse is BenchmarkSingleRunPDPA on one reused
+// System: every run after the first recycles the engine heap, recorder,
+// machine, queuing slabs, and per-job runtime state, so allocs/op here is
+// the steady-state allocation count of the run path itself. The bench gate
+// holds it near zero; the delta against SingleRunPDPA is the construction
+// cost a fresh environment pays per run.
+func BenchmarkSingleRunPDPAReuse(b *testing.B) {
+	w, err := workload.Generate(workload.GenConfig{
+		Mix: workload.W4(), Load: 1.0, NCPU: 60, Window: 300 * sim.Second, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := system.NewSystem()
+	// Warm the arenas once so the timed loop measures steady state.
+	if _, err := sys.Run(system.Config{Workload: w, Policy: system.PDPA, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(system.Config{Workload: w, Policy: system.PDPA, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepManyJobs pushes one sweep cell through more than a million
+// simulated jobs: a w1 trace spanning an 8.4M-second window under PDPA in
+// coarse throughput mode (stride 16). It validates that throughput mode
+// plus arena reuse keep grid scaling affordable at four orders of magnitude
+// more jobs than the paper's 300-second windows, and fails if the run ever
+// completes fewer than a million jobs. Load is 0.8 rather than 1.0: a
+// critically-loaded queue accumulates an O(sqrt(t)) backlog over a window
+// this long and would spend an unbounded tail draining it.
+func BenchmarkSweepManyJobs(b *testing.B) {
+	var jobs int
+	for i := 0; i < b.N; i++ {
+		spec := SweepSpec{
+			Policies:   []Policy{PDPA},
+			Mixes:      []string{"w1"},
+			Loads:      []float64{0.8},
+			Seeds:      []int64{1},
+			NCPU:       60,
+			Window:     8_400_000 * time.Second,
+			Workers:    1,
+			Throughput: 16,
+		}
+		res, err := Sweep(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = 0
+		for _, run := range res.Runs {
+			jobs += len(run.Jobs)
+		}
+		if jobs < 1_000_000 {
+			b.Fatalf("sweep simulated %d jobs, want >= 1000000", jobs)
+		}
+	}
+	b.ReportMetric(float64(jobs), "jobs")
+}
+
 // BenchmarkSingleRunIRIX times the heaviest regime (per-quantum placement).
 func BenchmarkSingleRunIRIX(b *testing.B) {
 	w, err := workload.Generate(workload.GenConfig{

@@ -10,9 +10,11 @@
 //	benchgate record -out BENCH_2026-08-05.json -phase post bench.txt
 //	benchgate compare -baseline BENCH_2026-08-05.json bench.txt
 //
-// Wall-clock per op is gated loosely (CI machines are noisy); allocs/op is
-// deterministic and gated tightly — it is the metric that catches an
-// accidental return to map-and-copy hot paths.
+// Wall-clock per op is gated loosely (CI machines are noisy); allocs/op and
+// B/op are near-deterministic and gated tightly — allocs/op catches an
+// accidental return to map-and-copy hot paths, and B/op catches the
+// complementary regression where the allocation count stays flat but each
+// allocation balloons (an oversized slab, a copy instead of a handoff).
 package main
 
 import (
@@ -70,7 +72,8 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   benchgate record  -out BENCH_<date>.json [-phase post] [-note s] [bench.txt]
   benchgate compare -baseline BENCH_<date>.json [-phase post]
-                    [-match regexp] [-ns-tol 1.5] [-alloc-tol 1.1] [bench.txt]
+                    [-match regexp] [-ns-tol 1.5] [-alloc-tol 1.1]
+                    [-bytes-tol 1.2] [bench.txt]
 `)
 	os.Exit(2)
 }
@@ -126,6 +129,7 @@ func cmdCompare(args []string) {
 	match := fs.String("match", "^(SingleRunPDPA|SingleRunIRIX|Sweep(/|$))", "regexp of benchmarks to gate")
 	nsTol := fs.Float64("ns-tol", 1.5, "fail when ns/op exceeds baseline by this factor")
 	allocTol := fs.Float64("alloc-tol", 1.1, "fail when allocs/op exceeds baseline by this factor")
+	bytesTol := fs.Float64("bytes-tol", 1.2, "fail when B/op exceeds baseline by this factor")
 	fs.Parse(args)
 	if *baseline == "" {
 		usage()
@@ -184,6 +188,13 @@ func cmdCompare(args []string) {
 				failed = true
 			}
 		}
+		if b.BytesPerOp > 0 {
+			if bytesRatio := c.BytesPerOp / b.BytesPerOp; bytesRatio > *bytesTol {
+				verdict = fmt.Sprintf("FAIL B/op %.0f vs %.0f (%.2fx > %.2fx)",
+					c.BytesPerOp, b.BytesPerOp, bytesRatio, *bytesTol)
+				failed = true
+			}
+		}
 		fmt.Printf("%-28s %14s %14s %7.2fx   %s (allocs %.0f→%.0f)\n",
 			name, fmtNs(b.NsPerOp), fmtNs(c.NsPerOp), c.NsPerOp/b.NsPerOp, verdict,
 			b.AllocsPerOp, c.AllocsPerOp)
@@ -226,7 +237,15 @@ func openInput(path string) io.Reader {
 	return f
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\S+) ns/op(?:\s+(\S+) B/op)?(?:\s+(\S+) allocs/op)?`)
+// The name and each unit are matched independently so custom b.ReportMetric
+// columns (e.g. "1051636 jobs") anywhere in the line don't detach the
+// -benchmem columns that follow them.
+var (
+	benchName   = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+\S+ ns/op`)
+	benchNs     = regexp.MustCompile(`\s(\S+) ns/op`)
+	benchBytes  = regexp.MustCompile(`\s(\S+) B/op`)
+	benchAllocs = regexp.MustCompile(`\s(\S+) allocs/op`)
+)
 
 // parseBench reads `go test -bench` output and aggregates repeated runs of
 // each benchmark: median ns/op (robust to a noisy sample), max B/op and
@@ -253,7 +272,7 @@ func parseBench(r io.Reader) (map[string]Result, string, string) {
 			goarch = strings.TrimSpace(v)
 			continue
 		}
-		mm := benchLine.FindStringSubmatch(line)
+		mm := benchName.FindStringSubmatch(line)
 		if mm == nil {
 			continue
 		}
@@ -263,12 +282,12 @@ func parseBench(r io.Reader) (map[string]Result, string, string) {
 			s = &samples{}
 			acc[name] = s
 		}
-		s.ns = append(s.ns, parseF(mm[2]))
-		if mm[3] != "" {
-			s.bytes = append(s.bytes, parseF(mm[3]))
+		s.ns = append(s.ns, parseF(benchNs.FindStringSubmatch(line)[1]))
+		if m := benchBytes.FindStringSubmatch(line); m != nil {
+			s.bytes = append(s.bytes, parseF(m[1]))
 		}
-		if mm[4] != "" {
-			s.allocs = append(s.allocs, parseF(mm[4]))
+		if m := benchAllocs.FindStringSubmatch(line); m != nil {
+			s.allocs = append(s.allocs, parseF(m[1]))
 		}
 	}
 	out := map[string]Result{}

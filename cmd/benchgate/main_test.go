@@ -14,6 +14,7 @@ BenchmarkSingleRunPDPA-2   	      51	  21619448 ns/op	 1282865 B/op	    4784 all
 BenchmarkSingleRunPDPA-2   	      48	  28622553 ns/op	 1282948 B/op	    4784 allocs/op
 BenchmarkSingleRunIRIX-2   	      28	  37372468 ns/op	  769923 B/op	    1294 allocs/op
 BenchmarkSweep/workers=2-2 	       4	 293192625 ns/op
+BenchmarkSweepManyJobs-2   	       1	30937174788 ns/op	   1051636 jobs	1895701472 B/op	 1056122 allocs/op
 PASS
 ok  	pdpasim	15.405s
 `
@@ -54,6 +55,15 @@ func TestParseBench(t *testing.T) {
 	}
 	if _, ok := results["SingleRunIRIX"]; !ok {
 		t.Errorf("SingleRunIRIX missing")
+	}
+	// A custom b.ReportMetric column between ns/op and B/op must not detach
+	// the -benchmem columns.
+	many, ok := results["SweepManyJobs"]
+	if !ok {
+		t.Fatalf("SweepManyJobs missing: %v", results)
+	}
+	if many.BytesPerOp != 1895701472 || many.AllocsPerOp != 1056122 {
+		t.Errorf("many = %+v, want B/op and allocs/op despite custom metric", many)
 	}
 }
 

@@ -39,6 +39,7 @@ func main() {
 		prvOut  = flag.String("paraver", "", "write the execution trace in Paraver format to this file")
 		chrOut  = flag.String("chrome", "", "write the execution trace in Chrome trace-event format to this file")
 		decOut  = flag.String("decisions", "", "write the decision trace as JSON to this file (\"-\" prints a human-readable log to stdout)")
+		thru    = flag.Int("throughput", 0, "fuse up to this many undisturbed iterations per event (coarse throughput mode; 0 or 1 = exact)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -61,6 +62,7 @@ func main() {
 		NoiseSigma: *noise,
 		Seed:       *seed,
 		KeepTrace:  *showTr || *prvOut != "" || *chrOut != "",
+		Throughput: *thru,
 	}
 	if *decOut != "" {
 		opts.DecisionTrace = pdpasim.DecisionTraceUnlimited

@@ -37,6 +37,44 @@
 // examples/policycompare for a complete capacity-planning study built on one
 // Sweep call.
 //
+// Long-lived callers amortize per-run construction with a Runner: one run's
+// arenas — the event-heap backing, trace recorder, machine, queuing slabs,
+// and per-job runtime state — are recycled into the next run instead of
+// being rebuilt, cutting the steady-state run path to a handful of
+// allocations. Reuse is contractually invisible: a reused Runner's outcome
+// and decision trace are byte-for-byte what a fresh environment produces
+// for the same spec (a regression suite interleaves policies, seeds, and
+// machine sizes on one Runner to enforce this). A Runner is not safe for
+// concurrent use; give each goroutine its own, as the sweep pool gives one
+// to each worker.
+//
+// # Throughput mode
+//
+// Options.Throughput > 1 enables coarse throughput mode: up to that many
+// undisturbed iterations of a running job are fused into a single engine
+// event, so multi-month submission windows — millions of jobs — simulate in
+// seconds per million jobs instead of minutes (BenchmarkSweepManyJobs
+// drives one sweep cell through >1M jobs this way; `make bench-throughput`
+// runs it once).
+//
+// What fusion drops is measurement granularity only: the SelfAnalyzer
+// observes one measured iteration per fused span rather than every
+// iteration, so measured efficiencies — and therefore PDPA's allocation
+// decisions — can differ slightly from exact mode. Everything structural
+// stays exact: fusion never crosses an iteration-space phase boundary,
+// never spans a baseline measurement, and collapses immediately when the
+// scheduler changes the job's allocation mid-span, so reallocation
+// response is not delayed. Fused runs are fully deterministic per seed —
+// byte-identical across repeats, worker counts, and fresh-versus-reused
+// Runners — but are not byte-equal to exact mode; compare fused results
+// only against fused results. The IRIX time-sharing model re-rates jobs
+// every quantum, which would collapse every fusion, so it ignores the
+// stride: IRIX results are byte-identical with or without Throughput set.
+//
+// The same switch is SweepSpec.Throughput for grids and `pdpasim
+// -throughput N` on the command line (see EXPERIMENTS.md for a worked
+// example and measured event reductions).
+//
 // Every table and figure of the paper can be regenerated through
 // RunExperiment (or `go test -bench .` / cmd/experiments); see DESIGN.md for
 // the per-experiment index and EXPERIMENTS.md for measured-versus-paper

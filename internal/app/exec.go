@@ -35,6 +35,12 @@ type Execution struct {
 	iterStart     sim.Time // wall time the current iteration started
 	iterDirty     bool     // the current iteration spanned a rate change
 	iterStartRate float64
+
+	// batch > 1 fuses that many iterations into one boundary event
+	// (throughput mode). A hard rate change or penalty mid-batch collapses
+	// the fusion so scheduling semantics never change — only how many engine
+	// events an undisturbed stretch of iterations costs.
+	batch int
 }
 
 // NewExecution returns the execution state for prof, instrumented (paying
@@ -77,6 +83,60 @@ func (e *Execution) IterationsDone() int { return e.iterationsDone }
 // Done reports whether every iteration has completed.
 func (e *Execution) Done() bool { return e.iterationsDone >= e.prof.Iterations }
 
+// curWork returns the serial work of the current boundary span: one
+// iteration normally, batch iterations while a fusion is active.
+func (e *Execution) curWork() sim.Time {
+	if e.batch > 1 {
+		return e.iterWork * sim.Time(e.batch)
+	}
+	return e.iterWork
+}
+
+// AtIterationStart reports whether the execution sits exactly at an
+// iteration boundary with no pending penalty and no dirty measurement — the
+// only state where StartBatch is legal.
+func (e *Execution) AtIterationStart() bool {
+	return e.progress == 0 && e.penalty == 0 && !e.iterDirty && e.batch <= 1
+}
+
+// StartBatch fuses the next n iterations into a single boundary event. Legal
+// only at a clean iteration start, with n iterations actually remaining.
+// While fused, the span completes as one CompleteIteration whose sample
+// reports the per-iteration average wall time; a hard rate change or penalty
+// mid-span collapses the fusion (crediting whole iterations already passed)
+// so allocation changes behave exactly as without batching.
+func (e *Execution) StartBatch(n int) {
+	if n <= 1 || e.batch > 1 {
+		return
+	}
+	if e.progress != 0 || e.penalty != 0 || e.iterDirty {
+		panic(fmt.Sprintf("app %s: StartBatch mid-iteration", e.prof.Name))
+	}
+	if e.iterationsDone+n > e.prof.Iterations {
+		panic(fmt.Sprintf("app %s: StartBatch(%d) past the last iteration", e.prof.Name, n))
+	}
+	e.batch = n
+}
+
+// collapseBatch ends an active fusion early: whole iterations already worked
+// through are credited to iterationsDone (their samples are dropped — the
+// sampling throughput mode documents), and the in-progress iteration
+// continues as a normal single iteration. The current (possibly boundary-
+// complete) iteration is always left pending so the armed completion event
+// stays valid.
+func (e *Execution) collapseBatch() {
+	if e.batch <= 1 {
+		return
+	}
+	completed := int(e.progress / e.iterWork)
+	if completed > e.batch-1 {
+		completed = e.batch - 1
+	}
+	e.iterationsDone += completed
+	e.progress -= e.iterWork * sim.Time(completed)
+	e.batch = 0
+}
+
 // Advance integrates progress up to time t at the current rate. It must be
 // called with non-decreasing times. Advancing past the end of the current
 // iteration panics: the caller must complete iterations at their boundary
@@ -103,11 +163,10 @@ func (e *Execution) Advance(t sim.Time) {
 	}
 	gained := sim.Time(float64(dt) * e.rate)
 	e.progress += gained
-	if e.progress > e.iterWork+progressTolerance {
-		panic(fmt.Sprintf("app %s: advanced %v past iteration end %v", e.prof.Name, e.progress, e.iterWork))
-	}
-	if e.progress > e.iterWork {
-		e.progress = e.iterWork
+	if work := e.curWork(); e.progress > work+progressTolerance {
+		panic(fmt.Sprintf("app %s: advanced %v past iteration end %v", e.prof.Name, e.progress, work))
+	} else if e.progress > work {
+		e.progress = work
 	}
 }
 
@@ -132,8 +191,11 @@ func (e *Execution) setRate(t sim.Time, rate float64, soft bool) {
 		rate = 0
 	}
 	e.Advance(t)
-	if !soft && rate != e.rate && e.progress > 0 {
-		e.iterDirty = true
+	if !soft && rate != e.rate {
+		e.collapseBatch()
+		if e.progress > 0 {
+			e.iterDirty = true
+		}
 	}
 	e.rate = rate
 	if e.progress == 0 {
@@ -151,6 +213,7 @@ func (e *Execution) AddPenalty(t, penalty sim.Time) {
 		return
 	}
 	e.Advance(t)
+	e.collapseBatch()
 	e.penalty += penalty
 	e.iterDirty = true
 }
@@ -162,7 +225,7 @@ func (e *Execution) NextIterationEnd() sim.Time {
 	if e.Done() {
 		return sim.Forever
 	}
-	remaining := e.iterWork - e.progress
+	remaining := e.curWork() - e.progress
 	if e.rate <= 0 {
 		return sim.Forever
 	}
@@ -190,17 +253,23 @@ func (e *Execution) CompleteIteration(t sim.Time) IterationSample {
 	if e.Done() {
 		panic("app: CompleteIteration after done")
 	}
-	if e.iterWork-e.progress > progressTolerance || e.penalty > 0 {
+	work := e.curWork()
+	if work-e.progress > progressTolerance || e.penalty > 0 {
 		panic(fmt.Sprintf("app %s: iteration %d not finished (progress %v/%v, penalty %v)",
-			e.prof.Name, e.iterationsDone, e.progress, e.iterWork, e.penalty))
+			e.prof.Name, e.iterationsDone, e.progress, work, e.penalty))
+	}
+	n := 1
+	if e.batch > 1 {
+		n = e.batch
 	}
 	s := IterationSample{
-		Index:    e.iterationsDone,
-		WallTime: t - e.iterStart,
+		Index:    e.iterationsDone + n - 1,
+		WallTime: (t - e.iterStart) / sim.Time(n),
 		Rate:     e.iterStartRate,
 		Clean:    !e.iterDirty,
 	}
-	e.iterationsDone++
+	e.iterationsDone += n
+	e.batch = 0
 	e.progress = 0
 	e.iterStart = t
 	e.iterDirty = false
@@ -213,7 +282,11 @@ func (e *Execution) RemainingWork() sim.Time {
 	if e.Done() {
 		return 0
 	}
-	left := e.iterWork - e.progress
-	left += e.iterWork * sim.Time(e.prof.Iterations-e.iterationsDone-1)
+	n := 1
+	if e.batch > 1 {
+		n = e.batch
+	}
+	left := e.curWork() - e.progress
+	left += e.iterWork * sim.Time(e.prof.Iterations-e.iterationsDone-n)
 	return left
 }

@@ -163,6 +163,8 @@ type PDPA struct {
 	// tr, when non-nil, receives decision-trace events: every state
 	// transition and every admission decision with its reason.
 	tr *obs.Trace
+	// free recycles jobState structs across jobs (and, via Reset, runs).
+	free []*jobState
 }
 
 // SetTrace attaches a decision-trace recorder (nil detaches). Every state
@@ -223,12 +225,49 @@ func (p *PDPA) Transitions() int { return p.transitions }
 
 // JobStarted implements sched.Policy: the application enters NO_REF.
 func (p *PDPA) JobStarted(now sim.Time, job *sched.JobView) {
-	p.jobs[job.ID] = &jobState{state: NoRef, desired: -1}
+	var s *jobState
+	if n := len(p.free); n > 0 {
+		s = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		s = new(jobState)
+	}
+	*s = jobState{state: NoRef, desired: -1}
+	p.jobs[job.ID] = s
 }
 
 // JobFinished implements sched.Policy.
 func (p *PDPA) JobFinished(now sim.Time, id sched.JobID) {
-	delete(p.jobs, id)
+	if s, ok := p.jobs[id]; ok {
+		p.free = append(p.free, s)
+		delete(p.jobs, id)
+	}
+}
+
+// Reset reinitializes the policy to the state New(params) would produce,
+// recycling the per-job state structs and the plan map. History recording is
+// switched off and any attached trace detached, as on a fresh policy.
+func (p *PDPA) Reset(params Params) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	for id, s := range p.jobs {
+		p.free = append(p.free, s)
+		delete(p.jobs, id)
+	}
+	if p.jobs == nil {
+		p.jobs = make(map[sched.JobID]*jobState)
+	}
+	p.params = params
+	p.epoch = 0
+	p.transitions = 0
+	p.history = nil
+	p.recordHistory = false
+	if p.plan != nil {
+		clear(p.plan)
+	}
+	p.tr = nil
+	return nil
 }
 
 // ReportPerformance implements sched.Policy: it runs one step of the state

@@ -120,6 +120,65 @@ func New(ncpu int, rec *trace.Recorder) *Machine {
 	return m
 }
 
+// Reset returns the machine to the state New(ncpu, rec) would produce, in
+// place — callers that cached the *Machine keep a valid pointer — while
+// recycling every per-job table into the pools and keeping the dense per-CPU
+// arrays. The NUMA node size resets to flat; callers re-apply SetNodeSize per
+// run.
+func (m *Machine) Reset(ncpu int, rec *trace.Recorder) {
+	if ncpu <= 0 {
+		panic("machine: ncpu must be positive")
+	}
+	if rec != nil && rec.NCPU() != ncpu {
+		panic("machine: recorder CPU count mismatch")
+	}
+	for j := range m.jobCPUs {
+		if c := m.jobCPUs[j]; cap(c) > 0 {
+			m.cpuPool = append(m.cpuPool, c[:0])
+		}
+		m.jobCPUs[j] = nil
+	}
+	m.jobCPUs = m.jobCPUs[:0]
+	for j := range m.aff {
+		m.recycleAff(j)
+	}
+	m.aff = m.aff[:0]
+	// Counters left from the final quantum clear through the touched list,
+	// exactly as the next PlaceQuantum would; the dense array keeps its
+	// length so ensureJob never regrows it.
+	for _, job := range m.migTouched {
+		m.migCount[job] = 0
+	}
+	m.migTouched = m.migTouched[:0]
+	if ncpu != m.ncpu {
+		m.ncpu = ncpu
+		if cap(m.owner) < ncpu {
+			m.owner = make([]int, ncpu)
+		} else {
+			m.owner = m.owner[:ncpu]
+		}
+		words := (ncpu + 63) / 64
+		if cap(m.freeMask) < words {
+			m.freeMask = make([]uint64, words)
+		} else {
+			m.freeMask = m.freeMask[:words]
+		}
+		m.quantumSeen = nil // PlaceQuantum re-sizes it lazily
+	}
+	for i := range m.owner {
+		m.owner[i] = Free
+	}
+	for i := range m.freeMask {
+		m.freeMask[i] = ^uint64(0)
+	}
+	if tail := ncpu % 64; tail != 0 {
+		m.freeMask[len(m.freeMask)-1] = (uint64(1) << tail) - 1
+	}
+	m.nfree = ncpu
+	m.rec = rec
+	m.numaNodeSize = 0
+}
+
 // NCPU returns the machine size.
 func (m *Machine) NCPU() int { return m.ncpu }
 

@@ -63,6 +63,11 @@ type Runtime struct {
 	done    bool
 	rawMode bool // time-sharing manager drives rates directly
 
+	// stride > 1 enables throughput mode: undisturbed post-baseline
+	// iterations are fused up to stride at a time into one boundary event
+	// (see SetThroughput).
+	stride int
+
 	// iterName and iterFn are the event name and callback passed to the
 	// engine on every reschedule, precomputed once: building them inline
 	// would allocate a string and a closure per allocation change.
@@ -99,6 +104,10 @@ func Init(r *Runtime, eng *sim.Engine, prof *app.Profile, request int, analyzer 
 	if iterName == "" {
 		iterName = prof.Name + "/iter"
 	}
+	// The iteration callback is a method value bound to r itself, so a
+	// recycled Runtime can keep its previous one instead of allocating a
+	// fresh closure per job.
+	iterFn := r.iterFn
 	*r = Runtime{
 		eng:        eng,
 		prof:       prof,
@@ -110,7 +119,10 @@ func Init(r *Runtime, eng *sim.Engine, prof *app.Profile, request int, analyzer 
 		iterName:   iterName,
 	}
 	app.InitExecution(&r.exec, prof, analyzer != nil, eng.Now())
-	r.iterFn = r.completeIteration
+	if iterFn == nil {
+		iterFn = r.completeIteration
+	}
+	r.iterFn = iterFn
 }
 
 // SetRateFactor scales the application's execution rate by f in (0, 1] —
@@ -279,11 +291,60 @@ func (r *Runtime) SetRawRate(rate float64, procs int) {
 	r.reschedule()
 }
 
+// SetThroughput enables throughput mode with the given stride: once the
+// baseline measure is complete and the iterative structure known, up to k
+// consecutive undisturbed iterations are fused into a single engine event,
+// and the SelfAnalyzer sees one averaged measurement per fused span instead
+// of one per iteration. Scheduling semantics are unchanged — any allocation
+// change or penalty collapses the fusion at the exact iteration it lands in,
+// and fusions never cross a phase boundary — but measurement sampling (and
+// therefore the noise-draw sequence) differs from exact mode, so results are
+// deterministic per seed yet not byte-equal to a stride-1 run. k <= 1
+// disables the mode. Raw-mode (time-sharing) runtimes ignore the stride:
+// their per-quantum rate changes would collapse every fusion immediately.
+func (r *Runtime) SetThroughput(k int) {
+	if k < 1 {
+		k = 1
+	}
+	r.stride = k
+}
+
+// maybeBatch arms an iteration fusion when the runtime sits at a clean
+// iteration boundary and nothing scheduled needs per-iteration visibility.
+func (r *Runtime) maybeBatch() {
+	if r.stride <= 1 || r.rawMode || r.done || !r.exec.AtIterationStart() {
+		return
+	}
+	if r.analyzer != nil && r.analyzer.InBaseline() {
+		return // the baseline measure needs every iteration individually
+	}
+	if !r.StructureKnown() {
+		return // the periodicity detector needs the per-iteration loop stream
+	}
+	done := r.exec.IterationsDone()
+	n := r.prof.Iterations - done
+	// Never fuse across a phase boundary: the true speedup changes there and
+	// the rate must be recomputed at the exact iteration.
+	for _, ph := range r.prof.Phases {
+		if ph.FromIteration > done {
+			if d := ph.FromIteration - done; d < n {
+				n = d
+			}
+			break
+		}
+	}
+	if n > r.stride {
+		n = r.stride
+	}
+	r.exec.StartBatch(n)
+}
+
 func (r *Runtime) reschedule() {
 	if r.done {
 		r.eng.Cancel(&r.iterEv)
 		return
 	}
+	r.maybeBatch()
 	end := r.exec.NextIterationEnd()
 	if end == sim.Forever {
 		r.eng.Cancel(&r.iterEv)

@@ -29,6 +29,17 @@ func NewDynamic() *Dynamic {
 	return &Dynamic{Window: 3, alpha: map[sched.JobID]float64{}}
 }
 
+// Reset reinitializes the policy to the state NewDynamic would produce,
+// keeping the alpha map's storage.
+func (d *Dynamic) Reset() {
+	d.Window = 3
+	if d.alpha == nil {
+		d.alpha = map[sched.JobID]float64{}
+	} else {
+		clear(d.alpha)
+	}
+}
+
 // Name implements sched.Policy.
 func (d *Dynamic) Name() string { return "Dynamic" }
 

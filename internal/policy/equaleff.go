@@ -39,6 +39,19 @@ func NewEqualEfficiency() *EqualEfficiency {
 	return &EqualEfficiency{Window: 1, alpha: map[sched.JobID]float64{}}
 }
 
+// Reset reinitializes the policy to the state NewEqualEfficiency would
+// produce (Window 1, no fits, trace detached), keeping the alpha map's
+// storage.
+func (e *EqualEfficiency) Reset() {
+	e.Window = 1
+	if e.alpha == nil {
+		e.alpha = map[sched.JobID]float64{}
+	} else {
+		clear(e.alpha)
+	}
+	e.tr = nil
+}
+
 // Name implements sched.Policy.
 func (e *EqualEfficiency) Name() string { return "Equal_eff" }
 

@@ -28,6 +28,17 @@ func NewEquipartition() *Equipartition {
 	return &Equipartition{plan: map[sched.JobID]int{}, dirty: true}
 }
 
+// Reset reinitializes the policy to its freshly constructed state, keeping
+// the plan map's storage.
+func (e *Equipartition) Reset() {
+	if e.plan == nil {
+		e.plan = map[sched.JobID]int{}
+	} else {
+		clear(e.plan)
+	}
+	e.dirty = true
+}
+
 // Name implements sched.Policy.
 func (e *Equipartition) Name() string { return "Equip" }
 

@@ -42,6 +42,15 @@ type QueuingSystem struct {
 	started int
 
 	inTryStart bool
+
+	// subJobs/subCursor/subEvents are the SubmitAll batch state: an arrival-
+	// event slab plus the cursor the shared arrival handler advances. Held on
+	// the QueuingSystem (not a per-call struct) so Init-style reuse recycles
+	// the slab across runs. subFn is the shared handler, bound once.
+	subJobs   []workload.Job
+	subCursor int
+	subEvents []sim.Event
+	subFn     func()
 }
 
 // New returns a queuing system. canAdmit is the resource manager's admission
@@ -62,6 +71,35 @@ func New(eng *sim.Engine, fixedMPL int, canAdmit func() bool, start func(job wor
 	}
 }
 
+// Init reinitializes q in place — the variant of New for drivers that reuse
+// one QueuingSystem across runs. The queue and the arrival-event slab keep
+// their backing arrays; any installed trace and queue order are detached
+// (re-apply SetTrace/SetOrder after Init). The previous run must have
+// drained (or its engine been Reset) so no slab event is still pending.
+func Init(q *QueuingSystem, eng *sim.Engine, fixedMPL int, canAdmit func() bool, start func(job workload.Job), rec *trace.Recorder) {
+	if start == nil {
+		panic("qs: nil start function")
+	}
+	if fixedMPL < 0 {
+		fixedMPL = 0
+	}
+	q.eng = eng
+	q.fixedMPL = fixedMPL
+	q.canAdmit = canAdmit
+	q.start = start
+	q.rec = rec
+	q.tr = nil
+	q.queue = q.queue[:0]
+	q.head = 0
+	q.less = nil
+	q.running = 0
+	q.maxMPL = 0
+	q.started = 0
+	q.inTryStart = false
+	q.subJobs = nil
+	q.subCursor = 0
+}
+
 // SubmitAll schedules the arrival of every job in the workload.
 //
 // Generated workloads list jobs in submission order; then the arrival events
@@ -80,26 +118,28 @@ func (q *QueuingSystem) SubmitAll(w *workload.Workload) {
 			return
 		}
 	}
-	s := &submission{q: q, jobs: jobs, events: make([]sim.Event, len(jobs))}
-	next := s.next
+	q.subJobs = jobs
+	q.subCursor = 0
+	if cap(q.subEvents) < len(jobs) {
+		q.subEvents = make([]sim.Event, len(jobs))
+	} else {
+		q.subEvents = q.subEvents[:len(jobs)]
+		clear(q.subEvents)
+	}
+	if q.subFn == nil {
+		q.subFn = q.subNext
+	}
 	for i := range jobs {
-		q.eng.ScheduleInto(&s.events[i], jobs[i].Submit, "qs/arrival", next)
+		q.eng.ScheduleInto(&q.subEvents[i], jobs[i].Submit, "qs/arrival", q.subFn)
 	}
 }
 
-// submission is one SubmitAll batch: an event slab plus the cursor its
-// shared arrival handler advances.
-type submission struct {
-	q      *QueuingSystem
-	jobs   []workload.Job
-	cursor int
-	events []sim.Event
-}
-
-func (s *submission) next() {
-	job := s.jobs[s.cursor]
-	s.cursor++
-	s.q.Enqueue(job)
+// subNext is the shared arrival handler of the SubmitAll batch: arrivals fire
+// in list order, so one cursor replaces one captured job per event.
+func (q *QueuingSystem) subNext() {
+	job := q.subJobs[q.subCursor]
+	q.subCursor++
+	q.Enqueue(job)
 }
 
 // SetTrace attaches a decision-trace recorder (nil detaches): job arrivals

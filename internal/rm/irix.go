@@ -120,6 +120,27 @@ func NewIRIXManager(eng *sim.Engine, mach *machine.Machine, rec *trace.Recorder,
 	return m
 }
 
+// Reset returns the manager to the state NewIRIXManager(eng, mach, rec, cfg)
+// would produce while keeping the free list and per-quantum scratch buffers.
+// The quantum-tick event struct is kept for reuse: a reused manager's engine
+// has been Reset (or drained), which detaches the old arming, and
+// ScheduleInto re-arms a detached struct in place.
+func (m *IRIXManager) Reset(rec *trace.Recorder, cfg IRIXConfig) {
+	cfg.applyDefaults()
+	for _, j := range m.order {
+		j.rt = nil
+		m.freeJobs = append(m.freeJobs, j)
+	}
+	m.order = m.order[:0]
+	m.rec = rec
+	m.cfg = cfg
+	m.tr = nil
+	m.cursor = 0
+	m.quantumCount = 0
+	m.tickScheduled = false
+	m.admission = nil
+}
+
 // orderIndex returns the position of id in the id-sorted running set, or
 // len(order) if absent (callers verify the id at the returned slot).
 func (m *IRIXManager) orderIndex(id sched.JobID) int {

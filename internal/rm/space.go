@@ -39,6 +39,15 @@ type SpaceManager struct {
 	// clobber it. Policies never retain View.Jobs past the call.
 	admitScratch []*sched.JobView
 	planScratch  []*sched.JobView
+
+	// Free lists recycling per-job state across jobs and runs. Safe because
+	// nothing retains a job's view (or its Reports) past JobFinished: policies
+	// see views only during calls and the run result is assembled from the
+	// job tracks. reportsPool keeps grown Reports backing arrays — the
+	// dominant steady-state allocation site of a PDPA run.
+	viewFree    []*sched.JobView
+	jobFree     []*managedJob
+	reportsPool [][]sched.Report
 }
 
 // SetQueuedFunc wires the queuing system's queue-depth accessor into the
@@ -74,16 +83,49 @@ func (m *SpaceManager) SetAdmissionChanged(fn func()) { m.admissionChanged = fn 
 
 // StartJob implements Manager.
 func (m *SpaceManager) StartJob(id sched.JobID, rt *nthlib.Runtime) {
-	view := &sched.JobView{
+	var view *sched.JobView
+	if n := len(m.viewFree); n > 0 {
+		view = m.viewFree[n-1]
+		m.viewFree = m.viewFree[:n-1]
+	} else {
+		view = new(sched.JobView)
+	}
+	var reports []sched.Report
+	if n := len(m.reportsPool); n > 0 {
+		reports = m.reportsPool[n-1]
+		m.reportsPool = m.reportsPool[:n-1]
+	}
+	*view = sched.JobView{
 		ID:      id,
 		Name:    rt.Profile().Name,
 		Request: rt.Request(),
 		Gran:    rt.Granularity(),
 		Arrived: m.eng.Now(),
+		Reports: reports,
 	}
-	m.jobs[id] = &managedJob{view: view, rt: rt}
+	var j *managedJob
+	if n := len(m.jobFree); n > 0 {
+		j = m.jobFree[n-1]
+		m.jobFree = m.jobFree[:n-1]
+	} else {
+		j = new(managedJob)
+	}
+	*j = managedJob{view: view, rt: rt}
+	m.jobs[id] = j
 	m.pol.JobStarted(m.eng.Now(), view)
 	m.replan()
+}
+
+// recycleJob returns a finished job's view, Reports backing array, and
+// managedJob struct to the free lists.
+func (m *SpaceManager) recycleJob(j *managedJob) {
+	if r := j.view.Reports; cap(r) > 0 {
+		m.reportsPool = append(m.reportsPool, r[:0])
+	}
+	*j.view = sched.JobView{}
+	m.viewFree = append(m.viewFree, j.view)
+	*j = managedJob{}
+	m.jobFree = append(m.jobFree, j)
 }
 
 // ReportPerformance implements Manager.
@@ -112,13 +154,35 @@ func (m *SpaceManager) ReportPerformance(id sched.JobID, meas selfanalyzer.Measu
 
 // JobFinished implements Manager.
 func (m *SpaceManager) JobFinished(id sched.JobID) {
-	if _, ok := m.jobs[id]; !ok {
+	j, ok := m.jobs[id]
+	if !ok {
 		return
 	}
 	m.mach.Release(m.eng.Now(), int(id))
 	m.pol.JobFinished(m.eng.Now(), id)
 	delete(m.jobs, id)
+	m.recycleJob(j)
 	m.replan()
+}
+
+// Reset returns the manager to the state NewSpaceManager(eng, mach, pol, rec)
+// would produce while keeping the free lists and scratch buffers. The engine,
+// machine, and policy stay attached (callers reset those separately); any
+// queued-func, admission hook, and trace are detached.
+func (m *SpaceManager) Reset(rec *trace.Recorder) {
+	for id, j := range m.jobs {
+		delete(m.jobs, id)
+		m.recycleJob(j)
+	}
+	if m.jobs == nil {
+		m.jobs = make(map[sched.JobID]*managedJob)
+	}
+	m.rec = rec
+	m.admissionChanged = nil
+	m.queued = nil
+	m.replanning = false
+	m.replanPending = false
+	m.tr = nil
 }
 
 // CanAdmit implements Manager.

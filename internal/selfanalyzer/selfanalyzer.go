@@ -114,6 +114,19 @@ func MustNew(cfg Config, rng *stats.RNG) *Analyzer {
 	return a
 }
 
+// Init reinitializes a to a freshly constructed state in place, recycling the
+// struct across application instances. Validation matches New.
+func Init(a *Analyzer, cfg Config, rng *stats.RNG) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if cfg.NoiseSigma > 0 && rng == nil {
+		return fmt.Errorf("selfanalyzer: noise requested but no RNG")
+	}
+	*a = Analyzer{cfg: cfg, rng: rng}
+	return nil
+}
+
 // InBaseline reports whether the analyzer is still collecting the baseline
 // measure. While true, the runtime caps the application's effective
 // parallelism at BaselineCap.

@@ -74,6 +74,28 @@ func NewEngine() *Engine {
 	return &Engine{}
 }
 
+// Reset returns the engine to its freshly constructed state while keeping the
+// heap's backing array, so a reused engine schedules its first events without
+// regrowing the queue. Any still-pending events are detached; the clock,
+// sequence counter, and Executed counter restart at zero, making the event
+// order of a subsequent run identical to one on a brand-new engine.
+func (e *Engine) Reset() {
+	for i, ev := range e.queue {
+		if ev != nil {
+			ev.pos = 0
+		}
+		e.queue[i] = nil
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.Executed = 0
+	e.interrupt = nil
+	e.untilCheck = 0
+	e.interruptErr = nil
+}
+
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 

@@ -28,6 +28,20 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{seed: seed, src: rand.New(rand.NewSource(seed))}
 }
 
+// InitRNG (re)seeds r in place. A reseeded stream produces exactly the draws
+// a freshly constructed NewRNG(seed) would — rand.Rand.Seed reinitializes the
+// underlying source to its post-construction state — so callers can recycle
+// the ~5 KB source allocation across simulation runs without perturbing any
+// byte of output.
+func InitRNG(r *RNG, seed int64) {
+	r.seed = seed
+	if r.src == nil {
+		r.src = rand.New(rand.NewSource(seed))
+		return
+	}
+	r.src.Seed(seed)
+}
+
 // Stream derives an independent substream identified by name. The substream
 // seed depends only on the parent seed and the name, never on how much of the
 // parent stream has been consumed, so adding a consumer does not perturb the
@@ -37,6 +51,49 @@ func (r *RNG) Stream(name string) *RNG {
 	h.Write([]byte(name))
 	derived := int64(h.Sum64() ^ (uint64(r.seed)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019))
 	return NewRNG(derived)
+}
+
+// StreamInto is Stream writing into an existing RNG: dst is reseeded to the
+// identical derived seed without allocating a new source. dst and r may not
+// alias.
+func (r *RNG) StreamInto(dst *RNG, name string) {
+	InitRNG(dst, r.deriveSeed(fnvString(name)))
+}
+
+// StreamIntoBytes is StreamInto for a caller-built byte name, avoiding the
+// string conversion on hot paths that rebuild the name per run.
+func (r *RNG) StreamIntoBytes(dst *RNG, name []byte) {
+	InitRNG(dst, r.deriveSeed(fnvBytes(name)))
+}
+
+func (r *RNG) deriveSeed(h uint64) int64 {
+	return int64(h ^ (uint64(r.seed)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019))
+}
+
+// fnvString/fnvBytes inline hash/fnv's 64a so substream derivation does not
+// allocate a hasher. The constants and update order match hash/fnv exactly —
+// Stream and StreamInto must derive identical seeds for the same name.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(name string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnvBytes(name []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range name {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // Seed returns the seed this stream was created with.

@@ -52,8 +52,17 @@ type Config struct {
 	PDPAParams   *core.Params
 	NUMANodeSize int
 
-	// Workers bounds the worker pool; 0 means runtime.NumCPU().
+	// Workers bounds the worker pool; 0 means runtime.NumCPU(). The pool
+	// never exceeds GOMAXPROCS (or the task count): extra workers cannot run
+	// in parallel anyway and their goroutines only thrash the scheduler and
+	// the per-worker arenas.
 	Workers int
+
+	// Throughput > 1 enables coarse throughput mode for every run (see
+	// system.Config.Throughput): iterations are fused so million-job grids
+	// process far fewer events, at the cost of sampled — still
+	// deterministic, but not byte-equal to exact mode — measurements.
+	Throughput int
 
 	// Tweak, when set, adjusts each run's configuration after the standard
 	// fields are filled (the experiment harness uses it for per-artifact
@@ -165,6 +174,9 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
 	}
+	if max := runtime.GOMAXPROCS(0); c.Workers > max {
+		c.Workers = max
+	}
 	return c
 }
 
@@ -198,6 +210,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sweep: negative multiprogramming level %d", c.FixedMPL)
 	case c.NUMANodeSize < 0:
 		return fmt.Errorf("sweep: negative NUMA node size %d", c.NUMANodeSize)
+	case c.Throughput < 0:
+		return fmt.Errorf("sweep: negative throughput stride %d", c.Throughput)
 	}
 	if c.PDPAParams != nil {
 		if err := c.PDPAParams.Validate(); err != nil {
@@ -314,7 +328,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		cfg.Progress(p)
 	}
 
-	runTask := func(i int) {
+	runTask := func(sys *system.System, i int) {
 		t := tasks[i]
 		w, err := buildWorkload(wkey{t.Mix, t.Load, t.Seed})
 		if err != nil {
@@ -330,11 +344,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			NoiseSigma:   cfg.NoiseSigma,
 			Seed:         t.Seed,
 			NUMANodeSize: cfg.NUMANodeSize,
+			Throughput:   cfg.Throughput,
 		}
 		if cfg.Tweak != nil {
 			cfg.Tweak(&sc)
 		}
-		res, err := system.RunContext(runCtx, sc)
+		res, err := sys.RunContext(runCtx, sc)
 		if err != nil {
 			errs[i] = fmt.Errorf("%s/%s/load %.0f%%/seed %d: %w", t.Policy, t.Mix, t.Load*100, t.Seed, err)
 			cancel()
@@ -348,37 +363,59 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
-	queue := make(chan int)
-	var wg sync.WaitGroup
-	for range workers {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range queue {
-				if runCtx.Err() != nil {
-					errs[i] = runCtx.Err()
-					continue
-				}
-				runTask(i)
-			}
-		}()
-	}
 	// Dispatch longest-first (LPT): IRIX runs simulate every scheduling
 	// quantum and cost several times a space-sharing run, so queuing them
 	// ahead of the rest keeps the final stretch of the pool balanced.
 	// Dispatch order cannot affect the output — results land at their task
 	// index and aggregation happens after the join.
+	order := make([]int, 0, len(tasks))
 	for i, t := range tasks {
 		if t.Policy == system.IRIX {
-			queue <- i
+			order = append(order, i)
 		}
 	}
 	for i, t := range tasks {
 		if t.Policy != system.IRIX {
-			queue <- i
+			order = append(order, i)
 		}
 	}
+	// Workers pull contiguous chunks of the dispatch order instead of single
+	// indexes: a few channel operations per worker rather than one per task,
+	// so the pool's fixed overhead stays negligible even for grids of tiny
+	// runs. Four chunks per worker keeps the tail balanced.
+	chunk := len(order) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	type span struct{ lo, hi int } // half-open range into order
+	queue := make(chan span, (len(order)+chunk-1)/chunk)
+	for lo := 0; lo < len(order); lo += chunk {
+		hi := lo + chunk
+		if hi > len(order) {
+			hi = len(order)
+		}
+		queue <- span{lo, hi}
+	}
 	close(queue)
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One reusable simulation environment per worker: every run in
+			// this worker's chunks recycles the same arenas.
+			sys := system.NewSystem()
+			for sp := range queue {
+				for _, i := range order[sp.lo:sp.hi] {
+					if runCtx.Err() != nil {
+						errs[i] = runCtx.Err()
+						continue
+					}
+					runTask(sys, i)
+				}
+			}
+		}()
+	}
 	wg.Wait()
 
 	// Error selection is deterministic: the parent context's own error wins

@@ -6,6 +6,12 @@
 // This is the simulation counterpart of the paper's testbed: an SGI Origin
 // 2000 running the NANOS QS/RM with IRIX, Equipartition, Equal_efficiency,
 // or PDPA (Section 5).
+//
+// Two entry points exist. Run/RunContext build a fresh environment per call.
+// A System built with NewSystem keeps every arena — engine heap, trace
+// recorder, machine, queuing slabs, per-job runtimes, manager free lists —
+// alive across calls, so steady-state runs allocate almost nothing. Both
+// produce byte-identical results for the same Config.
 package system
 
 import (
@@ -86,7 +92,9 @@ type Config struct {
 	KeepBursts bool
 	// IRIXConfig overrides the native-scheduler model parameters.
 	IRIXConfig *rm.IRIXConfig
-	// MaxSimTime aborts runs that fail to drain (default 50000 s).
+	// MaxSimTime aborts runs that fail to drain (default: the last job's
+	// submission time plus 50000 s, so multi-month throughput-mode windows
+	// get proportionally long deadlines).
 	MaxSimTime sim.Time
 	// Profiles overrides the application profiles (nil = app.ProfileFor).
 	Profiles func(app.Class) *app.Profile
@@ -108,6 +116,16 @@ type Config struct {
 	// QueueOrder selects the queuing discipline: "" or "fifo" (the paper's
 	// NANOS QS), or "sjf" (shortest job first by estimated work).
 	QueueOrder string
+	// Throughput > 1 enables coarse throughput mode: each application fuses
+	// up to Throughput undisturbed iterations into one simulation event, so
+	// million-job sweeps process far fewer events. Scheduling decisions are
+	// unchanged — any reallocation or penalty collapses the fusion at the
+	// exact iteration it lands in — but performance measurements are sampled
+	// once per fused span instead of once per iteration, so results are
+	// deterministic per seed yet not byte-equal to exact mode. IRIX runs
+	// ignore the setting (its per-quantum rate changes need every
+	// iteration). 0 or 1 keeps exact per-iteration simulation.
+	Throughput int
 	// Trace, when non-nil, receives the run's decision-trace events: run and
 	// job lifecycle, performance reports, policy state transitions,
 	// admission decisions, reallocations, and preemptions. Events are
@@ -161,10 +179,21 @@ func (c *Config) withDefaults() (Config, error) {
 		out.NoiseSigma = 0
 	}
 	if out.MaxSimTime <= 0 {
-		out.MaxSimTime = 50000 * sim.Second
+		// The watchdog budget is 50000 s of drain time past the last
+		// submission, however long the submission window itself is.
+		last := sim.Time(0)
+		for _, j := range out.Workload.Jobs {
+			if j.Submit > last {
+				last = j.Submit
+			}
+		}
+		out.MaxSimTime = last + 50000*sim.Second
 	}
 	if out.Profiles == nil {
 		out.Profiles = app.ProfileFor
+	}
+	if out.Throughput < 0 {
+		out.Throughput = 0
 	}
 	return out, nil
 }
@@ -176,14 +205,35 @@ func Run(cfg Config) (*metrics.RunResult, error) {
 	return RunContext(context.Background(), cfg)
 }
 
+// RunContext is Run with cancellation: the simulation aborts promptly (the
+// engine checks ctx between events) when ctx is cancelled or times out,
+// returning ctx's error. A background context makes it identical to Run —
+// including byte-identical results, since the check never perturbs the
+// event order.
+func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
+	return NewSystem().RunContext(ctx, cfg)
+}
+
 // runState is the per-run context every jobTrack points back to.
 type runState struct {
+	sys       *System
 	eng       *sim.Engine
 	mgr       rm.Manager
 	queue     *qs.QueuingSystem
 	memDone   func(id int)
 	tr        *obs.Trace
 	completed int
+}
+
+// jobSlot bundles the per-job simulation state that can be recycled the
+// moment a job completes: its runtime, SelfAnalyzer, and noise stream. The
+// free list therefore holds one slot per concurrently-running job (the peak
+// multiprogramming level), not one per job id — the difference between a few
+// kilobytes and gigabytes on a million-job workload.
+type jobSlot struct {
+	rt  nthlib.Runtime
+	an  selfanalyzer.Analyzer
+	rng stats.RNG
 }
 
 // jobTrack is the driver's bookkeeping for one job. Tracks live in one slab
@@ -193,6 +243,7 @@ type jobTrack struct {
 	rs    *runState
 	job   workload.Job
 	rt    *nthlib.Runtime
+	slot  *jobSlot
 	start sim.Time
 	end   sim.Time
 	done  bool
@@ -214,62 +265,218 @@ func (t *jobTrack) OnDone() {
 	}
 	rs.memDone(t.job.ID)
 	rs.mgr.JobFinished(sched.JobID(t.job.ID))
+	// The manager no longer references the runtime and nthlib's iteration
+	// event has fired for the last time, so the slot can serve the next
+	// admission immediately — which JobCompleted may trigger.
+	rs.sys.releaseSlot(t)
 	rs.queue.JobCompleted()
 }
 
-// RunContext is Run with cancellation: the simulation aborts promptly (the
-// engine checks ctx between events) when ctx is cancelled or times out,
-// returning ctx's error. A background context makes it identical to Run —
-// including byte-identical results, since the check never perturbs the
-// event order.
-func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
-	c, err := cfg.withDefaults()
-	if err != nil {
-		return nil, err
-	}
-	w := c.Workload
-	eng := sim.NewEngine()
-	rec := trace.NewRecorder(w.NCPU)
-	rec.KeepBursts = c.KeepBursts
-	mach := machine.New(w.NCPU, rec)
-	if c.NUMANodeSize > 1 {
-		mach.SetNodeSize(c.NUMANodeSize)
-	}
-	noise := stats.NewRNG(c.Seed).Stream("selfanalyzer-noise")
+func noopJob(id int) {}
 
-	var mgr rm.Manager
-	fixedMPL := c.FixedMPL
+// System is a reusable simulation environment. Each call to Run or
+// RunContext resets and recycles the previous run's arenas — the engine's
+// event heap, the trace recorder, the machine, the queuing system's slabs,
+// per-job runtimes/analyzers/noise streams, and each manager's free lists —
+// so steady-state runs allocate almost nothing. Results are byte-identical
+// to the package-level Run: every recycled component reinitializes to
+// exactly the state a fresh construction would produce, and the engine's
+// event ordering depends only on the call sequence, which is preserved.
+//
+// A System is NOT safe for concurrent use; give each goroutine its own
+// (the sweep runner keeps one per worker). The zero value is ready to use.
+type System struct {
+	eng  *sim.Engine
+	rec  *trace.Recorder
+	mach *machine.Machine
+
+	parent stats.RNG // root seed stream, reseeded per run
+	noise  stats.RNG // "selfanalyzer-noise" substream, reseeded per run
+
+	// Cached policies and managers, one per PolicyKind actually used. The
+	// short-lived ones (AdaptivePDPA's wrapper, Gang) are rebuilt per run.
+	pdpa     *core.PDPA
+	equip    *policy.Equipartition
+	equalEff *policy.EqualEfficiency
+	dynamic  *policy.Dynamic
+	space    map[PolicyKind]*rm.SpaceManager
+	irix     *rm.IRIXManager
+
+	queue    qs.QueuingSystem
+	tryStart func() // queue.TryStart method value, built once
+
+	tracks   []jobTrack // slab indexed by job id, cleared per run
+	slotFree []*jobSlot // recycled runtime/analyzer/RNG bundles
+	rs       runState
+
+	nameBuf []byte // scratch for per-job stream names
+}
+
+// NewSystem returns an empty reusable environment. Arenas are grown lazily
+// by the first run and recycled by every run after it.
+func NewSystem() *System {
+	return &System{}
+}
+
+// EventsExecuted returns the number of engine events the most recent run on
+// this System executed — the diagnostic that makes throughput mode's event
+// reduction observable to benchmarks and tests.
+func (s *System) EventsExecuted() uint64 {
+	if s.eng == nil {
+		return 0
+	}
+	return s.eng.Executed
+}
+
+// releaseSlot recycles a completed job's runtime bundle.
+func (s *System) releaseSlot(t *jobTrack) {
+	if t.slot == nil {
+		return
+	}
+	t.rt = nil
+	s.slotFree = append(s.slotFree, t.slot)
+	t.slot = nil
+}
+
+// takeSlot pops a recycled bundle or allocates a fresh one.
+func (s *System) takeSlot() *jobSlot {
+	if n := len(s.slotFree); n > 0 {
+		slot := s.slotFree[n-1]
+		s.slotFree = s.slotFree[:n-1]
+		return slot
+	}
+	return new(jobSlot)
+}
+
+// spaceManager returns the cached space-sharing manager for kind (resetting
+// it), or builds and caches one driving pol.
+func (s *System) spaceManager(kind PolicyKind, pol sched.Policy) *rm.SpaceManager {
+	if m := s.space[kind]; m != nil {
+		m.Reset(s.rec)
+		return m
+	}
+	if s.space == nil {
+		s.space = make(map[PolicyKind]*rm.SpaceManager, 4)
+	}
+	m := rm.NewSpaceManager(s.eng, s.mach, pol, s.rec)
+	s.space[kind] = m
+	return m
+}
+
+// manager builds or recycles the resource manager for the run's policy.
+// Must be called after the engine, machine, and recorder are ready.
+func (s *System) manager(c *Config) (rm.Manager, error) {
 	switch c.Policy {
 	case PDPA, AdaptivePDPA:
 		params := core.DefaultParams()
 		if c.PDPAParams != nil {
 			params = *c.PDPAParams
 		}
-		var pol sched.Policy
 		if c.Policy == AdaptivePDPA {
-			pol, err = core.NewAdaptive(params, 0.5, 0.85, 10)
-		} else {
-			pol, err = core.New(params)
+			// The adaptive wrapper is cheap and rarely benched; rebuild it.
+			pol, err := core.NewAdaptive(params, 0.5, 0.85, 10)
+			if err != nil {
+				return nil, err
+			}
+			return rm.NewSpaceManager(s.eng, s.mach, pol, s.rec), nil
 		}
-		if err != nil {
+		if s.pdpa == nil {
+			pol, err := core.New(params)
+			if err != nil {
+				return nil, err
+			}
+			s.pdpa = pol
+		} else if err := s.pdpa.Reset(params); err != nil {
 			return nil, err
 		}
-		mgr = rm.NewSpaceManager(eng, mach, pol, rec)
-		fixedMPL = 0 // coordinated admission, no fixed level
+		return s.spaceManager(PDPA, s.pdpa), nil
 	case Equipartition:
-		mgr = rm.NewSpaceManager(eng, mach, policy.NewEquipartition(), rec)
+		if s.equip == nil {
+			s.equip = policy.NewEquipartition()
+		} else {
+			s.equip.Reset()
+		}
+		return s.spaceManager(Equipartition, s.equip), nil
 	case EqualEfficiency:
-		mgr = rm.NewSpaceManager(eng, mach, policy.NewEqualEfficiency(), rec)
+		if s.equalEff == nil {
+			s.equalEff = policy.NewEqualEfficiency()
+		} else {
+			s.equalEff.Reset()
+		}
+		return s.spaceManager(EqualEfficiency, s.equalEff), nil
 	case Dynamic:
-		mgr = rm.NewSpaceManager(eng, mach, policy.NewDynamic(), rec)
+		if s.dynamic == nil {
+			s.dynamic = policy.NewDynamic()
+		} else {
+			s.dynamic.Reset()
+		}
+		return s.spaceManager(Dynamic, s.dynamic), nil
 	case Gang:
-		mgr = rm.NewGangManager(eng, mach, rec, rm.GangConfig{})
+		return rm.NewGangManager(s.eng, s.mach, s.rec, rm.GangConfig{}), nil
 	case IRIX:
 		irixCfg := rm.IRIXConfig{}
 		if c.IRIXConfig != nil {
 			irixCfg = *c.IRIXConfig
 		}
-		mgr = rm.NewIRIXManager(eng, mach, rec, irixCfg)
+		if s.irix == nil {
+			s.irix = rm.NewIRIXManager(s.eng, s.mach, s.rec, irixCfg)
+		} else {
+			s.irix.Reset(s.rec, irixCfg)
+		}
+		return s.irix, nil
+	}
+	return nil, fmt.Errorf("system: unknown policy %q", c.Policy)
+}
+
+// Run executes one workload, recycling this System's arenas. See RunContext.
+func (s *System) Run(cfg Config) (*metrics.RunResult, error) {
+	return s.RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one workload with cancellation, recycling this
+// System's arenas. The returned result owns all its data: it stays valid
+// after further runs (with KeepBursts the recorder is handed off and a
+// fresh one is built for the next run).
+func (s *System) RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	w := c.Workload
+
+	if s.eng == nil {
+		s.eng = sim.NewEngine()
+	} else {
+		s.eng.Reset()
+	}
+	eng := s.eng
+	if s.rec == nil {
+		s.rec = trace.NewRecorder(w.NCPU)
+	} else {
+		s.rec.Reset(w.NCPU)
+	}
+	rec := s.rec
+	rec.KeepBursts = c.KeepBursts
+	if s.mach == nil {
+		s.mach = machine.New(w.NCPU, rec)
+	} else {
+		s.mach.Reset(w.NCPU, rec)
+	}
+	mach := s.mach
+	if c.NUMANodeSize > 1 {
+		mach.SetNodeSize(c.NUMANodeSize)
+	}
+	// Reseeding reproduces exactly the streams NewRNG + Stream would build.
+	stats.InitRNG(&s.parent, c.Seed)
+	s.parent.StreamInto(&s.noise, "selfanalyzer-noise")
+
+	mgr, err := s.manager(&c)
+	if err != nil {
+		return nil, err
+	}
+	fixedMPL := c.FixedMPL
+	if c.Policy == PDPA || c.Policy == AdaptivePDPA {
+		fixedMPL = 0 // coordinated admission, no fixed level
 	}
 
 	// One track per job, slab-allocated and indexed by the workload's dense
@@ -280,9 +487,15 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 			maxID = job.ID
 		}
 	}
-	tracks := make([]jobTrack, maxID+1)
-	runtimes := make([]nthlib.Runtime, maxID+1)
-	rs := &runState{eng: eng, mgr: mgr, memDone: func(id int) {}, tr: c.Trace}
+	if cap(s.tracks) <= maxID {
+		s.tracks = make([]jobTrack, maxID+1)
+	} else {
+		s.tracks = s.tracks[:maxID+1]
+		clear(s.tracks)
+	}
+	tracks := s.tracks
+	rs := &s.rs
+	*rs = runState{sys: s, eng: eng, mgr: mgr, memDone: noopJob, tr: c.Trace}
 
 	if c.Trace != nil {
 		c.Trace.Record(obs.Event{
@@ -306,7 +519,7 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 
 	// Optional CC-NUMA memory model (space sharing only; the IRIX model's
 	// migration cost already folds locality loss in).
-	memStart := func(id int) {}
+	memStart := noopJob
 	if c.Memory != nil && c.NUMANodeSize > 1 && c.Policy != IRIX && c.Policy != Gang {
 		mc := *c.Memory
 		mc.applyDefaults()
@@ -352,30 +565,38 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 		memStart = func(id int) { mem.JobStarted(eng.Now(), id, nodeShare(id)) }
 		rs.memDone = func(id int) { mem.JobFinished(id) }
 	}
-	var nameBuf []byte
 	start := func(job workload.Job) {
 		id := sched.JobID(job.ID)
 		prof := c.Profiles(job.Class)
+		slot := s.takeSlot()
 		var an *selfanalyzer.Analyzer
 		if c.Policy != IRIX {
 			// The NANOS runtime instruments applications; the native IRIX
 			// regime runs them unmodified.
 			sacfg := selfanalyzer.ConfigFor(prof, c.NoiseSigma)
-			nameBuf = append(nameBuf[:0], "job/"...)
-			nameBuf = strconv.AppendInt(nameBuf, int64(job.ID), 10)
-			an = selfanalyzer.MustNew(sacfg, noise.Stream(string(nameBuf)))
+			s.nameBuf = append(s.nameBuf[:0], "job/"...)
+			s.nameBuf = strconv.AppendInt(s.nameBuf, int64(job.ID), 10)
+			s.noise.StreamIntoBytes(&slot.rng, s.nameBuf)
+			if err := selfanalyzer.Init(&slot.an, sacfg, &slot.rng); err != nil {
+				panic(err)
+			}
+			an = &slot.an
 		}
 		track := &tracks[job.ID]
-		*track = jobTrack{rs: rs, job: job, start: eng.Now()}
-		rt := &runtimes[job.ID]
+		*track = jobTrack{rs: rs, job: job, slot: slot, start: eng.Now()}
+		rt := &slot.rt
 		nthlib.Init(rt, eng, prof, job.Request, an, nthlib.Hooks{Listener: track})
 		rt.SetGranularity(job.Granularity())
 		rt.SetBinaryOnly(c.BinaryOnly && c.Policy != IRIX)
+		if c.Throughput > 1 {
+			rt.SetThroughput(c.Throughput)
+		}
 		track.rt = rt
 		mgr.StartJob(id, rt)
 		memStart(job.ID)
 	}
-	queue := qs.New(eng, fixedMPL, mgr.CanAdmit, start, rec)
+	queue := &s.queue
+	qs.Init(queue, eng, fixedMPL, mgr.CanAdmit, start, rec)
 	if c.Trace != nil {
 		queue.SetTrace(c.Trace)
 	}
@@ -390,7 +611,10 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 	default:
 		return nil, fmt.Errorf("system: unknown queue order %q", c.QueueOrder)
 	}
-	mgr.SetAdmissionChanged(queue.TryStart)
+	if s.tryStart == nil {
+		s.tryStart = queue.TryStart
+	}
+	mgr.SetAdmissionChanged(s.tryStart)
 	queue.SubmitAll(w)
 
 	if ctx != nil && ctx.Done() != nil {
@@ -430,12 +654,15 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 		MaxMPL:   queue.MaxMPL(),
 	}
 	if c.KeepBursts {
+		// The result takes ownership of the recorder; the next run builds a
+		// fresh one instead of resetting history the caller still holds.
 		res.Recorder = rec
+		s.rec = nil
 	}
 	res.Jobs = make([]metrics.JobResult, 0, len(w.Jobs))
 	for _, job := range w.Jobs {
 		tr := &tracks[job.ID]
-		if tr.rt == nil || !tr.done {
+		if !tr.done {
 			return nil, fmt.Errorf("system: job %d not completed", job.ID)
 		}
 		cpuSec := metrics.IntegrateAllocation(rec.AllocationHistory(job.ID), tr.end)
@@ -460,7 +687,9 @@ func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 		res.Jobs = append(res.Jobs, jr)
 	}
 	res.SortJobs()
-	res.MPLTimeline = rec.MPLTimeline()
+	// Copied, not aliased: the recorder's timeline buffer is recycled by the
+	// next run on this System.
+	res.MPLTimeline = append([]trace.TimePoint(nil), rec.MPLTimeline()...)
 	res.AvgMPL = metrics.TimeWeightedMPL(res.MPLTimeline, res.Makespan)
 	res.Stability = rec.Stats()
 	return res, nil

@@ -1,0 +1,72 @@
+package system_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pdpasim/internal/sim"
+	"pdpasim/internal/system"
+	"pdpasim/internal/workload"
+)
+
+func genWorkload(t testing.TB, seed int64) *workload.Workload {
+	t.Helper()
+	mix, err := workload.MixByName("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(workload.GenConfig{
+		Mix: mix, Load: 1.0, NCPU: 60, Window: 300 * sim.Second, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestThroughputReducesEvents pins the point of throughput mode: fusing
+// iterations must process substantially fewer engine events than exact
+// per-iteration simulation of the same workload, while still completing
+// every job.
+func TestThroughputReducesEvents(t *testing.T) {
+	w := genWorkload(t, 1)
+	count := func(thru int) uint64 {
+		s := system.NewSystem()
+		res, err := s.Run(system.Config{Workload: w, Policy: system.PDPA, Seed: 1, Throughput: thru})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Jobs) != len(w.Jobs) {
+			t.Fatalf("throughput %d: %d job results for %d jobs", thru, len(res.Jobs), len(w.Jobs))
+		}
+		return s.EventsExecuted()
+	}
+	exact := count(0)
+	fused := count(16)
+	t.Logf("exact events=%d fused events=%d", exact, fused)
+	if fused*2 >= exact {
+		t.Fatalf("throughput mode saved too little: exact %d events, fused %d", exact, fused)
+	}
+}
+
+// TestThroughputIgnoredByIRIX pins the documented carve-out: the IRIX
+// time-sharing model drives rates per quantum, which would collapse every
+// fusion, so raw-mode runtimes ignore the stride and throughput mode must
+// leave IRIX results byte-identical to exact mode.
+func TestThroughputIgnoredByIRIX(t *testing.T) {
+	w := genWorkload(t, 2)
+	run := func(thru int) []byte {
+		res, err := system.Run(system.Config{Workload: w, Policy: system.IRIX, Seed: 2, Throughput: thru})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if exact, fused := run(0), run(16); !bytes.Equal(exact, fused) {
+		t.Fatal("IRIX run with Throughput set differs from exact mode")
+	}
+}

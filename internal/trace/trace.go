@@ -85,6 +85,55 @@ func NewRecorder(ncpu int) *Recorder {
 // NCPU returns the number of CPUs being recorded.
 func (r *Recorder) NCPU() int { return r.ncpu }
 
+// Reset returns the recorder to the state NewRecorder(ncpu) would produce
+// while keeping every backing array — the per-CPU tables, the burst and MPL
+// series, and each job's allocation history — so a reused recorder appends
+// its next run without reallocating. KeepBursts is preserved.
+func (r *Recorder) Reset(ncpu int) {
+	if ncpu != r.ncpu {
+		r.ncpu = ncpu
+		r.current = resizeInts(r.current, ncpu)
+		r.burstStart = resizeTimes(r.burstStart, ncpu)
+		r.burstCount = resizeInts(r.burstCount, ncpu)
+		r.burstDuration = resizeTimes(r.burstDuration, ncpu)
+	}
+	for i := range r.current {
+		r.current[i] = NoJob
+		r.burstStart[i] = 0
+		r.burstCount[i] = 0
+		r.burstDuration[i] = 0
+	}
+	r.bursts = r.bursts[:0]
+	r.migrations = 0
+	r.mpl = r.mpl[:0]
+	// The outer allocs and jobBusy tables keep their length: their grow loops
+	// extend by appending zero values, so emptied inner histories and zeroed
+	// busy counters are indistinguishable from a fresh recorder — and the
+	// per-job history arrays (the dominant trace allocation) are recycled.
+	for i := range r.allocs {
+		r.allocs[i] = r.allocs[i][:0]
+	}
+	for i := range r.jobBusy {
+		r.jobBusy[i] = 0
+	}
+	r.closed = false
+	r.end = 0
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeTimes(s []sim.Time, n int) []sim.Time {
+	if cap(s) < n {
+		return make([]sim.Time, n)
+	}
+	return s[:n]
+}
+
 // Assign records that cpu starts executing job at time t. Assigning the job
 // the CPU is already running is a no-op (the burst continues). Assigning
 // NoJob idles the CPU.

@@ -1,0 +1,147 @@
+package pdpasim
+
+// Runner-reuse regression tests. A Runner recycles every internal arena —
+// engine heap, trace recorder, machine, queuing slabs, per-job runtime
+// state, manager free lists — across runs, and the contract is that the
+// recycling is invisible: every run's serialized outcome AND its decision
+// trace must be byte-for-byte what a fresh environment produces for the
+// same spec. These tests deliberately interleave policies, seeds, machine
+// sizes, and trace retention on one Runner so each run starts from the
+// dirtiest possible arena state.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// runBytes executes one run and returns the serialized outcome JSON and
+// decision-trace JSON.
+func runBytes(t *testing.T, run func() (*Outcome, error)) (outJSON, traceJSON []byte) {
+	t.Helper()
+	out, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	outJSON = buf.Bytes()
+	if dt := out.DecisionTrace(); dt != nil {
+		var tbuf bytes.Buffer
+		if err := dt.WriteJSON(&tbuf); err != nil {
+			t.Fatal(err)
+		}
+		traceJSON = tbuf.Bytes()
+	}
+	return outJSON, traceJSON
+}
+
+// TestRunnerByteIdenticalToFresh drives one Runner through a grid of
+// policies × mixes × seeds and checks every run against a fresh
+// RunContext of the same spec.
+func TestRunnerByteIdenticalToFresh(t *testing.T) {
+	specs := []WorkloadSpec{
+		{Mix: "w1", Load: 1.0, NCPU: 32, Window: 60 * time.Second},
+		{Mix: "w3", Load: 0.8, NCPU: 32, Window: 60 * time.Second},
+	}
+	policies := []Policy{PDPA, IRIX, Equipartition, EqualEfficiency}
+	seeds := []int64{1, 2}
+	r := NewRunner()
+	for _, spec := range specs {
+		for _, seed := range seeds {
+			for _, pol := range policies {
+				spec := spec
+				spec.Seed = seed
+				opts := Options{
+					Policy: pol, Seed: seed,
+					DecisionTrace: DecisionTraceUnlimited,
+				}
+				fresh, freshTr := runBytes(t, func() (*Outcome, error) {
+					return RunContext(context.Background(), spec, opts)
+				})
+				reused, reusedTr := runBytes(t, func() (*Outcome, error) {
+					return r.RunContext(context.Background(), spec, opts)
+				})
+				if !bytes.Equal(fresh, reused) {
+					t.Fatalf("%s/%s/seed %d: reused Runner produced different outcome JSON than a fresh run",
+						pol, spec.Mix, seed)
+				}
+				if len(freshTr) == 0 {
+					t.Fatalf("%s/%s/seed %d: no decision trace recorded", pol, spec.Mix, seed)
+				}
+				if !bytes.Equal(freshTr, reusedTr) {
+					t.Fatalf("%s/%s/seed %d: reused Runner produced a different decision trace than a fresh run",
+						pol, spec.Mix, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestRunnerSurvivesResizeAndTraceHandoff interleaves machine sizes and
+// KeepTrace runs: resizing re-dimensions the recycled machine and recorder,
+// and a KeepTrace run hands its recorder to the caller, forcing the Runner
+// to build a fresh one. The closing run must still match the opening one.
+func TestRunnerSurvivesResizeAndTraceHandoff(t *testing.T) {
+	base := WorkloadSpec{Mix: "w1", Load: 1.0, NCPU: 32, Seed: 5, Window: 60 * time.Second}
+	opts := Options{Policy: PDPA, Seed: 5}
+	r := NewRunner()
+
+	first, _ := runBytes(t, func() (*Outcome, error) {
+		return r.RunContext(context.Background(), base, opts)
+	})
+
+	small := base
+	small.NCPU = 16
+	if _, err := r.RunContext(context.Background(), small, opts); err != nil {
+		t.Fatal(err)
+	}
+	kept := opts
+	kept.KeepTrace = true
+	out, err := r.RunContext(context.Background(), base, kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.RenderTrace(40, 0, 30*time.Second); len(got) == 0 {
+		t.Fatal("KeepTrace run rendered an empty trace")
+	}
+
+	again, _ := runBytes(t, func() (*Outcome, error) {
+		return r.RunContext(context.Background(), base, opts)
+	})
+	if !bytes.Equal(first, again) {
+		t.Fatal("run after resize + KeepTrace handoff produced different bytes than the Runner's first run")
+	}
+}
+
+// TestThroughputModeDeterministic pins throughput mode's determinism
+// contract: for a fixed seed the fused run is reproducible byte for byte,
+// both from fresh environments and from a reused Runner with dirty arenas.
+// (It is NOT byte-equal to exact mode — measurements are sampled per fused
+// span — which is why the claim is per-mode, not cross-mode.)
+func TestThroughputModeDeterministic(t *testing.T) {
+	spec := WorkloadSpec{Mix: "w1", Load: 1.0, NCPU: 32, Seed: 7, Window: 60 * time.Second}
+	opts := Options{Policy: PDPA, Seed: 7, Throughput: 16}
+
+	fresh := func() (*Outcome, error) { return RunContext(context.Background(), spec, opts) }
+	first, _ := runBytes(t, fresh)
+	second, _ := runBytes(t, fresh)
+	if !bytes.Equal(first, second) {
+		t.Fatal("two fresh throughput-mode runs of the same seed produced different JSON")
+	}
+
+	r := NewRunner()
+	// Dirty the Runner's arenas with an exact-mode IRIX run first.
+	if _, err := r.RunContext(context.Background(), spec, Options{Policy: IRIX, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	reused, _ := runBytes(t, func() (*Outcome, error) {
+		return r.RunContext(context.Background(), spec, opts)
+	})
+	if !bytes.Equal(first, reused) {
+		t.Fatal("reused-Runner throughput run produced different bytes than a fresh one")
+	}
+}

@@ -9,6 +9,7 @@
 #   BENCH_MATCH  -bench regexp                               (default the gated suite)
 #   BENCH_PHASE  phase label recorded into the JSON          (default post)
 #   BENCH_JSON   trajectory file to create/merge             (default BENCH_<today>.json)
+#   BENCH_MANYJOBS  also run BenchmarkSweepManyJobs once     (default 1; 0 skips)
 #
 # Typical workflow around an optimization:
 #   BENCH_PHASE=pre  BENCH_JSON=BENCH_2026-08-05.json scripts/bench.sh   # before
@@ -24,12 +25,23 @@ benchtime=${BENCH_TIME:-1s}
 match=${BENCH_MATCH:-'SingleRunPDPA|SingleRunIRIX|Sweep$'}
 phase=${BENCH_PHASE:-post}
 json=${BENCH_JSON:-BENCH_$(date +%F).json}
+manyjobs=${BENCH_MANYJOBS:-1}
 
 mkdir -p "$out_dir"
 
 go test -run '^$' -bench "$match" -benchmem -benchtime "$benchtime" -count "$count" \
   -cpuprofile "$out_dir/cpu.pprof" -memprofile "$out_dir/mem.pprof" \
   -o "$out_dir/bench.test" . | tee "$out_dir/bench.txt"
+
+# The million-job throughput-mode point rides along as a single iteration
+# (one pass already simulates >1M jobs; repeating a ~30 s benchmark would
+# dominate the suite's runtime). It must land in the same bench.txt before
+# the record call: benchgate record replaces a phase's benchmark map
+# wholesale, so a separate record would drop the main suite.
+if [ "$manyjobs" != 0 ]; then
+  go test -run '^$' -bench SweepManyJobs -benchmem -benchtime 1x -count 1 . \
+    | tee -a "$out_dir/bench.txt"
+fi
 
 go run ./cmd/benchgate record -out "$json" -phase "$phase" "$out_dir/bench.txt"
 

@@ -29,7 +29,9 @@ if [[ -n "$hits" ]]; then
     fail=1
 fi
 
-hits=$(grep -rn --include='*.go' 'Deprecated:' . || true)
+# Match only real deprecation markers (a doc-comment line starting with
+# "// Deprecated:"), not prose that merely mentions the convention.
+hits=$(grep -rn --include='*.go' -E '^\s*// Deprecated:' . || true)
 if [[ -n "$hits" ]]; then
     echo "depcheck: new Deprecated: markers — remove the symbol or register its removal plan here:" >&2
     echo "$hits" >&2

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -43,9 +44,16 @@ type SweepSpec struct {
 	NoiseSigma   float64
 	NUMANodeSize int
 
-	// Workers bounds the parallel worker pool; 0 means one worker per CPU.
-	// The result is byte-identical regardless of the worker count.
+	// Workers bounds the parallel worker pool; 0 means one worker per CPU
+	// (never more than GOMAXPROCS). The result is byte-identical regardless
+	// of the worker count.
 	Workers int
+
+	// Throughput > 1 enables coarse throughput mode for every run in the
+	// grid, as in Options.Throughput: iterations are fused so very large
+	// grids process far fewer events, with measurements sampled per fused
+	// span — deterministic per seed, but not byte-equal to exact mode.
+	Throughput int
 
 	// Observer, when set, receives one "sweep_run" TraceEvent after every
 	// completed run — the same Observer interface RunContext and the pdpad
@@ -82,6 +90,7 @@ func (s SweepSpec) config() sweep.Config {
 		NoiseSigma:     s.NoiseSigma,
 		NUMANodeSize:   s.NUMANodeSize,
 		Workers:        s.Workers,
+		Throughput:     s.Throughput,
 	}
 	if s.PDPA != (PDPAParams{}) {
 		params := s.PDPA.internal()
@@ -95,14 +104,23 @@ func (s SweepSpec) config() sweep.Config {
 	return cfg
 }
 
-// sweepRunEvent converts one sweep completion to its TraceEvent form.
+// sweepRunEvent converts one sweep completion to its TraceEvent form. The
+// grid-point ID is built with strconv appends rather than fmt — observers
+// serialize the pool's workers, so the event path stays cheap.
 func sweepRunEvent(p sweep.Progress) TraceEvent {
+	id := make([]byte, 0, len(p.Task.Policy)+len(p.Task.Mix)+24)
+	id = append(id, p.Task.Policy...)
+	id = append(id, '/')
+	id = append(id, p.Task.Mix...)
+	id = append(id, '/')
+	id = strconv.AppendFloat(id, p.Task.Load, 'f', 2, 64)
+	id = append(id, '/')
+	id = strconv.AppendInt(id, p.Task.Seed, 10)
 	e := TraceEvent{
-		Seq:  p.Done - 1,
-		Kind: "sweep_run",
-		Job:  -1,
-		ID: fmt.Sprintf("%s/%s/%.2f/%d",
-			p.Task.Policy, p.Task.Mix, p.Task.Load, p.Task.Seed),
+		Seq:   p.Done - 1,
+		Kind:  "sweep_run",
+		Job:   -1,
+		ID:    string(id),
 		Done:  p.Done,
 		Total: p.Total,
 	}
