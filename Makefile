@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain go tooling underneath.
 
-.PHONY: build test vet depcheck bench bench-gate bench-throughput scenario-smoke loadtest-smoke
+.PHONY: build test vet depcheck bench bench-gate bench-throughput scenario-smoke loadtest-smoke fleet-smoke
 
 build:
 	go build ./...
@@ -31,6 +31,14 @@ scenario-smoke:
 # Knobs: LOADTEST_PORT, LOADTEST_DURATION, LOADTEST_WORKERS.
 loadtest-smoke:
 	./scripts/loadtest.sh
+
+# End-to-end fleet smoke: coordinator + two node daemons + a standalone
+# oracle. A sharded sweep must be byte-identical to the standalone run —
+# including after kill -9 of a node mid-sweep — goroutine counts must settle
+# back to baseline, and SIGTERM must drain everything cleanly.
+# Knobs: FLEETSMOKE_PORT_BASE.
+fleet-smoke:
+	./scripts/fleetsmoke.sh
 
 # Run the gated benchmark suite with -benchmem, capture pprof profiles into
 # bench-artifacts/, and record a BENCH_<date>.json trajectory point.

@@ -1,0 +1,41 @@
+// Package client is the Go client for the pdpad v1 API: submit runs and
+// sweeps, poll or stream them to completion, walk the paginated lists, and
+// drive a fleet coordinator's node plane — all with the v1 error envelope
+// decoded into typed errors.
+//
+//	c := client.New("http://localhost:8080")
+//	res, err := c.SubmitRun(ctx, client.SubmitRunRequest{
+//		Workload: client.Workload{Mix: "w2", Seed: 7},
+//		Options:  client.RunOptions{Policy: "pdpa"},
+//	})
+//	view, err := c.WaitRun(ctx, res.ID, 0)
+//
+// Every non-2xx response with a well-formed v1 envelope surfaces as an
+// *APIError carrying the stable code, message, and retry hint; responses
+// that violate the v1 contract — a non-envelope error body, or a 429 whose
+// Retry-After header disagrees with its envelope hint — surface as a
+// *ContractError, which is how load generators count contract violations.
+// With WithRetries(n), retryable rejections (429 overloaded/queue_full,
+// 503 with a retry hint) are retried automatically after honoring the
+// advertised hint.
+//
+// # Migrating from hand-rolled v1 HTTP
+//
+// The package replaces the per-tool HTTP mirrors that grew around the API
+// (cmd/pdpaload carried its own envelope, submit, and run-view structs).
+// The mapping is mechanical:
+//
+//   - POST /v1/runs + status switch  →  SubmitRun; errors.As on *APIError
+//     replaces switching on the raw status code (err.Code "overloaded" or
+//     "queue_full" is a shed, err.RetryAfterSeconds the hint).
+//   - GET /v1/runs/{id} poll loops   →  WaitRun (or Run for one probe).
+//   - hand-parsed SSE "data:" lines  →  FollowRun with a callback.
+//   - cursor-walking list loops      →  Runs / Sweeps (one page) or the
+//     cursor loop in AllRuns.
+//   - /metrics scrapes               →  Metrics, which sums each family's
+//     series by base name.
+//
+// Wire types here deliberately mirror the server's JSON shapes rather than
+// importing them, keeping the package importable outside this module; the
+// client_test drift tests pin the two sets of shapes to each other.
+package client

@@ -10,6 +10,14 @@
 //
 //	pdpad -addr :8080 -base 4 -max 8 -warmup 500ms
 //
+// The daemon also runs at cluster scale. A coordinator owns admission and
+// routing for a fleet of nodes, serving the same v1 surface plus the node
+// plane (GET /v1/nodes, cordon/drain); nodes are ordinary daemons that join
+// a coordinator and heartbeat their load:
+//
+//	pdpad -coordinator -addr :8080 -placement least_loaded
+//	pdpad -node -join http://coord:8080 -addr :8081 -advertise http://node1:8081
+//
 // For chaos testing, -inject arms seeded fault rules at the daemon's
 // injection sites using the same rule syntax scenario files use:
 //
@@ -37,10 +45,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"pdpasim/internal/faults"
+	"pdpasim/internal/fleet"
 	"pdpasim/internal/runqueue"
 	"pdpasim/internal/server"
 	"pdpasim/internal/store"
@@ -63,6 +73,17 @@ func main() {
 		injectSeed   = flag.Int64("inject-seed", 1, "seed for probabilistic -inject rules")
 		storeDir     = flag.String("store", "", "directory for the durable run store; completed runs survive restarts (empty = in-memory only)")
 		storeSync    = flag.Duration("store-sync", 50*time.Millisecond, "fsync batching interval for the run store (negative = fsync every append)")
+
+		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator: admission and routing only, no local simulations")
+		nodeMode    = flag.Bool("node", false, "run as a fleet node: an ordinary daemon that joins a coordinator")
+		join        = flag.String("join", "", "coordinator base URL to join (requires -node)")
+		advertise   = flag.String("advertise", "", "base URL the coordinator should reach this node at (default derived from -addr)")
+		nodeName    = flag.String("node-name", "", "human label for this node in the coordinator's node list")
+		placement   = flag.String("placement", "round_robin", "coordinator placement strategy: round_robin, least_loaded, or lpt")
+		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "coordinator-directed node heartbeat interval")
+		unhealthy   = flag.Duration("unhealthy-after", 0, "heartbeat silence before a node stops receiving placements (0 = 3×heartbeat)")
+		deadAfter   = flag.Duration("dead-after", 0, "heartbeat silence before a node is drained and its runs requeued (0 = 2×unhealthy-after)")
+		maxRequeues = flag.Int("max-requeues", 3, "re-placements one run may survive after node deaths before failing")
 	)
 	var injectRules []faults.Rule
 	flag.Func("inject", "fault-injection rule \"<site>:<kind> [after=N] [count=N] [prob=F] [delay=DUR] [transient] [err=MSG]\" (repeatable; chaos testing — same syntax as scenario files)",
@@ -80,8 +101,20 @@ func main() {
 		os.Exit(2)
 	}
 	if *base < 1 || *max < 0 || *queueLimit < 1 || *cacheSize < 1 || *warmup < 0 || *deadline < 0 || *drainTimeout <= 0 ||
-		*runTimeout < 0 || *maxRetries < 0 || *maxQueue < 0 {
+		*runTimeout < 0 || *maxRetries < 0 || *maxQueue < 0 || *heartbeat <= 0 || *unhealthy < 0 || *deadAfter < 0 || *maxRequeues < 0 {
 		fmt.Fprintln(os.Stderr, "pdpad: flag values must be positive")
+		os.Exit(2)
+	}
+	if *coordinator && *nodeMode {
+		fmt.Fprintln(os.Stderr, "pdpad: -coordinator and -node are mutually exclusive")
+		os.Exit(2)
+	}
+	if *nodeMode && *join == "" {
+		fmt.Fprintln(os.Stderr, "pdpad: -node requires -join <coordinator URL>")
+		os.Exit(2)
+	}
+	if *join != "" && !*nodeMode {
+		fmt.Fprintln(os.Stderr, "pdpad: -join requires -node")
 		os.Exit(2)
 	}
 	if *max == 0 {
@@ -89,11 +122,23 @@ func main() {
 	}
 
 	var inj *faults.Injector
-	var serverOpts []server.Option
 	if len(injectRules) > 0 {
 		inj = faults.New(*injectSeed, injectRules...)
-		serverOpts = append(serverOpts, server.WithFaults(inj))
 		log.Printf("pdpad: fault injection armed: %d rule(s), seed %d", len(injectRules), *injectSeed)
+	}
+
+	if *coordinator {
+		runCoordinator(coordFlags{
+			addr:         *addr,
+			placement:    *placement,
+			heartbeat:    *heartbeat,
+			unhealthy:    *unhealthy,
+			deadAfter:    *deadAfter,
+			maxRequeues:  *maxRequeues,
+			drainTimeout: *drainTimeout,
+			inj:          inj,
+		})
+		return
 	}
 
 	var st *store.Store
@@ -122,6 +167,27 @@ func main() {
 		Faults:          inj,
 		Store:           st,
 	})
+	serverOpts := []server.Option{}
+	if inj != nil {
+		serverOpts = append(serverOpts, server.WithFaults(inj))
+	}
+
+	var agent *fleet.Agent
+	if *nodeMode {
+		serverOpts = append(serverOpts, server.WithRole(server.RoleNode))
+		agent = fleet.StartAgent(fleet.AgentConfig{
+			Coordinator: strings.TrimRight(*join, "/"),
+			Advertise:   deriveAdvertise(*advertise, *addr),
+			Name:        *nodeName,
+			CPUs:        *base, // capacity hint: the pool's admission floor
+			BaseWorkers: *base,
+			MaxWorkers:  *max,
+			Faults:      inj,
+			Logf:        log.Printf,
+		}, pool)
+		log.Printf("pdpad: joining fleet at %s as %s", *join, deriveAdvertise(*advertise, *addr))
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: server.New(pool, serverOpts...)}
 
 	sigs := make(chan os.Signal, 2)
@@ -137,6 +203,8 @@ func main() {
 		log.Printf("pdpad: %v: draining (in-flight and queued runs complete; again to force)", sig)
 	}
 
+	// Drain with the agent still heartbeating: the pool's draining flag
+	// rides the heartbeats, so the coordinator stops placing here first.
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	go func() {
 		<-sigs
@@ -147,6 +215,9 @@ func main() {
 		log.Printf("pdpad: drain cut short: %v", err)
 	}
 	cancel()
+	if agent != nil {
+		agent.Stop()
+	}
 	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelShutdown()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -158,4 +229,76 @@ func main() {
 		}
 	}
 	log.Print("pdpad: bye")
+}
+
+type coordFlags struct {
+	addr         string
+	placement    string
+	heartbeat    time.Duration
+	unhealthy    time.Duration
+	deadAfter    time.Duration
+	maxRequeues  int
+	drainTimeout time.Duration
+	inj          *faults.Injector
+}
+
+func runCoordinator(f coordFlags) {
+	coord, err := fleet.NewCoordinator(fleet.Config{
+		Placement: fleet.Placement(f.placement),
+		Health: fleet.HealthConfig{
+			HeartbeatInterval: f.heartbeat,
+			UnhealthyAfter:    f.unhealthy,
+			DeadAfter:         f.deadAfter,
+		},
+		MaxRequeues: f.maxRequeues,
+		Faults:      f.inj,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("pdpad: %v", err)
+	}
+	httpSrv := &http.Server{Addr: f.addr, Handler: coord}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	log.Printf("pdpad: coordinating on %s (placement %s, heartbeat %v)", f.addr, f.placement, f.heartbeat)
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("pdpad: serve: %v", err)
+	case sig := <-sigs:
+		log.Printf("pdpad: %v: draining fleet (placed runs complete; again to force)", sig)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), f.drainTimeout)
+	go func() {
+		<-sigs
+		log.Print("pdpad: second signal: abandoning remaining runs")
+		cancel()
+	}()
+	if err := coord.Drain(drainCtx); err != nil {
+		log.Printf("pdpad: drain cut short: %v", err)
+	}
+	cancel()
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("pdpad: http shutdown: %v", err)
+	}
+	coord.Close()
+	log.Print("pdpad: bye")
+}
+
+// deriveAdvertise fills a missing -advertise from the listen address: a
+// bare ":8081" becomes a loopback URL, a host:port gets the scheme.
+func deriveAdvertise(advertise, addr string) string {
+	if advertise != "" {
+		return strings.TrimRight(advertise, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
 }

@@ -16,6 +16,12 @@
 // retry_after_seconds and tries again — so a soak against an overloaded
 // daemon measures the shed/retry path rather than hammering it.
 //
+// The generator speaks the v1 surface through the public client package;
+// its contract checks (429 header/envelope coherence, decodable bodies)
+// surface as *client.ContractError and are counted as bad_responses. Since
+// a coordinator serves the same v1 surface, -addr may point at one to soak
+// a whole fleet.
+//
 // Assertion flags turn the report into a gate for CI:
 //
 //	pdpaload -duration 10s -workers 16 -min-completed 20 -require-shed -max-p99 5s
@@ -25,9 +31,9 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -39,12 +45,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pdpasim/client"
 	"pdpasim/internal/leakcheck"
 )
 
 func main() {
 	cfg := defaultConfig()
-	flag.StringVar(&cfg.Addr, "addr", "http://localhost:8080", "base URL of the pdpad daemon")
+	flag.StringVar(&cfg.Addr, "addr", "http://localhost:8080", "base URL of the pdpad daemon (standalone or coordinator)")
 	flag.DurationVar(&cfg.Duration, "duration", 30*time.Second, "how long to keep submitting")
 	flag.IntVar(&cfg.Workers, "workers", 8, "concurrent closed-loop submitters")
 	flag.Float64Var(&cfg.SSEFraction, "sse-fraction", 0.25, "fraction of runs followed via SSE instead of polling")
@@ -182,33 +189,11 @@ func (r *Report) Text() string {
 	return b.String()
 }
 
-// errorEnvelope mirrors the server's v1 error body.
-type errorEnvelope struct {
-	Error struct {
-		Code              string `json:"code"`
-		Message           string `json:"message"`
-		RetryAfterSeconds int    `json:"retry_after_seconds"`
-	} `json:"error"`
-}
-
-// submitResponse mirrors the server's submit reply.
-type submitResponse struct {
-	ID       string `json:"id"`
-	State    string `json:"state"`
-	CacheHit bool   `json:"cache_hit"`
-}
-
-// runView mirrors the fields of GET /v1/runs/{id} the generator reads.
-type runView struct {
-	ID    string `json:"id"`
-	State string `json:"state"`
-}
-
 // loadState is the soak's shared mutable state.
 type loadState struct {
-	cfg    loadConfig
-	client *http.Client
-	stop   <-chan struct{}
+	cfg  loadConfig
+	cli  *client.Client
+	stop <-chan struct{}
 
 	mu        sync.Mutex
 	report    Report
@@ -222,17 +207,17 @@ func runLoad(cfg loadConfig) (*Report, error) {
 	if cfg.Workers < 1 || cfg.Duration <= 0 {
 		return nil, fmt.Errorf("need positive workers and duration")
 	}
+	// The soak verifies the shed contract itself, so the client carries no
+	// retry budget; the http.Client timeout bounds every call, SSE included.
+	cli := client.New(cfg.Addr, client.WithHTTPClient(&http.Client{Timeout: cfg.RunTimeout}))
 	// Fail fast when no daemon is listening — a soak against nothing should
 	// be exit 2, not a report full of zeroes.
-	client := &http.Client{Timeout: cfg.RunTimeout}
-	resp, err := client.Get(cfg.Addr + "/healthz")
-	if err != nil {
+	if _, err := cli.Health(context.Background()); err != nil {
 		return nil, fmt.Errorf("daemon unreachable: %w", err)
 	}
-	resp.Body.Close()
 
 	stop := make(chan struct{})
-	st := &loadState{cfg: cfg, client: client, stop: stop}
+	st := &loadState{cfg: cfg, cli: cli, stop: stop}
 	st.report.Workers = cfg.Workers
 
 	start := time.Now()
@@ -255,10 +240,10 @@ func runLoad(cfg loadConfig) (*Report, error) {
 	if n := len(st.latencies); n > 0 {
 		st.report.Max = st.latencies[n-1]
 	}
-	st.report.DaemonMetrics = scrapeMetrics(client, cfg.Addr)
+	st.report.DaemonMetrics = scrapeMetrics(cli)
 	// Drop pooled keep-alive connections so their persistConn goroutines
 	// exit before the caller's leak check runs.
-	client.CloseIdleConnections()
+	cli.CloseIdleConnections()
 	return &st.report, nil
 }
 
@@ -287,18 +272,20 @@ func (st *loadState) workerLoop(worker int) {
 			return
 		default:
 		}
-		st.oneRun(rng, worker)
+		st.oneRun(rng)
 	}
 }
 
-// specBody renders a small distinct spec; seed diversity makes each
+// specFor renders a small distinct spec; seed diversity makes each
 // submission a fresh simulation, reuse makes it a cache hit.
-func specBody(seed int64) string {
-	return fmt.Sprintf(
-		`{"workload":{"mix":"w1","load":0.6,"window_s":60,"seed":%d},"options":{"policy":"equip"}}`, seed)
+func specFor(seed int64) client.SubmitRunRequest {
+	return client.SubmitRunRequest{
+		Workload: client.Workload{Mix: "w1", Load: 0.6, WindowS: 60, Seed: seed},
+		Options:  client.RunOptions{Policy: "equip"},
+	}
 }
 
-func (st *loadState) oneRun(rng *rand.Rand, worker int) {
+func (st *loadState) oneRun(rng *rand.Rand) {
 	seq := st.seq.Add(1)
 	seed := seq
 	if rng.Float64() < st.cfg.CacheFraction && seq > int64(st.cfg.Workers) {
@@ -306,60 +293,43 @@ func (st *loadState) oneRun(rng *rand.Rand, worker int) {
 	}
 
 	submitted := time.Now()
-	resp, err := st.client.Post(st.cfg.Addr+"/v1/runs", "application/json",
-		strings.NewReader(specBody(seed)))
+	res, err := st.cli.SubmitRun(context.Background(), specFor(seed))
 	if err != nil {
-		st.note(func(r *Report) { r.BadResponses++; r.LastBadResponse = err.Error() })
+		st.noteSubmitError(err)
 		return
 	}
-	body, _ := readAll(resp)
-	switch resp.StatusCode {
-	case http.StatusAccepted, http.StatusOK:
-		var sr submitResponse
-		if err := json.Unmarshal(body, &sr); err != nil || sr.ID == "" {
-			st.note(func(r *Report) { r.BadResponses++; r.LastBadResponse = trim(body) })
-			return
-		}
-		st.note(func(r *Report) {
-			r.Submitted++
-			if sr.CacheHit {
-				r.CacheHits++
-			}
-		})
-		st.follow(rng, sr.ID, submitted)
-	case http.StatusTooManyRequests:
-		st.recordShed(resp, body)
-	case http.StatusServiceUnavailable:
-		st.note(func(r *Report) { r.Draining++ })
-		st.sleep(time.Second)
-	default:
-		st.note(func(r *Report) {
-			r.BadResponses++
-			r.LastBadResponse = fmt.Sprintf("submit: status %d: %s", resp.StatusCode, trim(body))
-		})
-	}
-}
-
-// recordShed verifies the 429 contract: envelope code, a positive retry
-// hint, and header/body agreement — then honors the hint.
-func (st *loadState) recordShed(resp *http.Response, body []byte) {
-	var env errorEnvelope
-	err := json.Unmarshal(body, &env)
-	ok := err == nil &&
-		(env.Error.Code == "overloaded" || env.Error.Code == "queue_full") &&
-		env.Error.RetryAfterSeconds >= 1 &&
-		resp.Header.Get("Retry-After") == fmt.Sprint(env.Error.RetryAfterSeconds)
 	st.note(func(r *Report) {
-		r.Shed++
-		if ok {
-			r.RetryHintsSeen++
-		} else {
-			r.BadResponses++
-			r.LastBadResponse = fmt.Sprintf("429 without a coherent retry hint: %s", trim(body))
+		r.Submitted++
+		if res.CacheHit {
+			r.CacheHits++
 		}
 	})
-	if ok {
-		st.sleep(time.Duration(env.Error.RetryAfterSeconds) * time.Second)
+	st.follow(rng, res.ID, submitted)
+}
+
+// noteSubmitError classifies a failed submission. The client has already
+// enforced the envelope contract: a coherent 429 arrives as an *APIError
+// whose retry hint is trusted, an incoherent one as a *ContractError.
+func (st *loadState) noteSubmitError(err error) {
+	var api *client.APIError
+	var contract *client.ContractError
+	switch {
+	case errors.As(err, &api) && api.IsShed():
+		st.note(func(r *Report) { r.Shed++; r.RetryHintsSeen++ })
+		st.sleep(time.Duration(api.RetryAfterSeconds) * time.Second)
+	case errors.As(err, &api) && api.Status == http.StatusServiceUnavailable:
+		st.note(func(r *Report) { r.Draining++ })
+		st.sleep(time.Second)
+	case errors.As(err, &contract):
+		st.note(func(r *Report) {
+			r.BadResponses++
+			if contract.Status == http.StatusTooManyRequests {
+				r.Shed++ // an incoherent 429 is still a shed, just a broken one
+			}
+			r.LastBadResponse = fmt.Sprintf("submit: %s: %s", contract.Detail, trim(contract.Body))
+		})
+	default:
+		st.note(func(r *Report) { r.BadResponses++; r.LastBadResponse = err.Error() })
 	}
 }
 
@@ -398,21 +368,19 @@ func (st *loadState) poll(id string) string {
 	deadline := time.Now().Add(st.cfg.RunTimeout)
 	var stopped time.Time
 	for time.Now().Before(deadline) {
-		resp, err := st.client.Get(st.cfg.Addr + "/v1/runs/" + id)
+		v, err := st.cli.Run(context.Background(), id)
 		if err != nil {
+			var api *client.APIError
+			var contract *client.ContractError
+			if errors.As(err, &api) || errors.As(err, &contract) {
+				st.note(func(r *Report) {
+					r.BadResponses++
+					r.LastBadResponse = fmt.Sprintf("poll %s: %v", id, err)
+				})
+			}
 			return ""
 		}
-		body, _ := readAll(resp)
-		var v runView
-		if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &v) != nil {
-			st.note(func(r *Report) {
-				r.BadResponses++
-				r.LastBadResponse = fmt.Sprintf("poll %s: status %d", id, resp.StatusCode)
-			})
-			return ""
-		}
-		switch v.State {
-		case "done", "failed", "canceled":
+		if v.Terminal() {
 			return v.State
 		}
 		time.Sleep(st.cfg.PollInterval)
@@ -434,60 +402,36 @@ func (st *loadState) poll(id string) string {
 // followSSE streams the run's lifecycle events and returns its terminal
 // state, or "" to fall back to polling.
 func (st *loadState) followSSE(id string) string {
-	resp, err := st.client.Get(st.cfg.Addr + "/v1/runs/" + id + "/events")
-	if err != nil || resp.StatusCode != http.StatusOK {
-		if resp != nil {
-			resp.Body.Close()
-		}
-		return ""
+	var last string
+	err := st.cli.FollowRun(context.Background(), id, func(ev client.Event) bool {
+		last = ev.State
+		return true
+	})
+	if err != nil || !client.Terminal(last) {
+		return "" // stream refused or ended early; polling resolves it
 	}
-	defer resp.Body.Close()
-	scanner := bufio.NewScanner(resp.Body)
-	for scanner.Scan() {
-		line := scanner.Text()
-		if !strings.HasPrefix(line, "data: ") {
-			continue
-		}
-		var ev struct {
-			State string `json:"state"`
-		}
-		if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) != nil {
-			continue
-		}
-		switch ev.State {
-		case "done", "failed", "canceled":
-			return ev.State
-		}
-	}
-	return ""
+	return last
 }
 
 // scrapeMetrics samples the daemon's counters most relevant to a soak.
-func scrapeMetrics(client *http.Client, addr string) map[string]float64 {
-	resp, err := client.Get(addr + "/metrics")
+func scrapeMetrics(cli *client.Client) map[string]float64 {
+	all, err := cli.Metrics(context.Background())
 	if err != nil {
 		return nil
 	}
-	body, _ := readAll(resp)
-	if resp.StatusCode != http.StatusOK {
-		return nil
-	}
-	want := map[string]bool{
-		"pdpad_sheds_total": true, "pdpad_cache_hits_total": true,
-		"pdpad_runs_finished_total": true, "pdpad_store_appended_entries_total": true,
-		"pdpad_store_fsyncs_total": true, "pdpad_store_journal_bytes": true,
-		"pdpad_recovered_panics_total": true,
+	want := []string{
+		"pdpad_sheds_total", "pdpad_cache_hits_total",
+		"pdpad_runs_finished_total", "pdpad_store_appended_entries_total",
+		"pdpad_store_fsyncs_total", "pdpad_store_journal_bytes",
+		"pdpad_recovered_panics_total",
+		// Fleet families, present when -addr points at a coordinator.
+		"pdpad_fleet_dispatches_total", "pdpad_fleet_requeues_total",
+		"pdpad_fleet_node_deaths_total",
 	}
 	out := make(map[string]float64)
-	for _, line := range strings.Split(string(body), "\n") {
-		name, rest, found := strings.Cut(line, " ")
-		base, _, _ := strings.Cut(name, "{")
-		if !found || !want[base] {
-			continue
-		}
-		var v float64
-		if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
-			out[base] += v
+	for _, k := range want {
+		if v, ok := all[k]; ok {
+			out[k] = v
 		}
 	}
 	return out
@@ -506,14 +450,6 @@ func (st *loadState) sleep(d time.Duration) {
 	case <-time.After(d):
 	case <-st.stop:
 	}
-}
-
-// readAll drains and closes a response body.
-func readAll(resp *http.Response) ([]byte, error) {
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	_, err := buf.ReadFrom(resp.Body)
-	return buf.Bytes(), err
 }
 
 // trim bounds a body for error messages.

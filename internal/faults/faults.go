@@ -31,15 +31,25 @@ const (
 	SiteCacheHit
 	// SiteHTTPRequest fires at the top of the daemon's HTTP handler.
 	SiteHTTPRequest
+	// SiteNodeHeartbeat fires as a fleet node agent is about to send a
+	// heartbeat to its coordinator; an injected error drops that heartbeat,
+	// so a rule here simulates a flaky or dead node.
+	SiteNodeHeartbeat
+	// SiteNodeDispatch fires as the coordinator is about to dispatch a run
+	// to a node; an injected error fails that dispatch attempt and the
+	// coordinator falls over to the next candidate node.
+	SiteNodeDispatch
 
 	siteCount
 )
 
 var siteNames = [siteCount]string{
-	SiteWorkerStart:  "worker_start",
-	SiteWorkerFinish: "worker_finish",
-	SiteCacheHit:     "cache_hit",
-	SiteHTTPRequest:  "http_request",
+	SiteWorkerStart:   "worker_start",
+	SiteWorkerFinish:  "worker_finish",
+	SiteCacheHit:      "cache_hit",
+	SiteHTTPRequest:   "http_request",
+	SiteNodeHeartbeat: "node_heartbeat",
+	SiteNodeDispatch:  "node_dispatch",
 }
 
 // String returns the site's name.

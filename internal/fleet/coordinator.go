@@ -1,0 +1,1412 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"pdpasim"
+	"pdpasim/client"
+	"pdpasim/internal/faults"
+	"pdpasim/internal/metrics"
+	"pdpasim/internal/obs"
+	"pdpasim/internal/runqueue"
+	"pdpasim/internal/server"
+	"pdpasim/internal/sweep"
+)
+
+// maxRequestBody mirrors the node daemon's submission size cap.
+const maxRequestBody = 1 << 20
+
+// Config parameterizes a Coordinator. The zero value works: round-robin
+// placement, default heartbeat timing, three requeues per run.
+type Config struct {
+	// Placement selects the routing strategy (default round_robin).
+	Placement Placement
+	// Health is the heartbeat-timeout state machine's timing.
+	Health HealthConfig
+	// MaxRequeues bounds how many times one run may be re-placed after
+	// node deaths or drains before it fails deterministically (default 3;
+	// negative means 0).
+	MaxRequeues int
+	// Faults injects failures at SiteNodeDispatch (per dispatch attempt)
+	// and SiteHTTPRequest (per inbound request). Nil is a no-op.
+	Faults *faults.Injector
+	// HTTPClient carries coordinator → node traffic (default a fresh
+	// client; tests inject one wired to httptest servers).
+	HTTPClient *http.Client
+	// Now is the clock (default time.Now; tests freeze it).
+	Now func() time.Time
+	// Logf receives operational log lines (default: discarded).
+	Logf func(format string, args ...any)
+}
+
+// node is the coordinator's record of one registered node.
+type node struct {
+	id   string
+	name string
+	addr string
+	cli  *client.Client
+
+	cpus        int
+	baseWorkers int
+	maxWorkers  int
+
+	registeredAt time.Time
+	lastBeat     time.Time
+	beats        uint64
+	queueDepth   int
+	inflight     int
+	nodeDraining bool
+
+	cordoned bool
+	drained  bool
+
+	// assigned and costSum are the coordinator-local placement ledgers:
+	// non-terminal runs placed here, and their summed LPT cost estimate.
+	assigned int
+	costSum  float64
+}
+
+// crun is the coordinator's record of one run it has placed somewhere.
+type crun struct {
+	id        string
+	key       string
+	spec      runqueue.Spec
+	deadlineS float64
+	submitted time.Time
+
+	// nodeID/remoteID locate the current placement; gen increments on
+	// every re-placement so stale refreshes cannot commit.
+	nodeID   string
+	remoteID string
+	gen      int
+	reserved bool
+
+	state    string
+	cacheHit bool
+	deduped  bool
+	requeues int
+
+	// lastView is the latest full view fetched from the serving node
+	// (ID rewritten); final is set exactly once, when the run reaches a
+	// terminal state, and survives the serving node's death.
+	lastView *client.RunView
+	final    *client.RunView
+}
+
+// csweep is the coordinator's record of one sharded sweep.
+type csweep struct {
+	id        string
+	spec      runqueue.SweepSpec // defaults resolved
+	runIDs    []string           // coordinator run IDs, grid order
+	submitted time.Time
+}
+
+// Coordinator owns fleet admission and routing: it speaks the same v1 run
+// and sweep surface as a standalone daemon, plus the node plane. Create
+// with NewCoordinator; it implements http.Handler.
+type Coordinator struct {
+	mux       *http.ServeMux
+	placement Placement
+	health    HealthConfig
+	maxReq    int
+	flts      *faults.Injector
+	hc        *http.Client
+	now       func() time.Time
+	logf      func(string, ...any)
+	started   time.Time
+
+	mu       sync.Mutex
+	draining bool
+	nodes    map[string]*node
+	order    []*node // registration order
+	nodeSeq  int
+	rrNext   int
+	runs     map[string]*crun
+	runOrder []*crun // submission order
+	runSeq   int
+	affinity map[string]*crun // spec key → owning run
+	sweeps   map[string]*csweep
+	swOrder  []*csweep
+	swSeq    int
+
+	reg *obs.Registry
+	met coordMetrics
+
+	stopMonitor chan struct{}
+	monitorDone chan struct{}
+}
+
+type coordMetrics struct {
+	heartbeats       *obs.Counter
+	dispatches       *obs.Counter
+	dispatchFailures *obs.Counter
+	requeues         *obs.Counter
+	requeueFailures  *obs.Counter
+	nodeDeaths       *obs.Counter
+	recovered        *obs.Counter
+}
+
+// NewCoordinator returns a running coordinator (its heartbeat monitor is
+// started). Stop it with Close.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	pl, err := ParsePlacement(string(cfg.Placement))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxRequeues == 0 {
+		cfg.MaxRequeues = 3
+	}
+	if cfg.MaxRequeues < 0 {
+		cfg.MaxRequeues = 0
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Coordinator{
+		mux:         http.NewServeMux(),
+		placement:   pl,
+		health:      cfg.Health.withDefaults(),
+		maxReq:      cfg.MaxRequeues,
+		flts:        cfg.Faults,
+		hc:          cfg.HTTPClient,
+		now:         cfg.Now,
+		logf:        cfg.Logf,
+		started:     cfg.Now(),
+		nodes:       map[string]*node{},
+		runs:        map[string]*crun{},
+		affinity:    map[string]*crun{},
+		sweeps:      map[string]*csweep{},
+		reg:         obs.NewRegistry(),
+		stopMonitor: make(chan struct{}),
+		monitorDone: make(chan struct{}),
+	}
+	c.met = coordMetrics{
+		heartbeats:       c.reg.Counter("pdpad_fleet_heartbeats_total", "Heartbeats accepted from registered nodes."),
+		dispatches:       c.reg.Counter("pdpad_fleet_dispatches_total", "Runs successfully placed on a node."),
+		dispatchFailures: c.reg.Counter("pdpad_fleet_dispatch_failures_total", "Dispatch attempts that failed and triggered failover."),
+		requeues:         c.reg.Counter("pdpad_fleet_requeues_total", "Runs re-placed after a node death or drain."),
+		requeueFailures:  c.reg.Counter("pdpad_fleet_requeue_failures_total", "Runs failed because re-placement was impossible or exhausted."),
+		nodeDeaths:       c.reg.Counter("pdpad_fleet_node_deaths_total", "Nodes declared dead after missed heartbeats."),
+		recovered: c.reg.LabeledCounter("pdpad_recovered_panics_total",
+			"Panics recovered without taking the daemon down, by origin.", "where", "http"),
+	}
+	c.reg.GaugeFunc("pdpad_goroutines", "Live goroutines in the serving process (leak smoke-checks read this).",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	c.reg.GaugeFunc("pdpad_fleet_nodes", "Registered nodes not yet drained.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, nd := range c.order {
+			if !nd.drained {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	c.reg.GaugeFunc("pdpad_fleet_nodes_healthy", "Nodes currently eligible for placements.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.eligibleLocked(nil)))
+	})
+
+	c.mux.HandleFunc("POST /v1/runs", c.handleSubmit)
+	c.mux.HandleFunc("GET /v1/runs", c.handleListRuns)
+	c.mux.HandleFunc("GET /v1/runs/{id}", c.handleGetRun)
+	c.mux.HandleFunc("DELETE /v1/runs/{id}", c.handleCancelRun)
+	c.mux.HandleFunc("GET /v1/runs/{id}/events", c.handleEvents)
+	c.mux.HandleFunc("GET /v1/runs/{id}/trace", c.handleTrace)
+	c.mux.HandleFunc("POST /v1/sweeps", c.handleSubmitSweep)
+	c.mux.HandleFunc("GET /v1/sweeps", c.handleListSweeps)
+	c.mux.HandleFunc("GET /v1/sweeps/{id}", c.handleGetSweep)
+	c.mux.HandleFunc("DELETE /v1/sweeps/{id}", c.handleCancelSweep)
+	c.mux.HandleFunc("POST /v1/nodes/register", c.handleRegister)
+	c.mux.HandleFunc("POST /v1/nodes/{id}/heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("GET /v1/nodes", c.handleListNodes)
+	c.mux.HandleFunc("POST /v1/nodes/{id}/cordon", c.handleCordon)
+	c.mux.HandleFunc("POST /v1/nodes/{id}/uncordon", c.handleUncordon)
+	c.mux.HandleFunc("POST /v1/nodes/{id}/drain", c.handleDrainNode)
+	c.mux.HandleFunc("GET /v1/version", c.handleVersion)
+	c.mux.HandleFunc("GET /healthz", c.handleHealth)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+
+	go c.monitor()
+	return c, nil
+}
+
+// ServeHTTP implements http.Handler with the same panic-recovery and
+// fault-injection front door as the node daemon.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel, compared by identity
+			panic(rec)
+		}
+		c.met.recovered.Inc()
+		server.WriteError(w, http.StatusInternalServerError, server.CodeInternal, fmt.Errorf("internal error: %v", rec))
+	}()
+	if err := c.flts.Hit(r.Context(), faults.SiteHTTPRequest); err != nil {
+		server.WriteError(w, http.StatusServiceUnavailable, server.CodeUnavailable, fmt.Errorf("injected fault: %w", err))
+		return
+	}
+	c.mux.ServeHTTP(w, r)
+}
+
+// Metrics exposes the coordinator's metric registry — the same numbers
+// /metrics renders, readable in-process by tests and the scenario runner.
+func (c *Coordinator) Metrics() *obs.Registry { return c.reg }
+
+// Close stops the heartbeat monitor and drops pooled node connections.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.stopMonitor:
+	default:
+		close(c.stopMonitor)
+	}
+	<-c.monitorDone
+	c.hc.CloseIdleConnections()
+}
+
+// Drain stops admissions and waits until every coordinated run is terminal
+// (or ctx expires).
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	for {
+		pending := c.pendingRuns()
+		if len(pending) == 0 {
+			return nil
+		}
+		for _, cr := range pending {
+			c.refresh(ctx, cr)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fleet: drain interrupted with %d runs pending: %w", len(c.pendingRuns()), ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func (c *Coordinator) pendingRuns() []*crun {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*crun
+	for _, cr := range c.runOrder {
+		if cr.final == nil {
+			out = append(out, cr)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Node liveness and the monitor goroutine.
+
+// monitor periodically re-evaluates node liveness and requeues the runs of
+// nodes that crossed DeadAfter.
+func (c *Coordinator) monitor() {
+	defer close(c.monitorDone)
+	interval := c.health.HeartbeatInterval / 2
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopMonitor:
+			return
+		case <-t.C:
+			c.tick()
+		}
+	}
+}
+
+// tick is one monitor pass: declare dead nodes drained and requeue their
+// non-terminal runs.
+func (c *Coordinator) tick() {
+	now := c.now()
+	var orphans []*crun
+	c.mu.Lock()
+	for _, n := range c.order {
+		if n.drained {
+			continue
+		}
+		if c.health.Liveness(now.Sub(n.lastBeat)) != StateDrained {
+			continue
+		}
+		n.drained = true
+		c.met.nodeDeaths.Inc()
+		c.logf("fleet: node %s (%s) declared dead after %v of silence", n.id, n.addr, now.Sub(n.lastBeat))
+		orphans = append(orphans, c.runsOnLocked(n.id)...)
+	}
+	c.mu.Unlock()
+	for _, cr := range orphans {
+		c.requeue(context.Background(), cr, "node died")
+	}
+}
+
+// runsOnLocked returns the non-terminal runs currently placed on a node.
+func (c *Coordinator) runsOnLocked(nodeID string) []*crun {
+	var out []*crun
+	for _, cr := range c.runOrder {
+		if cr.final == nil && cr.nodeID == nodeID {
+			out = append(out, cr)
+		}
+	}
+	return out
+}
+
+// eligibleLocked returns the nodes placements may target, in registration
+// order: live heartbeats, not cordoned, not drained, not self-draining.
+func (c *Coordinator) eligibleLocked(exclude map[string]bool) []*node {
+	now := c.now()
+	var out []*node
+	for _, n := range c.order {
+		if n.drained || n.cordoned || n.nodeDraining || exclude[n.id] {
+			continue
+		}
+		if c.health.Liveness(now.Sub(n.lastBeat)) != StateHealthy {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func (c *Coordinator) reserveLocked(cr *crun, n *node) {
+	n.assigned++
+	n.costSum += estCost(cr.spec)
+	cr.nodeID = n.id
+	cr.remoteID = ""
+	cr.gen++
+	cr.reserved = true
+}
+
+func (c *Coordinator) releaseLocked(cr *crun) {
+	if !cr.reserved {
+		return
+	}
+	cr.reserved = false
+	if n := c.nodes[cr.nodeID]; n != nil {
+		n.assigned--
+		n.costSum -= estCost(cr.spec)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Placement and dispatch.
+
+// errDraining and errNoHealthy are coordinator-level admission rejections.
+var (
+	errDraining  = errors.New("fleet: coordinator is draining")
+	errNoHealthy = errors.New("fleet: no healthy node available for placement")
+)
+
+// place picks a node for cr and dispatches it, failing over across nodes
+// until one accepts or none remain. On success cr is committed (remoteID
+// set); on failure the reservation is released and the last error returned.
+func (c *Coordinator) place(ctx context.Context, cr *crun, exclude map[string]bool) error {
+	if exclude == nil {
+		exclude = map[string]bool{}
+	}
+	body := client.SubmitRunRequest{
+		Workload:  mirrorSpec(cr.spec).Workload,
+		Options:   mirrorSpec(cr.spec).Options,
+		DeadlineS: cr.deadlineS,
+	}
+	var lastErr error
+	for {
+		c.mu.Lock()
+		cands := c.eligibleLocked(exclude)
+		if len(cands) == 0 {
+			c.mu.Unlock()
+			if lastErr != nil {
+				return lastErr
+			}
+			return errNoHealthy
+		}
+		n := c.pickLocked(cands, estCost(cr.spec))
+		c.reserveLocked(cr, n)
+		gen := cr.gen
+		cli := n.cli
+		c.mu.Unlock()
+
+		err := c.flts.Hit(ctx, faults.SiteNodeDispatch)
+		var res client.SubmitResult
+		if err == nil {
+			res, err = cli.SubmitRun(ctx, body)
+		} else {
+			err = fmt.Errorf("fleet: injected dispatch fault for node %s: %w", n.id, err)
+		}
+		if err == nil {
+			c.met.dispatches.Inc()
+			c.mu.Lock()
+			if cr.gen == gen {
+				cr.remoteID = res.ID
+				cr.state = res.State
+				cr.cacheHit = res.CacheHit
+				cr.deduped = res.Deduped
+			}
+			c.mu.Unlock()
+			return nil
+		}
+		lastErr = err
+		c.mu.Lock()
+		if cr.gen == gen {
+			c.releaseLocked(cr)
+		}
+		c.mu.Unlock()
+		var api *client.APIError
+		if errors.As(err, &api) && api.Status >= 400 && api.Status < 500 &&
+			api.Status != http.StatusTooManyRequests {
+			// The node judged the request itself bad; every node would.
+			return err
+		}
+		c.met.dispatchFailures.Inc()
+		c.logf("fleet: dispatch to node %s failed: %v", n.id, err)
+		exclude[n.id] = true
+	}
+}
+
+// requeue re-places a run after its node died or was drained, failing it
+// deterministically once the requeue budget is spent or no node remains.
+func (c *Coordinator) requeue(ctx context.Context, cr *crun, reason string) {
+	c.mu.Lock()
+	if cr.final != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.releaseLocked(cr)
+	cr.requeues++
+	c.met.requeues.Inc()
+	from := cr.nodeID
+	if cr.requeues > c.maxReq {
+		c.met.requeueFailures.Inc()
+		c.failLocked(cr, fmt.Sprintf("%s (node %s); requeue budget of %d exhausted", reason, from, c.maxReq))
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	if err := c.place(ctx, cr, map[string]bool{from: true}); err != nil {
+		c.met.requeueFailures.Inc()
+		c.mu.Lock()
+		c.failLocked(cr, fmt.Sprintf("%s (node %s); re-placement failed: %v", reason, from, err))
+		c.mu.Unlock()
+		return
+	}
+	c.logf("fleet: run %s requeued from node %s (%s)", cr.id, from, reason)
+}
+
+// failLocked terminally fails a run coordinator-side, synthesizing the
+// final view so the failure survives regardless of node state.
+func (c *Coordinator) failLocked(cr *crun, msg string) {
+	if cr.final != nil {
+		return
+	}
+	c.releaseLocked(cr)
+	cr.state = "failed"
+	now := c.now()
+	v := client.RunView{
+		ID:          cr.id,
+		State:       "failed",
+		Error:       msg,
+		SubmittedAt: cr.submitted,
+		FinishedAt:  &now,
+		CacheKey:    cr.key,
+		Spec:        mirrorSpec(cr.spec),
+	}
+	cr.final = &v
+	cr.lastView = &v
+	c.logf("fleet: run %s failed: %s", cr.id, msg)
+}
+
+// refresh pulls a run's current view from its node, committing it unless
+// the run was re-placed meanwhile. Fetch errors leave the run as-is (the
+// monitor decides the node's fate, not a read path).
+func (c *Coordinator) refresh(ctx context.Context, cr *crun) {
+	c.mu.Lock()
+	if cr.final != nil || cr.remoteID == "" {
+		c.mu.Unlock()
+		return
+	}
+	n := c.nodes[cr.nodeID]
+	remoteID, gen := cr.remoteID, cr.gen
+	c.mu.Unlock()
+	if n == nil {
+		return
+	}
+	v, err := n.cli.Run(ctx, remoteID)
+	if err != nil {
+		return
+	}
+	v.ID = cr.id
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cr.gen != gen || cr.final != nil {
+		return
+	}
+	cr.lastView = &v
+	cr.state = v.State
+	if v.Terminal() {
+		cr.final = &v
+		c.releaseLocked(cr)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Submission.
+
+type submitOutcome struct {
+	id       string
+	state    string
+	cacheHit bool
+	deduped  bool
+}
+
+// deadEnd reports whether an affinity entry is unusable for dedup: the run
+// ended in failure or cancellation, so a resubmission starts fresh.
+func deadEnd(cr *crun) bool {
+	return cr.final != nil && cr.final.State != "done"
+}
+
+// submitOne admits one spec: deduplicated against the fleet-wide affinity
+// index, or placed fresh. The returned crun is non-nil exactly when a new
+// run was created (the caller unwinds it on batch failure).
+func (c *Coordinator) submitOne(ctx context.Context, spec runqueue.Spec, deadlineS float64) (submitOutcome, *crun, error) {
+	key := spec.Key()
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return submitOutcome{}, nil, errDraining
+	}
+	if ex := c.affinity[key]; ex != nil && !deadEnd(ex) {
+		out := submitOutcome{id: ex.id, state: ex.state}
+		if ex.final != nil {
+			out.state = "done"
+			out.cacheHit = true
+		} else {
+			out.deduped = true
+		}
+		c.mu.Unlock()
+		return out, nil, nil
+	}
+	c.runSeq++
+	cr := &crun{
+		id:        fmt.Sprintf("run-%06d", c.runSeq),
+		key:       key,
+		spec:      spec,
+		deadlineS: deadlineS,
+		submitted: c.now(),
+		state:     "queued",
+	}
+	c.runs[cr.id] = cr
+	c.runOrder = append(c.runOrder, cr)
+	c.affinity[key] = cr
+	c.mu.Unlock()
+	if err := c.place(ctx, cr, nil); err != nil {
+		c.remove(cr)
+		return submitOutcome{}, nil, err
+	}
+	c.mu.Lock()
+	out := submitOutcome{id: cr.id, state: cr.state, cacheHit: cr.cacheHit, deduped: cr.deduped}
+	c.mu.Unlock()
+	return out, cr, nil
+}
+
+// remove erases a run that never committed (failed dispatch, sweep unwind).
+func (c *Coordinator) remove(cr *crun) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.releaseLocked(cr)
+	delete(c.runs, cr.id)
+	if c.affinity[cr.key] == cr {
+		delete(c.affinity, cr.key)
+	}
+	for i, other := range c.runOrder {
+		if other == cr {
+			c.runOrder = append(c.runOrder[:i], c.runOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing shared by the handlers.
+
+// decodeBody mirrors the node daemon's request decoding: 1 MiB cap (413),
+// unknown fields rejected (400).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			server.WriteError(w, http.StatusRequestEntityTooLarge, server.CodePayloadTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		server.WriteError(w, http.StatusBadRequest, server.CodeInvalidRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// writeSubmitError maps an admission or dispatch error onto the envelope.
+// Envelope errors from nodes are relayed verbatim — status, code, and retry
+// hint — so a fleet client sees exactly what a standalone client would.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errDraining):
+		server.WriteError(w, http.StatusServiceUnavailable, server.CodeDraining, err)
+	case errors.Is(err, errNoHealthy):
+		server.WriteError(w, http.StatusServiceUnavailable, server.CodeNoHealthyNodes, err)
+	default:
+		relayError(w, err)
+	}
+}
+
+// relayError forwards a node's envelope error as-is, or wraps transport
+// failures as 502 node_unreachable.
+func relayError(w http.ResponseWriter, err error) {
+	var api *client.APIError
+	if errors.As(err, &api) {
+		if api.RetryAfterSeconds > 0 {
+			server.WriteRetryError(w, api.Status, api.Code, errors.New(api.Message), api.RetryAfterSeconds)
+		} else {
+			server.WriteError(w, api.Status, api.Code, errors.New(api.Message))
+		}
+		return
+	}
+	server.WriteError(w, http.StatusBadGateway, server.CodeNodeUnreachable, err)
+}
+
+// mirrorSpec converts the runqueue spec to the client mirror via JSON: the
+// tags match field for field, so the round trip is lossless.
+func mirrorSpec(s runqueue.Spec) client.Spec {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return client.Spec{}
+	}
+	var out client.Spec
+	if err := json.Unmarshal(b, &out); err != nil {
+		return client.Spec{}
+	}
+	return out
+}
+
+// viewLocked renders a run for the wire. client.RunView's tags mirror the
+// node daemon's RunView exactly, so coordinator responses are shaped
+// identically to standalone ones.
+func (c *Coordinator) viewLocked(cr *crun, includeResult bool) client.RunView {
+	var v client.RunView
+	switch {
+	case cr.final != nil:
+		v = *cr.final
+	case cr.lastView != nil:
+		v = *cr.lastView
+	default:
+		v = client.RunView{
+			ID: cr.id, State: cr.state, SubmittedAt: cr.submitted,
+			CacheKey: cr.key, Spec: mirrorSpec(cr.spec),
+		}
+	}
+	if !includeResult {
+		v.Result = nil
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Run plane.
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req server.SubmitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.DeadlineS < 0 {
+		server.WriteError(w, http.StatusBadRequest, server.CodeInvalidRequest,
+			fmt.Errorf("negative deadline_s %v", req.DeadlineS))
+		return
+	}
+	spec := runqueue.Spec{Workload: req.Workload, Options: req.Options}
+	if err := spec.Validate(); err != nil {
+		server.WriteError(w, http.StatusBadRequest, server.CodeInvalidRequest, err)
+		return
+	}
+	out, _, err := c.submitOne(r.Context(), spec, req.DeadlineS)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if out.cacheHit {
+		status = http.StatusOK
+	}
+	server.WriteJSON(w, status, server.SubmitResponse{
+		ID: out.id, State: out.state, CacheHit: out.cacheHit, Deduped: out.deduped,
+	})
+}
+
+func (c *Coordinator) lookupRun(w http.ResponseWriter, id string) *crun {
+	c.mu.Lock()
+	cr := c.runs[id]
+	c.mu.Unlock()
+	if cr == nil {
+		server.WriteError(w, http.StatusNotFound, server.CodeNotFound,
+			fmt.Errorf("fleet: no run %q", id))
+	}
+	return cr
+}
+
+func (c *Coordinator) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	cr := c.lookupRun(w, r.PathValue("id"))
+	if cr == nil {
+		return
+	}
+	c.refresh(r.Context(), cr)
+	c.mu.Lock()
+	v := c.viewLocked(cr, true)
+	c.mu.Unlock()
+	server.WriteJSON(w, http.StatusOK, v)
+}
+
+func (c *Coordinator) handleCancelRun(w http.ResponseWriter, r *http.Request) {
+	cr := c.lookupRun(w, r.PathValue("id"))
+	if cr == nil {
+		return
+	}
+	c.mu.Lock()
+	final := cr.final
+	n := c.nodes[cr.nodeID]
+	remoteID := cr.remoteID
+	c.mu.Unlock()
+	if final == nil && n != nil && remoteID != "" {
+		if _, err := n.cli.CancelRun(r.Context(), remoteID); err != nil {
+			var api *client.APIError
+			if !errors.As(err, &api) {
+				relayError(w, err)
+				return
+			}
+		}
+		c.refresh(r.Context(), cr)
+	}
+	c.mu.Lock()
+	v := c.viewLocked(cr, false)
+	c.mu.Unlock()
+	server.WriteJSON(w, http.StatusOK, v)
+}
+
+func (c *Coordinator) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	p, err := server.ParsePageParams(r, "queued", "running", "done", "failed", "canceled")
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, server.CodeInvalidRequest, err)
+		return
+	}
+	for _, cr := range c.pendingRuns() {
+		c.refresh(r.Context(), cr)
+	}
+	c.mu.Lock()
+	views := make([]client.RunView, 0, len(c.runOrder))
+	for i := len(c.runOrder) - 1; i >= 0; i-- { // newest first
+		views = append(views, c.viewLocked(c.runOrder[i], false))
+	}
+	c.mu.Unlock()
+	page, next := server.Paginate(views, p,
+		func(v client.RunView) string { return v.ID },
+		func(v client.RunView) bool { return p.State == "" || v.State == p.State })
+	server.WriteJSON(w, http.StatusOK, client.RunPage{Runs: page, NextCursor: next})
+}
+
+// handleEvents streams a run's lifecycle as SSE, proxying the serving
+// node's stream with the run ID rewritten. If the serving node dies
+// mid-stream, the proxy follows the run to its requeued placement (or its
+// deterministic failure) instead of going silent.
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		server.WriteError(w, http.StatusInternalServerError, server.CodeInternal, errors.New("streaming unsupported"))
+		return
+	}
+	cr := c.lookupRun(w, r.PathValue("id"))
+	if cr == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	emit := func(ev client.Event) {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: state\ndata: %s\n\n", data)
+		flusher.Flush()
+	}
+	for {
+		c.mu.Lock()
+		final := cr.final
+		n := c.nodes[cr.nodeID]
+		remoteID := cr.remoteID
+		c.mu.Unlock()
+		if final != nil {
+			at := c.now()
+			if final.FinishedAt != nil {
+				at = *final.FinishedAt
+			}
+			emit(client.Event{RunID: cr.id, State: final.State, At: at, Message: final.Error})
+			return
+		}
+		sawTerminal := false
+		if n != nil && remoteID != "" {
+			err := n.cli.FollowRun(r.Context(), remoteID, func(ev client.Event) bool {
+				ev.RunID = cr.id
+				emit(ev)
+				sawTerminal = client.Terminal(ev.State)
+				return true
+			})
+			if err != nil && r.Context().Err() != nil {
+				return
+			}
+			if sawTerminal {
+				c.refresh(r.Context(), cr)
+				return
+			}
+		}
+		// Stream ended without a terminal state: the node is gone or the
+		// run moved. Wait for the monitor to settle the run's fate, then
+		// loop to follow its new placement (or emit its final state).
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	cr := c.lookupRun(w, r.PathValue("id"))
+	if cr == nil {
+		return
+	}
+	c.mu.Lock()
+	n := c.nodes[cr.nodeID]
+	remoteID := cr.remoteID
+	c.mu.Unlock()
+	if n == nil || remoteID == "" {
+		server.WriteError(w, http.StatusNotFound, server.CodeNotFound,
+			fmt.Errorf("fleet: run %s has no reachable decision trace", cr.id))
+		return
+	}
+	raw, err := n.cli.Trace(r.Context(), remoteID)
+	if err != nil {
+		relayError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
+// ---------------------------------------------------------------------------
+// Sweep plane.
+
+func (c *Coordinator) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req server.SweepSubmitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.DeadlineS < 0 {
+		server.WriteError(w, http.StatusBadRequest, server.CodeInvalidRequest,
+			fmt.Errorf("negative deadline_s %v", req.DeadlineS))
+		return
+	}
+	if err := req.SweepSpec.Validate(); err != nil {
+		server.WriteError(w, http.StatusBadRequest, server.CodeInvalidRequest, err)
+		return
+	}
+	resolved := req.SweepSpec.WithDefaults()
+	members := resolved.Members()
+
+	// Shard: members dispatch in placement order (LPT sorts by cost) but
+	// runIDs keep grid order, which is what reassembly indexes by.
+	outcomes := make([]submitOutcome, len(members))
+	var created []*crun
+	for _, idx := range c.lptOrder(members) {
+		out, cr, err := c.submitOne(r.Context(), members[idx], req.DeadlineS)
+		if err != nil {
+			// Batch admission is atomic: unwind the members already placed.
+			for _, u := range created {
+				c.mu.Lock()
+				n := c.nodes[u.nodeID]
+				remoteID := u.remoteID
+				c.mu.Unlock()
+				if n != nil && remoteID != "" {
+					n.cli.CancelRun(r.Context(), remoteID)
+				}
+				c.remove(u)
+			}
+			writeSubmitError(w, err)
+			return
+		}
+		outcomes[idx] = out
+		if cr != nil {
+			created = append(created, cr)
+		}
+	}
+
+	c.mu.Lock()
+	c.swSeq++
+	cs := &csweep{
+		id:        fmt.Sprintf("sweep-%06d", c.swSeq),
+		spec:      resolved,
+		submitted: c.now(),
+	}
+	resp := server.SweepSubmitResponse{ID: cs.id}
+	for _, out := range outcomes {
+		cs.runIDs = append(cs.runIDs, out.id)
+		resp.RunIDs = append(resp.RunIDs, out.id)
+		if out.cacheHit {
+			resp.CacheHits++
+		}
+		if out.deduped {
+			resp.Deduped++
+		}
+	}
+	c.sweeps[cs.id] = cs
+	c.swOrder = append(c.swOrder, cs)
+	c.mu.Unlock()
+	server.WriteJSON(w, http.StatusAccepted, resp)
+}
+
+// sweepStatus aggregates a sweep exactly as a single pool does: the same
+// member state machine, and — once every member is done — the same
+// per-cell Summarize over the members' exports in grid order. That is the
+// byte-identity contract: fleet cells equal standalone cells.
+func (c *Coordinator) sweepStatus(ctx context.Context, cs *csweep) server.SweepView {
+	c.mu.Lock()
+	members := make([]*crun, len(cs.runIDs))
+	for i, id := range cs.runIDs {
+		members[i] = c.runs[id]
+	}
+	c.mu.Unlock()
+	for _, cr := range members {
+		if cr != nil {
+			c.refresh(ctx, cr)
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := server.SweepView{
+		ID:          cs.id,
+		State:       string(runqueue.Queued),
+		Total:       len(cs.runIDs),
+		SubmittedAt: cs.submitted,
+		Spec:        cs.spec,
+		RunIDs:      cs.runIDs,
+	}
+	allDone := true
+	anyStarted := false
+	var exports []metrics.Export
+	for i, cr := range members {
+		if cr == nil {
+			v.Errors = append(v.Errors, fmt.Sprintf("%s: evicted from history", cs.runIDs[i]))
+			v.State = string(runqueue.Failed)
+			return v
+		}
+		state := cr.state
+		if cr.final != nil {
+			state = cr.final.State
+		}
+		if state != string(runqueue.Queued) {
+			anyStarted = true
+		}
+		if cr.final != nil {
+			v.Done++
+		}
+		switch state {
+		case string(runqueue.Done):
+			if allDone {
+				var ex metrics.Export
+				if err := json.Unmarshal(cr.final.Result, &ex); err != nil {
+					v.Errors = append(v.Errors, fmt.Sprintf("%s: decoding result: %v", cr.id, err))
+					v.State = string(runqueue.Failed)
+					return v
+				}
+				exports = append(exports, ex)
+			}
+		case string(runqueue.Failed):
+			allDone = false
+			v.State = string(runqueue.Failed)
+			if cr.final != nil && cr.final.Error != "" {
+				v.Errors = append(v.Errors, fmt.Sprintf("%s: %s", cr.id, cr.final.Error))
+			}
+		case string(runqueue.Canceled):
+			allDone = false
+			if v.State != string(runqueue.Failed) {
+				v.State = string(runqueue.Canceled)
+			}
+		default:
+			allDone = false
+		}
+	}
+	if v.State == string(runqueue.Queued) && anyStarted {
+		v.State = string(runqueue.Running)
+	}
+	if !allDone {
+		return v
+	}
+	v.State = string(runqueue.Done)
+	nseeds := len(cs.spec.Seeds)
+	i := 0
+	for _, mix := range cs.spec.Mixes {
+		for _, load := range cs.spec.Loads {
+			for _, pol := range cs.spec.Policies {
+				v.Cells = append(v.Cells, sweep.Summarize(
+					canonicalPolicy(pol), mix, load, cs.spec.Seeds, exports[i:i+nseeds]))
+				i += nseeds
+			}
+		}
+	}
+	return v
+}
+
+// canonicalPolicy matches the pool's: cells carry the simulator's name for
+// the policy, not the submitter's spelling.
+func canonicalPolicy(pol string) string {
+	if p, err := pdpasim.ParsePolicy(pol); err == nil {
+		return string(p)
+	}
+	return pol
+}
+
+func (c *Coordinator) lookupSweep(w http.ResponseWriter, id string) *csweep {
+	c.mu.Lock()
+	cs := c.sweeps[id]
+	c.mu.Unlock()
+	if cs == nil {
+		server.WriteError(w, http.StatusNotFound, server.CodeNotFound,
+			fmt.Errorf("fleet: no sweep %q", id))
+	}
+	return cs
+}
+
+func (c *Coordinator) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	cs := c.lookupSweep(w, r.PathValue("id"))
+	if cs == nil {
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, c.sweepStatus(r.Context(), cs))
+}
+
+func (c *Coordinator) handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	p, err := server.ParsePageParams(r, "queued", "running", "done", "failed", "canceled")
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, server.CodeInvalidRequest, err)
+		return
+	}
+	c.mu.Lock()
+	sweeps := make([]*csweep, len(c.swOrder))
+	copy(sweeps, c.swOrder)
+	c.mu.Unlock()
+	views := make([]server.SweepView, 0, len(sweeps))
+	for i := len(sweeps) - 1; i >= 0; i-- { // newest first
+		v := c.sweepStatus(r.Context(), sweeps[i])
+		v.RunIDs = nil
+		v.Cells = nil
+		views = append(views, v)
+	}
+	page, next := server.Paginate(views, p,
+		func(v server.SweepView) string { return v.ID },
+		func(v server.SweepView) bool { return p.State == "" || v.State == p.State })
+	server.WriteJSON(w, http.StatusOK, server.SweepListResponse{Sweeps: page, NextCursor: next})
+}
+
+func (c *Coordinator) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
+	cs := c.lookupSweep(w, r.PathValue("id"))
+	if cs == nil {
+		return
+	}
+	c.mu.Lock()
+	members := make([]*crun, 0, len(cs.runIDs))
+	for _, id := range cs.runIDs {
+		if cr := c.runs[id]; cr != nil && cr.final == nil {
+			members = append(members, cr)
+		}
+	}
+	c.mu.Unlock()
+	for _, cr := range members {
+		c.mu.Lock()
+		n := c.nodes[cr.nodeID]
+		remoteID := cr.remoteID
+		c.mu.Unlock()
+		if n != nil && remoteID != "" {
+			n.cli.CancelRun(r.Context(), remoteID) // best effort
+		}
+		c.refresh(r.Context(), cr)
+	}
+	v := c.sweepStatus(r.Context(), cs)
+	v.RunIDs = nil
+	v.Cells = nil
+	server.WriteJSON(w, http.StatusOK, v)
+}
+
+// ---------------------------------------------------------------------------
+// Node plane.
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.APIRevision != server.APIRevision {
+		server.WriteError(w, http.StatusBadRequest, server.CodeIncompatibleRevision,
+			fmt.Errorf("fleet: node speaks API revision %d, coordinator speaks %d",
+				req.APIRevision, server.APIRevision))
+		return
+	}
+	if req.Addr == "" {
+		server.WriteError(w, http.StatusBadRequest, server.CodeInvalidRequest,
+			errors.New("fleet: registration needs a non-empty addr"))
+		return
+	}
+	now := c.now()
+	var orphans []*crun
+	c.mu.Lock()
+	// A re-registration from a restarted node: its old incarnation's runs
+	// are gone with the old process, so drain the stale record.
+	for _, old := range c.order {
+		if !old.drained && old.addr == req.Addr {
+			old.drained = true
+			orphans = append(orphans, c.runsOnLocked(old.id)...)
+			c.logf("fleet: node %s re-registered from %s; draining stale record", old.id, old.addr)
+		}
+	}
+	c.nodeSeq++
+	n := &node{
+		id:           fmt.Sprintf("node-%03d", c.nodeSeq),
+		name:         req.Name,
+		addr:         req.Addr,
+		cli:          client.New(req.Addr, client.WithHTTPClient(c.hc)),
+		cpus:         req.CPUs,
+		baseWorkers:  req.BaseWorkers,
+		maxWorkers:   req.MaxWorkers,
+		registeredAt: now,
+		lastBeat:     now,
+	}
+	c.nodes[n.id] = n
+	c.order = append(c.order, n)
+	c.mu.Unlock()
+	c.logf("fleet: node %s registered from %s (%d cpus)", n.id, n.addr, n.cpus)
+	for _, cr := range orphans {
+		c.requeue(r.Context(), cr, "node restarted")
+	}
+	server.WriteJSON(w, http.StatusOK, RegisterResponse{
+		ID:                 n.id,
+		HeartbeatIntervalS: c.health.HeartbeatInterval.Seconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	id := r.PathValue("id")
+	c.mu.Lock()
+	n := c.nodes[id]
+	if n == nil || n.drained {
+		c.mu.Unlock()
+		// 404 tells the node to re-register: it is unknown, or was declared
+		// dead and its record is now a tombstone.
+		server.WriteError(w, http.StatusNotFound, server.CodeNotFound,
+			fmt.Errorf("fleet: no live node %q (re-register)", id))
+		return
+	}
+	n.lastBeat = c.now()
+	n.beats++
+	n.queueDepth = req.QueueDepth
+	n.inflight = req.Inflight
+	n.nodeDraining = req.Draining
+	state := CombineState(StateHealthy, n.cordoned, n.drained)
+	c.mu.Unlock()
+	c.met.heartbeats.Inc()
+	server.WriteJSON(w, http.StatusOK, HeartbeatResponse{State: state})
+}
+
+// nodeViewLocked renders a node for the wire using the client mirror type,
+// so coordinator and client literally share the schema.
+func (c *Coordinator) nodeViewLocked(n *node) client.NodeView {
+	live := c.health.Liveness(c.now().Sub(n.lastBeat))
+	return client.NodeView{
+		ID:              n.id,
+		Name:            n.name,
+		Addr:            n.addr,
+		State:           string(CombineState(live, n.cordoned, n.drained)),
+		Cordoned:        n.cordoned,
+		CPUs:            n.cpus,
+		BaseWorkers:     n.baseWorkers,
+		MaxWorkers:      n.maxWorkers,
+		RegisteredAt:    n.registeredAt,
+		LastHeartbeatAt: n.lastBeat,
+		Heartbeats:      n.beats,
+		QueueDepth:      n.queueDepth,
+		Inflight:        n.inflight,
+		Draining:        n.nodeDraining,
+		Assigned:        n.assigned,
+	}
+}
+
+func (c *Coordinator) handleListNodes(w http.ResponseWriter, r *http.Request) {
+	p, err := server.ParsePageParams(r,
+		string(StateHealthy), string(StateCordoned), string(StateUnhealthy), string(StateDrained))
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, server.CodeInvalidRequest, err)
+		return
+	}
+	c.mu.Lock()
+	views := make([]client.NodeView, 0, len(c.order))
+	for i := len(c.order) - 1; i >= 0; i-- { // newest first
+		views = append(views, c.nodeViewLocked(c.order[i]))
+	}
+	c.mu.Unlock()
+	page, next := server.Paginate(views, p,
+		func(v client.NodeView) string { return v.ID },
+		func(v client.NodeView) bool { return p.State == "" || v.State == p.State })
+	server.WriteJSON(w, http.StatusOK, client.NodePage{Nodes: page, NextCursor: next})
+}
+
+func (c *Coordinator) lookupNode(w http.ResponseWriter, id string) *node {
+	c.mu.Lock()
+	n := c.nodes[id]
+	c.mu.Unlock()
+	if n == nil {
+		server.WriteError(w, http.StatusNotFound, server.CodeNotFound,
+			fmt.Errorf("fleet: no node %q", id))
+	}
+	return n
+}
+
+func (c *Coordinator) handleCordon(w http.ResponseWriter, r *http.Request) {
+	n := c.lookupNode(w, r.PathValue("id"))
+	if n == nil {
+		return
+	}
+	c.mu.Lock()
+	n.cordoned = true
+	v := c.nodeViewLocked(n)
+	c.mu.Unlock()
+	c.logf("fleet: node %s cordoned", n.id)
+	server.WriteJSON(w, http.StatusOK, v)
+}
+
+func (c *Coordinator) handleUncordon(w http.ResponseWriter, r *http.Request) {
+	n := c.lookupNode(w, r.PathValue("id"))
+	if n == nil {
+		return
+	}
+	c.mu.Lock()
+	n.cordoned = false
+	v := c.nodeViewLocked(n)
+	c.mu.Unlock()
+	c.logf("fleet: node %s uncordoned", n.id)
+	server.WriteJSON(w, http.StatusOK, v)
+}
+
+// handleDrainNode cordons the node, then evicts its placed runs: each one
+// is refreshed (finished work keeps its result), cancelled on the node
+// best-effort, and requeued elsewhere.
+func (c *Coordinator) handleDrainNode(w http.ResponseWriter, r *http.Request) {
+	n := c.lookupNode(w, r.PathValue("id"))
+	if n == nil {
+		return
+	}
+	c.mu.Lock()
+	n.cordoned = true
+	n.drained = true
+	evicted := c.runsOnLocked(n.id)
+	c.mu.Unlock()
+	c.logf("fleet: node %s draining, evicting %d runs", n.id, len(evicted))
+	for _, cr := range evicted {
+		c.refresh(r.Context(), cr)
+		c.mu.Lock()
+		final := cr.final
+		remoteID := cr.remoteID
+		c.mu.Unlock()
+		if final != nil {
+			continue // finished before eviction: keep the result
+		}
+		if remoteID != "" {
+			n.cli.CancelRun(r.Context(), remoteID) // best effort: free the node
+		}
+		c.requeue(r.Context(), cr, "node drained")
+	}
+	c.mu.Lock()
+	v := c.nodeViewLocked(n)
+	c.mu.Unlock()
+	server.WriteJSON(w, http.StatusOK, v)
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+
+func (c *Coordinator) handleVersion(w http.ResponseWriter, r *http.Request) {
+	server.WriteJSON(w, http.StatusOK, server.Version(server.RoleCoordinator))
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	status := "ok"
+	if c.draining {
+		status = "draining"
+	}
+	queue, inflight, total, healthy := 0, 0, 0, 0
+	now := c.now()
+	for _, n := range c.order {
+		if n.drained {
+			continue
+		}
+		total++
+		queue += n.queueDepth
+		inflight += n.inflight
+		if CombineState(c.health.Liveness(now.Sub(n.lastBeat)), n.cordoned, n.drained) == StateHealthy {
+			healthy++
+		}
+	}
+	c.mu.Unlock()
+	server.WriteJSON(w, http.StatusOK, map[string]any{
+		"status":   status,
+		"uptime_s": time.Since(c.started).Seconds(),
+		"queue":    queue,
+		"inflight": inflight,
+		"nodes":    total,
+		"healthy":  healthy,
+	})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	c.reg.WritePrometheus(w)
+}

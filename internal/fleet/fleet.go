@@ -1,0 +1,150 @@
+// Package fleet lifts pdpad from one process to a cluster: a coordinator
+// owns admission and routing while N node daemons each run today's
+// PDPA-governed runqueue.Pool unchanged. The division of labor follows the
+// paper's two-level structure — per-job processor allocation stays local to
+// each node (its pool's PDPA-MPL admission keeps governing what actually
+// runs), and the coordinator only balances load across nodes, the way
+// PDPA's upper level only decides how many things may run at once.
+//
+// Nodes register over HTTP (POST /v1/nodes/register), then send periodic
+// heartbeats carrying capacity and queue-depth/MPL snapshots; a node whose
+// heartbeats stop is marked unhealthy (no new placements) and then drained
+// (its placed runs requeue onto surviving nodes, or fail deterministically
+// when no healthy node remains). The coordinator serves the same v1 run and
+// sweep surface as a standalone daemon — existing clients work unchanged —
+// plus the coordinator-facing node plane (GET /v1/nodes, POST
+// /v1/nodes/{id}/cordon|uncordon|drain), all speaking the v1 error envelope
+// and pagination conventions.
+//
+// Sweep grids are sharded across healthy nodes member by member and the
+// per-cell aggregates are reassembled in grid order by index, so a fleet
+// sweep's cells are byte-identical to the same sweep on a single node —
+// including after a node dies mid-sweep and survivors absorb its members.
+package fleet
+
+import (
+	"time"
+)
+
+// NodeState is a node's lifecycle state as the coordinator reports it.
+type NodeState string
+
+// Node states, from the coordinator's point of view.
+const (
+	// StateHealthy: heartbeats current, placements allowed.
+	StateHealthy NodeState = "healthy"
+	// StateCordoned: placements stopped by hand; running and queued work
+	// on the node proceeds, heartbeats keep flowing.
+	StateCordoned NodeState = "cordoned"
+	// StateUnhealthy: heartbeats missed past UnhealthyAfter; no new
+	// placements, existing work left alone pending recovery or death.
+	StateUnhealthy NodeState = "unhealthy"
+	// StateDrained: the node is out of the fleet — heartbeats missed past
+	// DeadAfter (its runs were requeued), or a manual drain evicted its
+	// placed work.
+	StateDrained NodeState = "drained"
+)
+
+// HealthConfig is the heartbeat-timeout state machine's timing. The zero
+// value takes the defaults noted per field.
+type HealthConfig struct {
+	// HeartbeatInterval is the cadence the coordinator directs nodes to
+	// send heartbeats at (default 2s).
+	HeartbeatInterval time.Duration
+	// UnhealthyAfter is the heartbeat silence after which a node stops
+	// receiving placements (default 3× HeartbeatInterval).
+	UnhealthyAfter time.Duration
+	// DeadAfter is the silence after which the node is drained and its
+	// placed runs are requeued (default 2× UnhealthyAfter).
+	DeadAfter time.Duration
+}
+
+func (h HealthConfig) withDefaults() HealthConfig {
+	if h.HeartbeatInterval <= 0 {
+		h.HeartbeatInterval = 2 * time.Second
+	}
+	if h.UnhealthyAfter <= 0 {
+		h.UnhealthyAfter = 3 * h.HeartbeatInterval
+	}
+	if h.DeadAfter <= 0 {
+		h.DeadAfter = 2 * h.UnhealthyAfter
+	}
+	if h.UnhealthyAfter < h.HeartbeatInterval {
+		h.UnhealthyAfter = h.HeartbeatInterval
+	}
+	if h.DeadAfter < h.UnhealthyAfter {
+		h.DeadAfter = h.UnhealthyAfter
+	}
+	return h
+}
+
+// Liveness is the heartbeat-timeout state machine: a pure function of how
+// long a node has been silent, so its transitions are exactly testable.
+func (h HealthConfig) Liveness(silence time.Duration) NodeState {
+	switch {
+	case silence >= h.DeadAfter:
+		return StateDrained
+	case silence >= h.UnhealthyAfter:
+		return StateUnhealthy
+	default:
+		return StateHealthy
+	}
+}
+
+// CombineState folds the liveness verdict with the manual flags into the
+// state GET /v1/nodes reports. Drained (by death or by hand) dominates;
+// a silent node reports unhealthy even while cordoned, because liveness is
+// the more urgent fact; cordon otherwise masks healthy.
+func CombineState(live NodeState, cordoned, drained bool) NodeState {
+	switch {
+	case drained || live == StateDrained:
+		return StateDrained
+	case live == StateUnhealthy:
+		return StateUnhealthy
+	case cordoned:
+		return StateCordoned
+	default:
+		return StateHealthy
+	}
+}
+
+// RegisterRequest is the node-facing POST /v1/nodes/register payload: a
+// node announces its address, wire revision, and capacity.
+type RegisterRequest struct {
+	// Name is an optional human label; the coordinator assigns the ID.
+	Name string `json:"name,omitempty"`
+	// Addr is the node's advertised base URL (how the coordinator reaches
+	// its v1 surface).
+	Addr string `json:"addr"`
+	// APIRevision is the wire revision the node speaks; a mismatch with
+	// the coordinator's is refused with code incompatible_revision.
+	APIRevision int `json:"api_revision"`
+	// CPUs, BaseWorkers, and MaxWorkers describe capacity: the machine
+	// size its simulations model and the pool's MPL bounds.
+	CPUs        int `json:"cpus,omitempty"`
+	BaseWorkers int `json:"base_workers,omitempty"`
+	MaxWorkers  int `json:"max_workers,omitempty"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	// ID is the coordinator-assigned node ID, used in the heartbeat path
+	// and the node-plane endpoints.
+	ID string `json:"id"`
+	// HeartbeatIntervalS directs the node's heartbeat cadence.
+	HeartbeatIntervalS float64 `json:"heartbeat_interval_s"`
+}
+
+// HeartbeatRequest is the periodic node → coordinator liveness report with
+// the node's current queue-depth/MPL snapshot.
+type HeartbeatRequest struct {
+	QueueDepth int  `json:"queue_depth"`
+	Inflight   int  `json:"inflight"`
+	Draining   bool `json:"draining,omitempty"`
+}
+
+// HeartbeatResponse tells the node how the coordinator currently sees it,
+// so a cordoned or drained node can log the fact.
+type HeartbeatResponse struct {
+	State NodeState `json:"state"`
+}

@@ -1,0 +1,584 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdpasim"
+	"pdpasim/client"
+	"pdpasim/internal/leakcheck"
+	"pdpasim/internal/runqueue"
+	"pdpasim/internal/server"
+)
+
+func TestHealthConfigDefaults(t *testing.T) {
+	h := HealthConfig{}.withDefaults()
+	if h.HeartbeatInterval != 2*time.Second {
+		t.Fatalf("interval = %v, want 2s", h.HeartbeatInterval)
+	}
+	if h.UnhealthyAfter != 6*time.Second {
+		t.Fatalf("unhealthy = %v, want 6s", h.UnhealthyAfter)
+	}
+	if h.DeadAfter != 12*time.Second {
+		t.Fatalf("dead = %v, want 12s", h.DeadAfter)
+	}
+	// Inverted bounds are repaired, never accepted.
+	h = HealthConfig{HeartbeatInterval: time.Second, UnhealthyAfter: time.Millisecond, DeadAfter: time.Microsecond}.withDefaults()
+	if h.UnhealthyAfter < h.HeartbeatInterval || h.DeadAfter < h.UnhealthyAfter {
+		t.Fatalf("withDefaults left inverted bounds: %+v", h)
+	}
+}
+
+func TestLivenessStateMachine(t *testing.T) {
+	h := HealthConfig{HeartbeatInterval: 2 * time.Second}.withDefaults() // unhealthy 6s, dead 12s
+	cases := []struct {
+		silence time.Duration
+		want    NodeState
+	}{
+		{0, StateHealthy},
+		{time.Second, StateHealthy},
+		{6*time.Second - time.Nanosecond, StateHealthy},
+		{6 * time.Second, StateUnhealthy},
+		{10 * time.Second, StateUnhealthy},
+		{12*time.Second - time.Nanosecond, StateUnhealthy},
+		{12 * time.Second, StateDrained},
+		{time.Hour, StateDrained},
+	}
+	for _, tc := range cases {
+		if got := h.Liveness(tc.silence); got != tc.want {
+			t.Errorf("Liveness(%v) = %s, want %s", tc.silence, got, tc.want)
+		}
+	}
+}
+
+func TestCombineState(t *testing.T) {
+	cases := []struct {
+		live              NodeState
+		cordoned, drained bool
+		want              NodeState
+	}{
+		{StateHealthy, false, false, StateHealthy},
+		{StateHealthy, true, false, StateCordoned},
+		{StateHealthy, false, true, StateDrained},
+		{StateHealthy, true, true, StateDrained},
+		{StateUnhealthy, false, false, StateUnhealthy},
+		{StateUnhealthy, true, false, StateUnhealthy}, // liveness outranks cordon
+		{StateUnhealthy, false, true, StateDrained},
+		{StateDrained, false, false, StateDrained},
+		{StateDrained, true, false, StateDrained},
+	}
+	for _, tc := range cases {
+		if got := CombineState(tc.live, tc.cordoned, tc.drained); got != tc.want {
+			t.Errorf("CombineState(%s, cordoned=%v, drained=%v) = %s, want %s",
+				tc.live, tc.cordoned, tc.drained, got, tc.want)
+		}
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	for _, ok := range []string{"", "round_robin", "least_loaded", "lpt"} {
+		if _, err := ParsePlacement(ok); err != nil {
+			t.Errorf("ParsePlacement(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParsePlacement("coordinated"); err == nil {
+		t.Error("ParsePlacement accepted an unknown strategy")
+	}
+}
+
+// --- in-process fleet harness -------------------------------------------
+
+// fastHealth keeps fleet tests snappy: unhealthy after 90ms, dead at 180ms.
+var fastHealth = HealthConfig{HeartbeatInterval: 30 * time.Millisecond}
+
+type testNode struct {
+	pool  *runqueue.Pool
+	ts    *httptest.Server
+	agent *Agent
+}
+
+// kill simulates node death: the HTTP surface vanishes and heartbeats stop.
+func (n *testNode) kill() {
+	n.agent.Stop()
+	n.ts.CloseClientConnections()
+	n.ts.Close()
+}
+
+type testFleet struct {
+	t     *testing.T
+	coord *Coordinator
+	cts   *httptest.Server
+	cli   *client.Client
+	nodes []*testNode
+}
+
+// startFleet boots a coordinator plus n nodes and waits for every node to
+// register. cfgFor customizes each node's pool (nil = defaults).
+func startFleet(t *testing.T, n int, placement Placement, cfgFor func(i int) runqueue.Config) *testFleet {
+	t.Helper()
+	coord, err := NewCoordinator(Config{Placement: placement, Health: fastHealth, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &testFleet{t: t, coord: coord}
+	f.cts = httptest.NewServer(coord)
+	f.cli = client.New(f.cts.URL)
+	for i := 0; i < n; i++ {
+		cfg := runqueue.Config{}
+		if cfgFor != nil {
+			cfg = cfgFor(i)
+		}
+		pool := runqueue.New(cfg)
+		ts := httptest.NewServer(server.New(pool))
+		agent := StartAgent(AgentConfig{
+			Coordinator: f.cts.URL,
+			Advertise:   ts.URL,
+			Name:        fmt.Sprintf("n%d", i),
+			CPUs:        60,
+			Logf:        t.Logf,
+		}, pool)
+		select {
+		case <-agent.Registered():
+		case <-time.After(10 * time.Second):
+			t.Fatalf("node %d never registered", i)
+		}
+		f.nodes = append(f.nodes, &testNode{pool: pool, ts: ts, agent: agent})
+	}
+	t.Cleanup(f.shutdown)
+	return f
+}
+
+func (f *testFleet) shutdown() {
+	for _, n := range f.nodes {
+		if n.agent != nil {
+			n.agent.Stop()
+			n.agent = nil
+		}
+	}
+	f.coord.Close()
+	for _, n := range f.nodes {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		n.pool.Drain(ctx)
+		cancel()
+		if n.ts != nil {
+			n.ts.Close()
+			n.ts = nil
+		}
+	}
+	f.cts.Close()
+	f.cli.CloseIdleConnections()
+}
+
+// testSweep is the grid used for the byte-identity contract: two policies,
+// two seeds, small enough to simulate quickly but aggregated over real runs.
+func testSweep() client.SubmitSweepRequest {
+	return client.SubmitSweepRequest{SweepSpec: client.SweepSpec{
+		Policies: []string{"equip", "gang"},
+		Mixes:    []string{"w1"},
+		Loads:    []float64{0.5},
+		Seeds:    []int64{1, 2},
+		NCPU:     32,
+		WindowS:  30,
+	}}
+}
+
+// standaloneCells runs the sweep on a plain single-node daemon and returns
+// the cells JSON — the reference bytes fleets must reproduce.
+func standaloneCells(t *testing.T) []byte {
+	t.Helper()
+	pool := runqueue.New(runqueue.Config{})
+	ts := httptest.NewServer(server.New(pool))
+	cli := client.New(ts.URL)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		pool.Drain(ctx)
+		cancel()
+		ts.Close()
+		cli.CloseIdleConnections()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	sub, err := cli.SubmitSweep(ctx, testSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cli.WaitSweep(ctx, sub.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != "done" {
+		t.Fatalf("standalone sweep state = %s, errors %v", v.State, v.Errors)
+	}
+	return v.Cells
+}
+
+// TestFleetSweepByteIdentical is the PR's acceptance contract: a sweep
+// sharded across any number of nodes under any placement strategy yields
+// cells byte-identical to the same sweep on a single standalone daemon.
+func TestFleetSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulations; skipped in -short")
+	}
+	want := standaloneCells(t)
+	if len(want) == 0 {
+		t.Fatal("standalone sweep produced no cells")
+	}
+	for _, placement := range []Placement{PlaceRoundRobin, PlaceLeastLoaded, PlaceLPT} {
+		for _, nodes := range []int{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s/%dnode", placement, nodes), func(t *testing.T) {
+				f := startFleet(t, nodes, placement, nil)
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+				defer cancel()
+				sub, err := f.cli.SubmitSweep(ctx, testSweep())
+				if err != nil {
+					t.Fatal(err)
+				}
+				v, err := f.cli.WaitSweep(ctx, sub.ID, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.State != "done" {
+					t.Fatalf("fleet sweep state = %s, errors %v", v.State, v.Errors)
+				}
+				if !bytes.Equal(v.Cells, want) {
+					t.Errorf("fleet cells differ from standalone:\nfleet: %s\nwant:  %s", v.Cells, want)
+				}
+			})
+		}
+	}
+}
+
+// TestFleetNodeDeathMidSweep kills a node while its members are in flight:
+// the coordinator must requeue them onto the survivor and the finished
+// sweep's cells must still be byte-identical to the standalone reference.
+func TestFleetNodeDeathMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulations; skipped in -short")
+	}
+	defer leakcheck.Check(t)
+	want := standaloneCells(t)
+
+	// Node 0 stalls every simulation long enough for the kill to land while
+	// its members are running; node 1 simulates normally.
+	var stall atomic.Bool
+	stall.Store(true)
+	real := func(ctx context.Context, spec runqueue.Spec) (*pdpasim.Outcome, error) {
+		ws, opts := spec.Facade()
+		return pdpasim.RunContext(ctx, ws, opts)
+	}
+	f := startFleet(t, 2, PlaceRoundRobin, func(i int) runqueue.Config {
+		if i != 0 {
+			return runqueue.Config{}
+		}
+		return runqueue.Config{Simulate: func(ctx context.Context, spec runqueue.Spec) (*pdpasim.Outcome, error) {
+			if stall.Load() {
+				select {
+				case <-time.After(2 * time.Second):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			return real(ctx, spec)
+		}}
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	sub, err := f.cli.SubmitSweep(ctx, testSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin over two nodes put half the members on the doomed node.
+	f.nodes[0].kill()
+	v, err := f.cli.WaitSweep(ctx, sub.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != "done" {
+		t.Fatalf("sweep state after node death = %s, errors %v", v.State, v.Errors)
+	}
+	if !bytes.Equal(v.Cells, want) {
+		t.Errorf("cells after node death differ from standalone:\nfleet: %s\nwant:  %s", v.Cells, want)
+	}
+	met, err := f.cli.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met["pdpad_fleet_node_deaths_total"] < 1 {
+		t.Errorf("node_deaths_total = %v, want >= 1", met["pdpad_fleet_node_deaths_total"])
+	}
+	if met["pdpad_fleet_requeues_total"] < 1 {
+		t.Errorf("requeues_total = %v, want >= 1", met["pdpad_fleet_requeues_total"])
+	}
+	f.shutdown()
+}
+
+// TestFleetRunProxy exercises the proxied run plane end to end: submit,
+// dedup, wait, list, events.
+func TestFleetRunProxy(t *testing.T) {
+	f := startFleet(t, 2, PlaceLeastLoaded, fastNodeConfig)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	req := client.SubmitRunRequest{
+		Workload: client.Workload{Mix: "w1", Load: 0.6, WindowS: 60, Seed: 7},
+		Options:  client.RunOptions{Policy: "equip"},
+	}
+	sub, err := f.cli.SubmitRun(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID != "run-000001" {
+		t.Errorf("coordinator run ID = %q, want run-000001", sub.ID)
+	}
+	v, err := f.cli.WaitRun(ctx, sub.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != "done" || len(v.Result) == 0 {
+		t.Fatalf("run state = %s, result bytes = %d", v.State, len(v.Result))
+	}
+
+	// Identical resubmission resolves fleet-side without a fresh placement.
+	again, err := f.cli.SubmitRun(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != sub.ID || !again.CacheHit {
+		t.Errorf("resubmit = %+v, want same ID with cache_hit", again)
+	}
+
+	page, err := f.cli.Runs(ctx, client.ListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Runs) != 1 || page.Runs[0].ID != sub.ID {
+		t.Errorf("run list = %+v, want exactly %s", page.Runs, sub.ID)
+	}
+
+	var states []string
+	err = f.cli.FollowRun(ctx, sub.ID, func(ev client.Event) bool {
+		if ev.RunID != sub.ID {
+			t.Errorf("event run_id = %q, want %q", ev.RunID, sub.ID)
+		}
+		states = append(states, ev.State)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) == 0 || states[len(states)-1] != "done" {
+		t.Errorf("event states = %v, want trailing done", states)
+	}
+}
+
+// fastNodeConfig makes node pools simulate instantly for control-plane
+// tests that don't care about real results.
+func fastNodeConfig(int) runqueue.Config {
+	return runqueue.Config{
+		Warmup: time.Millisecond,
+		Simulate: func(ctx context.Context, spec runqueue.Spec) (*pdpasim.Outcome, error) {
+			ws := pdpasim.WorkloadSpec{Mix: spec.Workload.Mix, Load: 0.2, NCPU: 8,
+				Window: 5 * time.Second, Seed: spec.Workload.Seed}
+			return pdpasim.RunContext(ctx, ws, pdpasim.Options{Policy: pdpasim.Equipartition})
+		},
+	}
+}
+
+// TestCordonStopsPlacements cordons the only node: running work finishes,
+// new submissions are refused with no_healthy_nodes, uncordon restores.
+func TestCordonStopsPlacements(t *testing.T) {
+	f := startFleet(t, 1, PlaceRoundRobin, fastNodeConfig)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	page, err := f.cli.Nodes(ctx, client.ListOptions{})
+	if err != nil || len(page.Nodes) != 1 {
+		t.Fatalf("nodes = %+v, err %v", page.Nodes, err)
+	}
+	id := page.Nodes[0].ID
+	nv, err := f.cli.CordonNode(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.State != string(StateCordoned) || !nv.Cordoned {
+		t.Fatalf("after cordon: %+v", nv)
+	}
+	_, err = f.cli.SubmitRun(ctx, client.SubmitRunRequest{
+		Workload: client.Workload{Mix: "w1", Seed: 1},
+		Options:  client.RunOptions{Policy: "equip"},
+	})
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.Code != server.CodeNoHealthyNodes {
+		t.Fatalf("submit on cordoned fleet: err = %v, want %s", err, server.CodeNoHealthyNodes)
+	}
+	if _, err := f.cli.UncordonNode(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := f.cli.SubmitRun(ctx, client.SubmitRunRequest{
+		Workload: client.Workload{Mix: "w1", Seed: 1},
+		Options:  client.RunOptions{Policy: "equip"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := f.cli.WaitRun(ctx, sub.ID, 0); err != nil || v.State != "done" {
+		t.Fatalf("after uncordon: view %+v err %v", v, err)
+	}
+}
+
+// TestDrainNodeRequeues drains a busy node by hand: its in-flight run moves
+// to the other node and completes.
+func TestDrainNodeRequeues(t *testing.T) {
+	var stall atomic.Bool
+	stall.Store(true)
+	f := startFleet(t, 2, PlaceRoundRobin, func(i int) runqueue.Config {
+		cfg := fastNodeConfig(i)
+		if i == 0 {
+			inner := cfg.Simulate
+			cfg.Simulate = func(ctx context.Context, spec runqueue.Spec) (*pdpasim.Outcome, error) {
+				if stall.Load() {
+					select {
+					case <-time.After(2 * time.Second):
+					case <-ctx.Done():
+						return nil, ctx.Err()
+					}
+				}
+				return inner(ctx, spec)
+			}
+		}
+		return cfg
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Round-robin: first submission lands on node 0, which stalls it.
+	sub, err := f.cli.SubmitRun(ctx, client.SubmitRunRequest{
+		Workload: client.Workload{Mix: "w1", Seed: 3},
+		Options:  client.RunOptions{Policy: "equip"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := f.cli.DrainNode(ctx, f.nodes[0].agent.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.State != string(StateDrained) {
+		t.Errorf("drained node state = %s", nv.State)
+	}
+	v, err := f.cli.WaitRun(ctx, sub.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != "done" {
+		t.Fatalf("run after drain = %s (%s)", v.State, v.Error)
+	}
+	met, err := f.cli.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met["pdpad_fleet_requeues_total"] < 1 {
+		t.Errorf("requeues_total = %v, want >= 1", met["pdpad_fleet_requeues_total"])
+	}
+}
+
+// TestHeartbeatTimeoutDrainsNode stops a node's heartbeats and watches the
+// coordinator walk it healthy → unhealthy → drained.
+func TestHeartbeatTimeoutDrainsNode(t *testing.T) {
+	f := startFleet(t, 2, PlaceRoundRobin, fastNodeConfig)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	id := f.nodes[0].agent.ID()
+	f.nodes[0].agent.Stop()
+
+	sawUnhealthy := false
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("node %s never drained (unhealthy seen: %v)", id, sawUnhealthy)
+		}
+		page, err := f.cli.Nodes(ctx, client.ListOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var state string
+		for _, n := range page.Nodes {
+			if n.ID == id {
+				state = n.State
+			}
+		}
+		if state == string(StateUnhealthy) {
+			sawUnhealthy = true
+		}
+		if state == string(StateDrained) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The survivor keeps the fleet serving.
+	sub, err := f.cli.SubmitRun(ctx, client.SubmitRunRequest{
+		Workload: client.Workload{Mix: "w1", Seed: 9},
+		Options:  client.RunOptions{Policy: "equip"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := f.cli.WaitRun(ctx, sub.ID, 0); err != nil || v.State != "done" {
+		t.Fatalf("survivor run: %+v err %v", v, err)
+	}
+}
+
+// TestRegisterRevisionMismatch: a node speaking another API revision is
+// refused with the typed envelope code.
+func TestRegisterRevisionMismatch(t *testing.T) {
+	f := startFleet(t, 0, PlaceRoundRobin, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var resp RegisterResponse
+	err := f.cli.Do(ctx, http.MethodPost, "/v1/nodes/register", RegisterRequest{
+		Addr:        "http://127.0.0.1:1",
+		APIRevision: server.APIRevision + 1,
+	}, &resp)
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.Code != server.CodeIncompatibleRevision || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("mismatched registration: err = %v, want 400 %s", err, server.CodeIncompatibleRevision)
+	}
+}
+
+// TestCoordinatorVersion: the coordinator reports its role and revision.
+func TestCoordinatorVersion(t *testing.T) {
+	f := startFleet(t, 0, PlaceRoundRobin, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v, err := f.cli.Version(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Role != server.RoleCoordinator || v.APIRevision != server.APIRevision {
+		t.Fatalf("version = %+v", v)
+	}
+}
+
+// TestNoNodesRejectsSubmissions: an empty fleet refuses work with the
+// typed no_healthy_nodes code rather than hanging.
+func TestNoNodesRejectsSubmissions(t *testing.T) {
+	f := startFleet(t, 0, PlaceRoundRobin, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := f.cli.SubmitRun(ctx, client.SubmitRunRequest{
+		Workload: client.Workload{Mix: "w1"},
+		Options:  client.RunOptions{Policy: "equip"},
+	})
+	apiErr, ok := err.(*client.APIError)
+	if !ok || apiErr.Code != server.CodeNoHealthyNodes {
+		t.Fatalf("submit on empty fleet: err = %v, want %s", err, server.CodeNoHealthyNodes)
+	}
+}

@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"fmt"
+
+	"pdpasim/internal/runqueue"
+)
+
+// Placement names a coordinator routing strategy. The first two transplant
+// internal/cluster's in-process dispatcher strategies to the fleet; LPT is
+// the classic longest-processing-time-first greedy for sweep sharding.
+type Placement string
+
+// Placement strategies.
+const (
+	// PlaceRoundRobin cycles through eligible nodes in registration order
+	// regardless of load.
+	PlaceRoundRobin Placement = "round_robin"
+	// PlaceLeastLoaded picks the eligible node with the fewest
+	// coordinator-placed non-terminal runs (ties to registration order).
+	// Deliberately counted from the coordinator's own ledger, not from
+	// heartbeat snapshots: the ledger moves synchronously with placement,
+	// so the choice is deterministic regardless of heartbeat timing.
+	PlaceLeastLoaded Placement = "least_loaded"
+	// PlaceLPT orders a batch's members by estimated cost (simulated window
+	// × load), longest first, and greedily assigns each to the eligible
+	// node with the smallest total estimated cost — the makespan heuristic.
+	// Single runs place like least-loaded-by-cost.
+	PlaceLPT Placement = "lpt"
+)
+
+// ParsePlacement validates a placement name ("" = round_robin).
+func ParsePlacement(s string) (Placement, error) {
+	switch Placement(s) {
+	case "":
+		return PlaceRoundRobin, nil
+	case PlaceRoundRobin, PlaceLeastLoaded, PlaceLPT:
+		return Placement(s), nil
+	}
+	return "", fmt.Errorf("fleet: unknown placement %q (want round_robin, least_loaded, or lpt)", s)
+}
+
+// estCost is a member's LPT weight: how much simulated work it asks for.
+// The defaults mirror the workload generator's (300 s window, load 1.0).
+func estCost(spec runqueue.Spec) float64 {
+	w := spec.Workload.WindowS
+	if w <= 0 {
+		w = 300
+	}
+	l := spec.Workload.Load
+	if l <= 0 {
+		l = 1.0
+	}
+	return w * l
+}
+
+// pickLocked chooses the node for one run among the eligible candidates
+// (non-empty, registration order). Caller holds c.mu; the choice reads and
+// updates only coordinator-local counters, never the network.
+func (c *Coordinator) pickLocked(cands []*node, cost float64) *node {
+	switch c.placement {
+	case PlaceLeastLoaded:
+		best := cands[0]
+		for _, n := range cands[1:] {
+			if n.assigned < best.assigned {
+				best = n
+			}
+		}
+		return best
+	case PlaceLPT:
+		best := cands[0]
+		for _, n := range cands[1:] {
+			if n.costSum < best.costSum {
+				best = n
+			}
+		}
+		return best
+	default: // PlaceRoundRobin
+		n := cands[c.rrNext%len(cands)]
+		c.rrNext++
+		return n
+	}
+}
+
+// lptOrder returns member indexes in LPT dispatch order: descending
+// estimated cost, ties broken by grid index so the order is total and
+// deterministic. Other placements dispatch in grid order.
+func (c *Coordinator) lptOrder(members []runqueue.Spec) []int {
+	order := make([]int, len(members))
+	for i := range order {
+		order[i] = i
+	}
+	if c.placement != PlaceLPT {
+		return order
+	}
+	costs := make([]float64, len(members))
+	for i, m := range members {
+		costs[i] = estCost(m)
+	}
+	// Insertion sort keeps it dependency-free and stable on ties.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && costs[order[j]] > costs[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -343,6 +344,8 @@ func (p *Pool) initMetrics() {
 		locked(func() float64 { return float64(len(p.running)) }))
 	reg.GaugeFunc("pdpad_cached_results", "Completed results held in the LRU cache.",
 		locked(func() float64 { return float64(len(p.cacheLRU)) }))
+	reg.GaugeFunc("pdpad_goroutines", "Live goroutines in the serving process (leak smoke-checks read this).",
+		func() float64 { return float64(runtime.NumGoroutine()) })
 	reg.GaugeFunc("pdpad_draining", "1 while the pool is draining for shutdown.",
 		locked(func() float64 {
 			if p.draining {

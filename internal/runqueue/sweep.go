@@ -48,6 +48,11 @@ func (s SweepSpec) withDefaults() SweepSpec {
 	return s
 }
 
+// WithDefaults returns the spec with the grid defaults made explicit
+// (loads {1.0}, seeds {0}) — the resolved form statuses report and the
+// fleet coordinator shards.
+func (s SweepSpec) WithDefaults() SweepSpec { return s.withDefaults() }
+
 // Members expands the grid into one Spec per run, cells enumerated mixes →
 // loads → policies with each cell's seeds contiguous — the same order the
 // in-process engine uses, so the aggregated cells line up.

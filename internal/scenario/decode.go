@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pdpasim/internal/faults"
+	"pdpasim/internal/fleet"
 	"pdpasim/internal/runqueue"
 )
 
@@ -35,6 +36,9 @@ func Parse(src []byte) (*Scenario, error) {
 	if v, ok := m["pool"]; ok {
 		s.Pool = d.pool(v)
 	}
+	if v, ok := m["fleet"]; ok {
+		s.Fleet = d.fleet(v)
+	}
 	if v, ok := m["defaults"]; ok {
 		s.Defaults = d.spec(v, "defaults", runqueue.Spec{})
 	}
@@ -47,7 +51,7 @@ func Parse(src []byte) (*Scenario, error) {
 	if v, ok := m["assertions"]; ok {
 		s.Assertions = d.assertions(v)
 	}
-	d.unknown(m, "document", "name", "description", "seed", "pool", "defaults", "faults", "events", "assertions")
+	d.unknown(m, "document", "name", "description", "seed", "pool", "fleet", "defaults", "faults", "events", "assertions")
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -214,6 +218,40 @@ func (d *decoder) pool(v any) PoolParams {
 	return p
 }
 
+func (d *decoder) fleet(v any) *FleetParams {
+	m := d.mapAt(v, "fleet")
+	f := &FleetParams{}
+	d.intField(m, "nodes", "fleet", &f.Nodes)
+	if f.Nodes < 1 {
+		d.fail("fleet needs a positive nodes count")
+	}
+	f.Placement = d.str(m, "placement", "fleet")
+	if _, err := fleet.ParsePlacement(f.Placement); err != nil {
+		d.fail("fleet.placement: %v", err)
+	}
+	d.durField(m, "heartbeat", "fleet", &f.Heartbeat)
+	d.durField(m, "unhealthy_after", "fleet", &f.UnhealthyAfter)
+	d.durField(m, "dead_after", "fleet", &f.DeadAfter)
+	for i, nv := range d.seqAt(m["node_faults"], "fleet.node_faults") {
+		path := fmt.Sprintf("fleet.node_faults[%d]", i)
+		nm := d.mapAt(nv, path)
+		nf := NodeFault{Node: -1}
+		d.intField(nm, "node", path, &nf.Node)
+		rule := d.str(nm, "rule", path)
+		if rule == "" {
+			d.fail("%s needs a rule string (\"<site>:<kind> [options]\")", path)
+		} else if r, err := faults.ParseRule(rule); err != nil {
+			d.fail("%s: %v", path, err)
+		} else {
+			nf.Rule = r
+		}
+		d.unknown(nm, path, "node", "rule")
+		f.NodeFaults = append(f.NodeFaults, nf)
+	}
+	d.unknown(m, "fleet", "nodes", "placement", "heartbeat", "unhealthy_after", "dead_after", "node_faults")
+	return f
+}
+
 // spec decodes a workload/options pair as overrides onto base — the same
 // shape serves the defaults template and per-submit overrides.
 func (d *decoder) spec(v any, path string, base runqueue.Spec) runqueue.Spec {
@@ -330,8 +368,21 @@ func (d *decoder) events(v any) []Event {
 				bm := d.mapAt(body, path+".cancel")
 				e.Cancel = &CancelEvent{Run: d.str(bm, "run", path+".cancel")}
 				d.unknown(bm, path+".cancel", "run")
+			case "kill_node", "cordon_node", "drain_node":
+				bm := d.mapAt(body, path+"."+key)
+				ne := &NodeEvent{Node: -1}
+				d.intField(bm, "node", path+"."+key, &ne.Node)
+				d.unknown(bm, path+"."+key, "node")
+				switch key {
+				case "kill_node":
+					e.KillNode = ne
+				case "cordon_node":
+					e.CordonNode = ne
+				default:
+					e.DrainNode = ne
+				}
 			default:
-				d.fail("%s: unknown event %q (valid: submit, arrivals, set_policy, wait, wait_all, cancel)", path, key)
+				d.fail("%s: unknown event %q (valid: submit, arrivals, set_policy, wait, wait_all, cancel, kill_node, cordon_node, drain_node)", path, key)
 			}
 		}
 		events = append(events, e)
@@ -528,6 +579,28 @@ func (d *decoder) assertions(v any) []Assertion {
 				d.intField(bm, "count", path+".injected", &ia.Count)
 				d.unknown(bm, path+".injected", "site", "count")
 				a.Injected = ia
+			case "node_states":
+				bm := d.mapAt(body, path+".node_states")
+				ns := &NodeStatesAssertion{}
+				for j, sv := range d.seqAt(bm["are"], path+".node_states.are") {
+					s, ok := sv.(string)
+					if !ok {
+						d.fail("%s.node_states.are[%d] must be a node state string", path, j)
+						break
+					}
+					switch s {
+					case string(fleet.StateHealthy), string(fleet.StateCordoned),
+						string(fleet.StateUnhealthy), string(fleet.StateDrained):
+					default:
+						d.fail("%s.node_states.are[%d]: %q is not a node state (healthy, cordoned, unhealthy, drained)", path, j, s)
+					}
+					ns.Are = append(ns.Are, s)
+				}
+				if len(ns.Are) == 0 {
+					d.fail("%s.node_states needs are: [...]", path)
+				}
+				d.unknown(bm, path+".node_states", "are")
+				a.NodeStates = ns
 			case "invariants", "no_leaks":
 				if body != nil {
 					if bm, ok := body.(map[string]any); !ok || len(bm) != 0 {
@@ -540,7 +613,7 @@ func (d *decoder) assertions(v any) []Assertion {
 					a.NoLeaks = true
 				}
 			default:
-				d.fail("%s: unknown assertion %q (valid: state, states, admission, error_contains, metric, outcome, same_result, injected, invariants, no_leaks)", path, key)
+				d.fail("%s: unknown assertion %q (valid: state, states, admission, error_contains, metric, outcome, same_result, injected, node_states, invariants, no_leaks)", path, key)
 			}
 		}
 		asserts = append(asserts, a)

@@ -83,6 +83,84 @@ func TestParseFullSchema(t *testing.T) {
 	}
 }
 
+const fleetDoc = `
+name: fleet-full
+seed: 3
+fleet:
+  nodes: 3
+  placement: least_loaded
+  heartbeat: 25ms
+  unhealthy_after: 75ms
+  dead_after: 150ms
+  node_faults:
+    - {node: 1, rule: "worker_start:delay delay=5ms count=1"}
+defaults:
+  workload: {mix: w1}
+  options: {policy: equip}
+events:
+  - submit: {name: a}
+  - cordon_node: {node: 2}
+  - kill_node: {node: 1}
+  - drain_node: {node: 0}
+  - wait: {run: a, state: done}
+assertions:
+  - node_states: {are: [drained, drained, cordoned]}
+`
+
+func TestParseFleetSchema(t *testing.T) {
+	s, err := Parse([]byte(fleetDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Fleet
+	if f == nil || f.Nodes != 3 || f.Placement != "least_loaded" {
+		t.Fatalf("fleet %+v", f)
+	}
+	if f.Heartbeat != 25*time.Millisecond || f.DeadAfter != 150*time.Millisecond {
+		t.Fatalf("fleet timing %+v", f)
+	}
+	if len(f.NodeFaults) != 1 || f.NodeFaults[0].Node != 1 || f.NodeFaults[0].Rule.Site != faults.SiteWorkerStart {
+		t.Fatalf("node_faults %+v", f.NodeFaults)
+	}
+	if s.Events[1].CordonNode.Node != 2 || s.Events[2].KillNode.Node != 1 || s.Events[3].DrainNode.Node != 0 {
+		t.Fatalf("node events %+v", s.Events)
+	}
+	ns := s.Assertions[0].NodeStates
+	if ns == nil || len(ns.Are) != 3 || ns.Are[2] != "cordoned" {
+		t.Fatalf("node_states %+v", ns)
+	}
+}
+
+func TestParseFleetSchemaErrors(t *testing.T) {
+	base := "name: x\nevents:\n  - submit: {name: a}\n"
+	withFleet := "name: x\nfleet: {nodes: 2}\nevents:\n  - submit: {name: a}\n"
+	cases := map[string]string{
+		base + "fleet: {}\n":                              "positive nodes",
+		base + "fleet: {nodes: 2, placement: psychic}\n":  "placement",
+		base + "fleet: {nodes: 2, pets: 1}\n":             "unknown key",
+		base + "fleet: {nodes: 2, heartbeat: soon}\n":     "bad duration",
+		base + "fleet: {nodes: 2, node_faults: [{rule: \"worker_start:panic\"}]}\n": "out of range",
+		base + "fleet: {nodes: 2, node_faults: [{node: 0, rule: \"nowhere:panic\"}]}\n": "unknown site",
+		base + "assertions:\n  - node_states: {are: [healthy]}\n":                  "needs a fleet",
+		withFleet + "assertions:\n  - node_states: {are: [confused]}\n":            "not a node state",
+		withFleet + "assertions:\n  - node_states: {}\n":                           "needs are",
+		base + "  - kill_node: {node: 0}\n":               "needs a fleet",
+		withFleet + "  - kill_node: {node: 5}\n":          "out of range",
+		withFleet + "  - cordon_node: {}\n":               "out of range",
+		withFleet + "  - drain_node: {node: -1}\n":        "out of range",
+	}
+	for src, wantSub := range cases {
+		_, err := Parse([]byte(src))
+		if err == nil {
+			t.Errorf("%q: parsed, want error containing %q", src, wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%q: error %q, want substring %q", src, err.Error(), wantSub)
+		}
+	}
+}
+
 func TestParseSchemaErrors(t *testing.T) {
 	base := "name: x\nevents:\n  - submit: {name: a}\n"
 	cases := map[string]string{

@@ -1,0 +1,329 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"pdpasim"
+	"pdpasim/client"
+	"pdpasim/internal/faults"
+	"pdpasim/internal/fleet"
+	"pdpasim/internal/runqueue"
+	"pdpasim/internal/server"
+)
+
+// fleetTarget runs a scenario against an in-process coordinator plus node
+// fleet, wired through real HTTP (httptest servers) and the public client —
+// every event and assertion exercises the same v1 surface a remote operator
+// would.
+//
+// Determinism: agents start one at a time, each waiting for registration, so
+// the scenario's node index equals the coordinator's registration order
+// (node-000, node-001, ...). Each node owns a seeded injector (master seed +
+// node index) arming the scenario's global rules plus that node's
+// node_faults; the coordinator's injector (master seed) arms the global
+// rules for its own sites. Metric assertions read the coordinator registry
+// first and fall back to summing the per-node pool registries.
+type fleetTarget struct {
+	hc       *http.Client
+	coord    *fleet.Coordinator
+	coordSrv *httptest.Server
+	cli      *client.Client
+	coordInj *faults.Injector
+	nodes    []*fleetNode
+
+	settled     bool
+	frozenRuns  map[string]runStatus
+	frozenNodes []string
+}
+
+// fleetNode is one node daemon: pool, HTTP surface, membership agent.
+type fleetNode struct {
+	inj   *faults.Injector
+	pool  *runqueue.Pool
+	hsrv  *httptest.Server
+	agent *fleet.Agent
+	id    string
+
+	stopped bool // agent stopped
+	killed  bool // HTTP surface torn down too
+}
+
+// registerTimeout bounds each agent's first registration during startup.
+const registerTimeout = 10 * time.Second
+
+func newFleetTarget(s *Scenario, sim func(context.Context, runqueue.Spec) (*pdpasim.Outcome, error)) (*fleetTarget, error) {
+	f := s.Fleet
+	t := &fleetTarget{
+		hc:         &http.Client{},
+		coordInj:   faults.New(s.Seed, s.Faults...),
+		frozenRuns: map[string]runStatus{},
+	}
+	coord, err := fleet.NewCoordinator(fleet.Config{
+		Placement: fleet.Placement(f.Placement),
+		Health: fleet.HealthConfig{
+			HeartbeatInterval: f.Heartbeat,
+			UnhealthyAfter:    f.UnhealthyAfter,
+			DeadAfter:         f.DeadAfter,
+		},
+		Faults:     t.coordInj,
+		HTTPClient: t.hc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.coord = coord
+	t.coordSrv = httptest.NewServer(coord)
+	t.cli = client.New(t.coordSrv.URL, client.WithHTTPClient(t.hc))
+
+	for i := 0; i < f.Nodes; i++ {
+		rules := append([]faults.Rule(nil), s.Faults...)
+		for _, nf := range f.NodeFaults {
+			if nf.Node == i {
+				rules = append(rules, nf.Rule)
+			}
+		}
+		inj := faults.New(s.Seed+int64(i), rules...)
+		cfg := s.Pool.config()
+		cfg.Faults = inj
+		cfg.Simulate = sim
+		pool := runqueue.New(cfg)
+		hsrv := httptest.NewServer(server.New(pool,
+			server.WithFaults(inj), server.WithRole(server.RoleNode)))
+		agent := fleet.StartAgent(fleet.AgentConfig{
+			Coordinator: t.coordSrv.URL,
+			Advertise:   hsrv.URL,
+			Name:        fmt.Sprintf("n%d", i),
+			BaseWorkers: cfg.BaseWorkers,
+			MaxWorkers:  cfg.MaxWorkers,
+			HTTPClient:  t.hc,
+		}, pool)
+		n := &fleetNode{inj: inj, pool: pool, hsrv: hsrv, agent: agent}
+		t.nodes = append(t.nodes, n)
+		select {
+		case <-agent.Registered():
+			n.id = agent.ID()
+		case <-time.After(registerTimeout):
+			t.teardown(context.Background())
+			return nil, fmt.Errorf("fleet: node %d did not register within %v", i, registerTimeout)
+		}
+	}
+	return t, nil
+}
+
+func (t *fleetTarget) submit(spec runqueue.Spec) (admitResult, error) {
+	wire := specWire(spec)
+	req := client.SubmitRunRequest{Workload: wire.Workload, Options: wire.Options}
+	res, err := t.cli.SubmitRun(context.Background(), req)
+	if err == nil {
+		switch {
+		case res.CacheHit:
+			return admitResult{id: res.ID, admission: admCacheHit}, nil
+		case res.Deduped:
+			return admitResult{id: res.ID, admission: admDedup}, nil
+		default:
+			return admitResult{id: res.ID, admission: admFresh}, nil
+		}
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		switch ae.Code {
+		case "overloaded":
+			return admitResult{admission: admShed, reject: err}, nil
+		case "queue_full":
+			return admitResult{admission: admQueueFull, reject: err}, nil
+		}
+	}
+	return admitResult{}, err
+}
+
+// specWire converts the runner's internal spec to the client mirror. The
+// JSON tags of both sides name the same fields, so the mapping is direct.
+func specWire(spec runqueue.Spec) client.Spec {
+	return client.Spec{
+		Workload: client.Workload{
+			Mix:            spec.Workload.Mix,
+			Load:           spec.Workload.Load,
+			NCPU:           spec.Workload.NCPU,
+			WindowS:        spec.Workload.WindowS,
+			Seed:           spec.Workload.Seed,
+			UniformRequest: spec.Workload.UniformRequest,
+		},
+		Options: client.RunOptions{
+			Policy:               spec.Options.Policy,
+			TargetEff:            spec.Options.TargetEff,
+			HighEff:              spec.Options.HighEff,
+			Step:                 spec.Options.Step,
+			BaseMPL:              spec.Options.BaseMPL,
+			MaxStableTransitions: spec.Options.MaxStableTransitions,
+			FixedMPL:             spec.Options.FixedMPL,
+			NoiseSigma:           spec.Options.NoiseSigma,
+			Seed:                 spec.Options.Seed,
+			NUMANodeSize:         spec.Options.NUMANodeSize,
+		},
+	}
+}
+
+func runStatusOf(v client.RunView) runStatus {
+	return runStatus{state: v.State, errMsg: v.Error, result: v.Result}
+}
+
+func (t *fleetTarget) status(id string) (runStatus, error) {
+	if t.settled {
+		st, ok := t.frozenRuns[id]
+		if !ok {
+			return runStatus{}, fmt.Errorf("run %s was not frozen at settle", id)
+		}
+		return st, nil
+	}
+	v, err := t.cli.Run(context.Background(), id)
+	if err != nil {
+		return runStatus{}, err
+	}
+	return runStatusOf(v), nil
+}
+
+func (t *fleetTarget) cancel(id string) error {
+	_, err := t.cli.CancelRun(context.Background(), id)
+	return err
+}
+
+func (t *fleetTarget) node(i int) (*fleetNode, error) {
+	if i < 0 || i >= len(t.nodes) {
+		return nil, fmt.Errorf("node %d out of range", i)
+	}
+	return t.nodes[i], nil
+}
+
+// stopAgent stops a node's membership agent exactly once. Stopping the agent
+// before a manual drain matters: a drained node that keeps heartbeating gets
+// 404 and re-registers under a fresh ID, which would grow the node list.
+func (n *fleetNode) stopAgent() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	n.agent.Stop()
+}
+
+func (t *fleetTarget) nodeEvent(kind string, i int) error {
+	n, err := t.node(i)
+	if err != nil {
+		return fmt.Errorf("%s_node: %w", kind, err)
+	}
+	switch kind {
+	case "kill":
+		// Abrupt death: membership and the HTTP surface vanish together.
+		// The node's pool keeps running its work (a real crashed host's
+		// results just never come back); the coordinator notices the
+		// silence, declares the node dead, and requeues its runs.
+		if n.killed {
+			return nil
+		}
+		n.killed = true
+		n.stopAgent()
+		n.hsrv.CloseClientConnections()
+		n.hsrv.Close()
+		return nil
+	case "cordon":
+		_, err := t.cli.CordonNode(context.Background(), n.id)
+		return err
+	case "drain":
+		n.stopAgent()
+		_, err := t.cli.DrainNode(context.Background(), n.id)
+		return err
+	}
+	return fmt.Errorf("unknown node event %q", kind)
+}
+
+func (t *fleetTarget) settle(ctx context.Context, ids []string) error {
+	drainErr := t.coord.Drain(ctx)
+	if drainErr == nil {
+		for _, id := range ids {
+			v, err := t.cli.Run(ctx, id)
+			if err != nil {
+				drainErr = fmt.Errorf("freeze run %s: %w", id, err)
+				break
+			}
+			t.frozenRuns[id] = runStatusOf(v)
+		}
+	}
+	if drainErr == nil {
+		drainErr = t.freezeNodes(ctx)
+	}
+	t.teardown(ctx)
+	t.settled = true
+	return drainErr
+}
+
+// freezeNodes snapshots every node's final state, ascending by node ID
+// (registration order) regardless of the API's newest-first pages.
+func (t *fleetTarget) freezeNodes(ctx context.Context) error {
+	var views []client.NodeView
+	opts := client.ListOptions{}
+	for {
+		page, err := t.cli.Nodes(ctx, opts)
+		if err != nil {
+			return fmt.Errorf("freeze nodes: %w", err)
+		}
+		views = append(views, page.Nodes...)
+		if page.NextCursor == "" {
+			break
+		}
+		opts.Cursor = page.NextCursor
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].ID < views[j].ID })
+	for _, v := range views {
+		t.frozenNodes = append(t.frozenNodes, v.State)
+	}
+	return nil
+}
+
+// teardown releases everything the target started, in dependency order:
+// membership agents, the coordinator (traffic source), then each node's
+// HTTP surface and pool. Abandoned work on killed nodes finishes here, so a
+// no_leaks assertion evaluated afterwards sees a quiet process.
+func (t *fleetTarget) teardown(ctx context.Context) {
+	for _, n := range t.nodes {
+		n.stopAgent()
+	}
+	t.coordSrv.Close()
+	t.coord.Close()
+	for _, n := range t.nodes {
+		if !n.killed {
+			n.hsrv.Close()
+		}
+		n.pool.Drain(ctx)
+	}
+	t.hc.CloseIdleConnections()
+}
+
+func (t *fleetTarget) metric(name, label string) (float64, bool) {
+	if v, ok := t.coord.Metrics().Value(name, label); ok {
+		return v, true
+	}
+	var sum float64
+	found := false
+	for _, n := range t.nodes {
+		if v, ok := n.pool.Metrics().Value(name, label); ok {
+			sum += v
+			found = true
+		}
+	}
+	return sum, found
+}
+
+func (t *fleetTarget) injected(site faults.Site) int {
+	got := t.coordInj.Injected(site)
+	for _, n := range t.nodes {
+		got += n.inj.Injected(site)
+	}
+	return got
+}
+
+func (t *fleetTarget) nodeStates() []string { return t.frozenNodes }

@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"pdpasim"
+	"pdpasim/internal/faults"
+	"pdpasim/internal/runqueue"
+)
+
+// poolTarget runs a scenario against a bare in-process runqueue.Pool — the
+// original (and default) execution target.
+type poolTarget struct {
+	pool *runqueue.Pool
+	inj  *faults.Injector
+}
+
+func newPoolTarget(s *Scenario, sim func(context.Context, runqueue.Spec) (*pdpasim.Outcome, error)) *poolTarget {
+	inj := faults.New(s.Seed, s.Faults...)
+	cfg := s.Pool.config()
+	cfg.Faults = inj
+	cfg.Simulate = sim
+	return &poolTarget{pool: runqueue.New(cfg), inj: inj}
+}
+
+func (t *poolTarget) submit(spec runqueue.Spec) (admitResult, error) {
+	res, err := t.pool.Submit(spec, 0)
+	switch {
+	case err == nil && res.CacheHit:
+		return admitResult{id: res.ID, admission: admCacheHit}, nil
+	case err == nil && res.Deduped:
+		return admitResult{id: res.ID, admission: admDedup}, nil
+	case err == nil:
+		return admitResult{id: res.ID, admission: admFresh}, nil
+	}
+	var ov *runqueue.OverloadError
+	switch {
+	case errors.As(err, &ov):
+		return admitResult{admission: admShed, reject: err}, nil
+	case errors.Is(err, runqueue.ErrQueueFull):
+		return admitResult{admission: admQueueFull, reject: err}, nil
+	}
+	return admitResult{}, err
+}
+
+func (t *poolTarget) status(id string) (runStatus, error) {
+	snap, err := t.pool.Get(id)
+	if err != nil {
+		return runStatus{}, err
+	}
+	st := runStatus{state: string(snap.State), result: snap.ResultJSON}
+	if snap.Err != nil {
+		st.errMsg = snap.Err.Error()
+	}
+	return st, nil
+}
+
+func (t *poolTarget) cancel(id string) error {
+	_, err := t.pool.Cancel(id)
+	return err
+}
+
+func (t *poolTarget) nodeEvent(kind string, node int) error {
+	return fmt.Errorf("%s_node: scenario has no fleet: stanza", kind)
+}
+
+func (t *poolTarget) settle(ctx context.Context, ids []string) error {
+	return t.pool.Drain(ctx)
+}
+
+func (t *poolTarget) metric(name, label string) (float64, bool) {
+	return t.pool.Metrics().Value(name, label)
+}
+
+func (t *poolTarget) injected(site faults.Site) int {
+	return t.inj.Injected(site)
+}
+
+func (t *poolTarget) nodeStates() []string { return nil }

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -41,11 +40,46 @@ type submission struct {
 	submitErr error
 }
 
+// admitResult is how a target resolved one submission. A rejection (shed,
+// queue full) is a recorded verdict, not a fatal error.
+type admitResult struct {
+	id        string
+	admission string
+	reject    error
+}
+
+// runStatus is a run's state as a target reports it.
+type runStatus struct {
+	state  string
+	errMsg string
+	result []byte
+}
+
+func (s runStatus) terminal() bool { return runqueue.State(s.state).Terminal() }
+
+// target abstracts where a scenario executes: an in-process pool (the
+// default), or an in-process coordinator + node fleet driven through the v1
+// HTTP surface. The runner's timeline and assertions are target-agnostic.
+type target interface {
+	submit(spec runqueue.Spec) (admitResult, error)
+	status(id string) (runStatus, error)
+	cancel(id string) error
+	// nodeEvent applies kill_node / cordon_node / drain_node (fleet only).
+	nodeEvent(kind string, node int) error
+	// settle waits until every admitted run (ids) is terminal, freezes the
+	// state assertions read, and releases everything the target started —
+	// so a no_leaks assertion evaluated afterwards sees a quiet process.
+	settle(ctx context.Context, ids []string) error
+	metric(name, label string) (float64, bool)
+	injected(site faults.Site) int
+	// nodeStates lists fleet node states in node-ID order (nil for a pool).
+	nodeStates() []string
+}
+
 // runner holds one scenario execution's mutable state.
 type runner struct {
-	s    *Scenario
-	pool *runqueue.Pool
-	inj  *faults.Injector
+	s   *Scenario
+	tgt target
 
 	mu       sync.Mutex
 	checkers []*invariant.Checker
@@ -57,6 +91,20 @@ type runner struct {
 	// arrivalIdx numbers generated submissions across all arrival phases, so
 	// derived workload seeds never repeat within a scenario.
 	arrivalIdx int
+}
+
+// simulate is the Simulate hook every target's pool runs: each simulation
+// attempt streams its decision trace through a fresh invariant checker; the
+// "invariants" assertion reads their verdicts after the drain. Attaching an
+// observer never changes the outcome.
+func (r *runner) simulate(ctx context.Context, spec runqueue.Spec) (*pdpasim.Outcome, error) {
+	ws, opts := spec.Facade()
+	chk := invariant.New()
+	opts.Observer = pdpasim.ObserverFunc(chk.Observe)
+	r.mu.Lock()
+	r.checkers = append(r.checkers, chk)
+	r.mu.Unlock()
+	return pdpasim.RunContext(ctx, ws, opts)
 }
 
 // Run executes the scenario and returns its report. Runtime failures (a wait
@@ -83,43 +131,41 @@ func Run(s *Scenario) *Report {
 
 	r := &runner{
 		s:        s,
-		inj:      faults.New(s.Seed, s.Faults...),
 		byName:   map[string]*submission{},
 		template: s.Defaults,
 	}
-	cfg := s.Pool.config()
-	cfg.Faults = r.inj
-	// Every simulation attempt streams its decision trace through a fresh
-	// invariant checker; the "invariants" assertion reads their verdicts
-	// after the drain. Attaching an observer never changes the outcome.
-	cfg.Simulate = func(ctx context.Context, spec runqueue.Spec) (*pdpasim.Outcome, error) {
-		ws, opts := spec.Facade()
-		chk := invariant.New()
-		opts.Observer = pdpasim.ObserverFunc(chk.Observe)
-		r.mu.Lock()
-		r.checkers = append(r.checkers, chk)
-		r.mu.Unlock()
-		return pdpasim.RunContext(ctx, ws, opts)
+	if s.Fleet != nil {
+		tgt, err := newFleetTarget(s, r.simulate)
+		if err != nil {
+			rep.Error = err.Error()
+			return rep
+		}
+		r.tgt = tgt
+	} else {
+		r.tgt = newPoolTarget(s, r.simulate)
 	}
-	r.pool = runqueue.New(cfg)
 
 	err := r.events()
+	var ids []string
+	for _, sub := range r.subs {
+		if sub.submitErr == nil {
+			ids = append(ids, sub.id)
+		}
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), waitTimeout)
-	drainErr := r.pool.Drain(ctx)
+	settleErr := r.tgt.settle(ctx, ids)
 	cancel()
-	if err == nil && drainErr != nil {
-		err = fmt.Errorf("drain: %w", drainErr)
+	if err == nil && settleErr != nil {
+		err = fmt.Errorf("drain: %w", settleErr)
 	}
 
 	for _, sub := range r.subs {
 		sr := SubReport{Name: sub.name, ID: sub.id, Admission: sub.admission}
 		if sub.submitErr != nil {
 			sr.Error = sub.submitErr.Error()
-		} else if snap, gerr := r.pool.Get(sub.id); gerr == nil {
-			sr.State = string(snap.State)
-			if snap.Err != nil {
-				sr.Error = snap.Err.Error()
-			}
+		} else if st, gerr := r.tgt.status(sub.id); gerr == nil {
+			sr.State = st.state
+			sr.Error = st.errMsg
 		}
 		rep.Submissions = append(rep.Submissions, sr)
 	}
@@ -158,6 +204,12 @@ func (r *runner) events() error {
 			err = r.waitAll()
 		case e.Cancel != nil:
 			err = r.cancel(e.Cancel.Run)
+		case e.KillNode != nil:
+			err = r.tgt.nodeEvent("kill", e.KillNode.Node)
+		case e.CordonNode != nil:
+			err = r.tgt.nodeEvent("cordon", e.CordonNode.Node)
+		case e.DrainNode != nil:
+			err = r.tgt.nodeEvent("drain", e.DrainNode.Node)
 		}
 		if err != nil {
 			return fmt.Errorf("events[%d]: %w", i, err)
@@ -227,26 +279,11 @@ func (r *runner) merged(e *SubmitEvent) runqueue.Spec {
 }
 
 func (r *runner) submit(name string, spec runqueue.Spec) error {
-	sub := &submission{name: name}
-	res, err := r.pool.Submit(spec, 0)
-	switch {
-	case err == nil && res.CacheHit:
-		sub.id, sub.admission = res.ID, admCacheHit
-	case err == nil && res.Deduped:
-		sub.id, sub.admission = res.ID, admDedup
-	case err == nil:
-		sub.id, sub.admission = res.ID, admFresh
-	default:
-		var ov *runqueue.OverloadError
-		switch {
-		case errors.As(err, &ov):
-			sub.admission, sub.submitErr = admShed, err
-		case errors.Is(err, runqueue.ErrQueueFull):
-			sub.admission, sub.submitErr = admQueueFull, err
-		default:
-			return fmt.Errorf("submit %q: %w", name, err)
-		}
+	res, err := r.tgt.submit(spec)
+	if err != nil {
+		return fmt.Errorf("submit %q: %w", name, err)
 	}
+	sub := &submission{name: name, id: res.id, admission: res.admission, submitErr: res.reject}
 	r.subs = append(r.subs, sub)
 	r.byName[name] = sub
 	return nil
@@ -300,34 +337,24 @@ func (r *runner) wait(name, state string) error {
 	if err != nil {
 		return err
 	}
+	wantTerminal := state == "terminal" || runqueue.State(state).Terminal()
 	deadline := time.Now().Add(waitTimeout)
-	if state == "terminal" || runqueue.State(state).Terminal() {
-		done, err := r.pool.Done(sub.id)
-		if err != nil {
-			return fmt.Errorf("wait %q: %w", name, err)
-		}
-		select {
-		case <-done:
-		case <-time.After(waitTimeout):
-			return fmt.Errorf("wait %q: still not terminal after %v", name, waitTimeout)
-		}
-		if state == "terminal" {
-			return nil
-		}
-	}
 	for {
-		snap, err := r.pool.Get(sub.id)
+		st, err := r.tgt.status(sub.id)
 		if err != nil {
 			return fmt.Errorf("wait %q: %w", name, err)
 		}
-		if string(snap.State) == state {
+		if st.state == state || (state == "terminal" && st.terminal()) {
 			return nil
 		}
-		if snap.State.Terminal() {
-			return fmt.Errorf("wait %q: wanted %s, run settled as %s", name, state, snap.State)
+		if st.terminal() {
+			return fmt.Errorf("wait %q: wanted %s, run settled as %s", name, state, st.state)
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("wait %q: not %s after %v (still %s)", name, state, waitTimeout, snap.State)
+			if wantTerminal {
+				return fmt.Errorf("wait %q: still not terminal after %v", name, waitTimeout)
+			}
+			return fmt.Errorf("wait %q: not %s after %v (still %s)", name, state, waitTimeout, st.state)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -338,14 +365,19 @@ func (r *runner) waitAll() error {
 		if sub.submitErr != nil {
 			continue
 		}
-		done, err := r.pool.Done(sub.id)
-		if err != nil {
-			return fmt.Errorf("wait_all %q: %w", sub.name, err)
-		}
-		select {
-		case <-done:
-		case <-time.After(waitTimeout):
-			return fmt.Errorf("wait_all: %q still not terminal after %v", sub.name, waitTimeout)
+		deadline := time.Now().Add(waitTimeout)
+		for {
+			st, err := r.tgt.status(sub.id)
+			if err != nil {
+				return fmt.Errorf("wait_all %q: %w", sub.name, err)
+			}
+			if st.terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("wait_all: %q still not terminal after %v", sub.name, waitTimeout)
+			}
+			time.Sleep(time.Millisecond)
 		}
 	}
 	return nil
@@ -356,13 +388,13 @@ func (r *runner) cancel(name string) error {
 	if err != nil {
 		return err
 	}
-	if _, err := r.pool.Cancel(sub.id); err != nil {
+	if err := r.tgt.cancel(sub.id); err != nil {
 		return fmt.Errorf("cancel %q: %w", name, err)
 	}
 	return nil
 }
 
-// evaluate checks one assertion against the drained pool.
+// evaluate checks one assertion against the settled target.
 func (r *runner) evaluate(a Assertion, baseline leakcheck.Baseline) AssertReport {
 	switch {
 	case a.State != nil:
@@ -380,13 +412,15 @@ func (r *runner) evaluate(a Assertion, baseline leakcheck.Baseline) AssertReport
 	case a.SameResult != nil:
 		return r.checkSameResult(a.SameResult)
 	case a.Injected != nil:
-		got := r.inj.Injected(a.Injected.Site)
+		got := r.tgt.injected(a.Injected.Site)
 		return AssertReport{
 			Kind:     "injected",
 			Detail:   fmt.Sprintf("site=%s count=%d", a.Injected.Site, a.Injected.Count),
 			Observed: fmt.Sprintf("%d", got),
 			Pass:     got == a.Injected.Count,
 		}
+	case a.NodeStates != nil:
+		return r.checkNodeStates(a.NodeStates)
 	case a.Invariants:
 		return r.checkInvariants()
 	case a.NoLeaks:
@@ -400,31 +434,31 @@ func (r *runner) evaluate(a Assertion, baseline leakcheck.Baseline) AssertReport
 	return AssertReport{Kind: "unknown", Detail: "empty assertion", Pass: false}
 }
 
-// snapFor resolves a run name to its terminal snapshot for an assertion.
-func (r *runner) snapFor(name string) (runqueue.Snapshot, string) {
+// statusFor resolves a run name to its settled status for an assertion.
+func (r *runner) statusFor(name string) (runStatus, string) {
 	sub, ok := r.byName[name]
 	if !ok {
-		return runqueue.Snapshot{}, fmt.Sprintf("run %q was never submitted", name)
+		return runStatus{}, fmt.Sprintf("run %q was never submitted", name)
 	}
 	if sub.submitErr != nil {
-		return runqueue.Snapshot{}, fmt.Sprintf("run %q was not admitted (%s)", name, sub.admission)
+		return runStatus{}, fmt.Sprintf("run %q was not admitted (%s)", name, sub.admission)
 	}
-	snap, err := r.pool.Get(sub.id)
+	st, err := r.tgt.status(sub.id)
 	if err != nil {
-		return runqueue.Snapshot{}, fmt.Sprintf("run %q: %v", name, err)
+		return runStatus{}, fmt.Sprintf("run %q: %v", name, err)
 	}
-	return snap, ""
+	return st, ""
 }
 
 func (r *runner) checkState(a *StateAssertion) AssertReport {
 	ar := AssertReport{Kind: "state", Detail: fmt.Sprintf("run=%s is=%s", a.Run, a.Is)}
-	snap, msg := r.snapFor(a.Run)
+	st, msg := r.statusFor(a.Run)
 	if msg != "" {
 		ar.Observed = msg
 		return ar
 	}
-	ar.Observed = string(snap.State)
-	ar.Pass = string(snap.State) == a.Is
+	ar.Observed = st.state
+	ar.Pass = st.state == a.Is
 	return ar
 }
 
@@ -439,12 +473,12 @@ func (r *runner) checkStates(a *StatesAssertion) AssertReport {
 			got = append(got, sub.admission)
 			continue
 		}
-		snap, err := r.pool.Get(sub.id)
+		st, err := r.tgt.status(sub.id)
 		if err != nil {
 			got = append(got, "unknown")
 			continue
 		}
-		got = append(got, string(snap.State))
+		got = append(got, st.state)
 	}
 	ar.Observed = strings.Join(got, ",")
 	if a.All != "" {
@@ -491,8 +525,8 @@ func (r *runner) checkErrorContains(a *ErrorContainsAssertion) AssertReport {
 	var msg string
 	if sub.submitErr != nil {
 		msg = sub.submitErr.Error()
-	} else if snap, err := r.pool.Get(sub.id); err == nil && snap.Err != nil {
-		msg = snap.Err.Error()
+	} else if st, err := r.tgt.status(sub.id); err == nil {
+		msg = st.errMsg
 	}
 	if msg == "" {
 		ar.Observed = "no error"
@@ -505,7 +539,7 @@ func (r *runner) checkErrorContains(a *ErrorContainsAssertion) AssertReport {
 
 func (r *runner) checkMetric(a *MetricAssertion) AssertReport {
 	ar := AssertReport{Kind: "metric", Detail: metricDetail(a)}
-	v, ok := r.pool.Metrics().Value(a.Name, a.Label)
+	v, ok := r.tgt.metric(a.Name, a.Label)
 	if !ok {
 		ar.Observed = "no such series"
 		return ar
@@ -547,17 +581,17 @@ type outcomeWire struct {
 
 func (r *runner) checkOutcome(a *OutcomeAssertion) AssertReport {
 	ar := AssertReport{Kind: "outcome", Detail: outcomeDetail(a)}
-	snap, msg := r.snapFor(a.Run)
+	st, msg := r.statusFor(a.Run)
 	if msg != "" {
 		ar.Observed = msg
 		return ar
 	}
-	if len(snap.ResultJSON) == 0 {
-		ar.Observed = fmt.Sprintf("run %q has no result (state %s)", a.Run, snap.State)
+	if len(st.result) == 0 {
+		ar.Observed = fmt.Sprintf("run %q has no result (state %s)", a.Run, st.state)
 		return ar
 	}
 	var w outcomeWire
-	if err := json.Unmarshal(snap.ResultJSON, &w); err != nil {
+	if err := json.Unmarshal(st.result, &w); err != nil {
 		ar.Observed = fmt.Sprintf("bad result JSON: %v", err)
 		return ar
 	}
@@ -595,24 +629,39 @@ func (r *runner) checkSameResult(a *SameResultAssertion) AssertReport {
 	ar := AssertReport{Kind: "same_result", Detail: "runs=" + strings.Join(a.Runs, ",")}
 	var first []byte
 	for i, name := range a.Runs {
-		snap, msg := r.snapFor(name)
+		st, msg := r.statusFor(name)
 		if msg != "" {
 			ar.Observed = msg
 			return ar
 		}
-		if len(snap.ResultJSON) == 0 {
-			ar.Observed = fmt.Sprintf("run %q has no result (state %s)", name, snap.State)
+		if len(st.result) == 0 {
+			ar.Observed = fmt.Sprintf("run %q has no result (state %s)", name, st.state)
 			return ar
 		}
 		if i == 0 {
-			first = snap.ResultJSON
-		} else if !bytes.Equal(first, snap.ResultJSON) {
+			first = st.result
+		} else if !bytes.Equal(first, st.result) {
 			ar.Observed = fmt.Sprintf("run %q diverges from %q", name, a.Runs[0])
 			return ar
 		}
 	}
 	ar.Observed = fmt.Sprintf("%d identical results", len(a.Runs))
 	ar.Pass = true
+	return ar
+}
+
+func (r *runner) checkNodeStates(a *NodeStatesAssertion) AssertReport {
+	ar := AssertReport{Kind: "node_states", Detail: "are=" + strings.Join(a.Are, ",")}
+	got := r.tgt.nodeStates()
+	ar.Observed = strings.Join(got, ",")
+	ar.Pass = len(got) == len(a.Are)
+	if ar.Pass {
+		for i := range got {
+			if got[i] != a.Are[i] {
+				ar.Pass = false
+			}
+		}
+	}
 	return ar
 }
 

@@ -32,6 +32,11 @@ type Scenario struct {
 	// survive a seed override.
 	Seed int64
 	Pool PoolParams
+	// Fleet, when set, runs the scenario against an in-process coordinator
+	// plus node fleet (each node an independent pool sized by Pool) instead
+	// of a bare pool; events and assertions then flow through the v1 HTTP
+	// surface exactly as a remote client's would.
+	Fleet *FleetParams
 	// Defaults is the spec template events submit; per-event overrides merge
 	// onto it field by field.
 	Defaults runqueue.Spec
@@ -88,6 +93,34 @@ func (p PoolParams) config() runqueue.Config {
 	}
 }
 
+// FleetParams sizes the coordinator + node fleet a fleet scenario runs
+// against. Node indexes used by events, node_faults, and the node_states
+// assertion follow registration order, which the runner makes deterministic
+// by starting agents one at a time.
+type FleetParams struct {
+	// Nodes is how many node daemons join the coordinator.
+	Nodes int
+	// Placement is round_robin, least_loaded, or lpt ("" = round_robin).
+	Placement string
+	// Heartbeat, UnhealthyAfter, and DeadAfter time the coordinator's
+	// heartbeat-timeout state machine; zeros take the fleet defaults.
+	Heartbeat      time.Duration
+	UnhealthyAfter time.Duration
+	DeadAfter      time.Duration
+	// NodeFaults arms extra injection rules on a single node. The
+	// scenario's global fault rules are armed on every node independently
+	// (each node owns a seeded injector), so a global occurrence-indexed
+	// rule fires per node, not once fleet-wide; injected assertions count
+	// the sum across the coordinator and all nodes.
+	NodeFaults []NodeFault
+}
+
+// NodeFault is one injection rule pinned to one node.
+type NodeFault struct {
+	Node int
+	Rule faults.Rule
+}
+
 // Event is one timeline step. Exactly one field is set.
 type Event struct {
 	Submit    *SubmitEvent
@@ -96,6 +129,18 @@ type Event struct {
 	Wait      *WaitEvent
 	WaitAll   bool
 	Cancel    *CancelEvent
+	// KillNode stops a node abruptly (agent and HTTP server die; its runs
+	// are requeued once the coordinator declares it dead). CordonNode stops
+	// new placements only. DrainNode decommissions: the agent stops and the
+	// coordinator requeues the node's runs immediately.
+	KillNode   *NodeEvent
+	CordonNode *NodeEvent
+	DrainNode  *NodeEvent
+}
+
+// NodeEvent targets one fleet node by registration index.
+type NodeEvent struct {
+	Node int
 }
 
 // SubmitEvent submits one named run built from the defaults template plus
@@ -152,8 +197,16 @@ type Assertion struct {
 	Outcome       *OutcomeAssertion
 	SameResult    *SameResultAssertion
 	Injected      *InjectedAssertion
+	NodeStates    *NodeStatesAssertion
 	Invariants    bool
 	NoLeaks       bool
+}
+
+// NodeStatesAssertion pins every fleet node's final state (healthy,
+// cordoned, unhealthy, or drained), in node-ID order. Nodes that died and
+// re-registered appear once per incarnation.
+type NodeStatesAssertion struct {
+	Are []string
 }
 
 // StateAssertion pins one run's exact terminal state.
@@ -231,6 +284,22 @@ func (s *Scenario) Validate() error {
 		}
 		return nil
 	}
+	nodeRef := func(n int, where string) error {
+		if s.Fleet == nil {
+			return &ParseError{Msg: fmt.Sprintf("%s needs a fleet: stanza", where)}
+		}
+		if n < 0 || n >= s.Fleet.Nodes {
+			return &ParseError{Msg: fmt.Sprintf("%s: node %d out of range (fleet has %d nodes)", where, n, s.Fleet.Nodes)}
+		}
+		return nil
+	}
+	if s.Fleet != nil {
+		for i, nf := range s.Fleet.NodeFaults {
+			if err := nodeRef(nf.Node, fmt.Sprintf("fleet.node_faults[%d]", i)); err != nil {
+				return err
+			}
+		}
+	}
 	for i, e := range s.Events {
 		where := fmt.Sprintf("events[%d]", i)
 		switch {
@@ -255,6 +324,18 @@ func (s *Scenario) Validate() error {
 			if err := refs(e.Cancel.Run, where); err != nil {
 				return err
 			}
+		case e.KillNode != nil:
+			if err := nodeRef(e.KillNode.Node, where+".kill_node"); err != nil {
+				return err
+			}
+		case e.CordonNode != nil:
+			if err := nodeRef(e.CordonNode.Node, where+".cordon_node"); err != nil {
+				return err
+			}
+		case e.DrainNode != nil:
+			if err := nodeRef(e.DrainNode.Node, where+".drain_node"); err != nil {
+				return err
+			}
 		}
 	}
 	for i, a := range s.Assertions {
@@ -271,6 +352,10 @@ func (s *Scenario) Validate() error {
 			check = []string{a.Outcome.Run}
 		case a.SameResult != nil:
 			check = a.SameResult.Runs
+		case a.NodeStates != nil:
+			if s.Fleet == nil {
+				return &ParseError{Msg: fmt.Sprintf("%s.node_states needs a fleet: stanza", where)}
+			}
 		}
 		for _, n := range check {
 			if err := refs(n, where); err != nil {

@@ -37,6 +37,15 @@ const (
 	CodeUnavailable = "unavailable"
 	// CodeInternal: a handler bug; the panic was recovered and counted (500).
 	CodeInternal = "internal"
+	// CodeIncompatibleRevision: a fleet node tried to register with a
+	// coordinator speaking a different API revision (400).
+	CodeIncompatibleRevision = "incompatible_revision"
+	// CodeNoHealthyNodes: the coordinator has no healthy node to place the
+	// run on — every node is cordoned, draining, unhealthy, or gone (503).
+	CodeNoHealthyNodes = "no_healthy_nodes"
+	// CodeNodeUnreachable: the node owning the requested resource did not
+	// answer the coordinator's proxied request (502).
+	CodeNodeUnreachable = "node_unreachable"
 )
 
 // ErrorBody is the envelope's payload.
@@ -53,25 +62,28 @@ type ErrorResponse struct {
 	Error ErrorBody `json:"error"`
 }
 
-// writeError answers with the error envelope.
-func writeError(w http.ResponseWriter, status int, code string, err error) {
-	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: err.Error()}})
+// WriteError answers with the error envelope. It is exported so sibling
+// packages serving v1-shaped endpoints (the fleet coordinator) emit the
+// exact same envelope as this package.
+func WriteError(w http.ResponseWriter, status int, code string, err error) {
+	WriteJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: err.Error()}})
 }
 
-// writeRetryError answers with the error envelope plus a retry hint, in
+// WriteRetryError answers with the error envelope plus a retry hint, in
 // both the Retry-After header and the body.
-func writeRetryError(w http.ResponseWriter, status int, code string, err error, retryAfterSeconds int) {
+func WriteRetryError(w http.ResponseWriter, status int, code string, err error, retryAfterSeconds int) {
 	if retryAfterSeconds < 1 {
 		retryAfterSeconds = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-	writeJSON(w, status, ErrorResponse{Error: ErrorBody{
+	WriteJSON(w, status, ErrorResponse{Error: ErrorBody{
 		Code: code, Message: err.Error(), RetryAfterSeconds: retryAfterSeconds,
 	}})
 }
 
-// writeJSON writes v as indented JSON with the given status.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as indented JSON with the given status — the response
+// framing every v1 endpoint uses.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)

@@ -7,6 +7,7 @@
 //	DELETE /v1/runs/{id}        cancel a queued or running simulation
 //	GET    /v1/runs/{id}/events server-sent lifecycle events
 //	GET    /v1/runs/{id}/trace  the run's recorded decision trace (JSON)
+//	GET    /v1/version          build info, API revision, and role
 //	POST   /v1/sweeps           submit a policy × mix × load × seed grid
 //	GET    /v1/sweeps           list sweeps, newest first (limit=, cursor=, state=)
 //	GET    /v1/sweeps/{id}      progress, and per-cell aggregates once done
@@ -50,6 +51,7 @@ type Server struct {
 	pool    *runqueue.Pool
 	mux     *http.ServeMux
 	started time.Time
+	role    string
 
 	faults    *faults.Injector
 	recovered *obs.Counter
@@ -66,7 +68,7 @@ func WithFaults(inj *faults.Injector) Option {
 
 // New returns a server backed by pool.
 func New(pool *runqueue.Pool, opts ...Option) *Server {
-	s := &Server{pool: pool, mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{pool: pool, mux: http.NewServeMux(), started: time.Now(), role: RoleStandalone}
 	for _, o := range opts {
 		o(s)
 	}
@@ -83,6 +85,7 @@ func New(pool *runqueue.Pool, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleListSweeps)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -104,10 +107,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.recovered.Inc()
 		// Best-effort: if the handler already wrote a header this fails
 		// silently, but the connection still closes with a broken response.
-		writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Errorf("internal error: %v", rec))
+		WriteError(w, http.StatusInternalServerError, CodeInternal, fmt.Errorf("internal error: %v", rec))
 	}()
 	if err := s.faults.Hit(r.Context(), faults.SiteHTTPRequest); err != nil {
-		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, fmt.Errorf("injected fault: %w", err))
+		WriteError(w, http.StatusServiceUnavailable, CodeUnavailable, fmt.Errorf("injected fault: %w", err))
 		return
 	}
 	s.mux.ServeHTTP(w, r)
@@ -120,14 +123,14 @@ func (s *Server) submitError(w http.ResponseWriter, err error) {
 	var overload *runqueue.OverloadError
 	switch {
 	case errors.As(err, &overload): // before ErrQueueFull: OverloadError matches both
-		writeRetryError(w, http.StatusTooManyRequests, CodeOverloaded, err,
+		WriteRetryError(w, http.StatusTooManyRequests, CodeOverloaded, err,
 			int(overload.RetryAfter/time.Second))
 	case errors.Is(err, runqueue.ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, CodeDraining, err)
+		WriteError(w, http.StatusServiceUnavailable, CodeDraining, err)
 	case errors.Is(err, runqueue.ErrQueueFull):
-		writeRetryError(w, http.StatusTooManyRequests, CodeQueueFull, err, 1)
+		WriteRetryError(w, http.StatusTooManyRequests, CodeQueueFull, err, 1)
 	default:
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
+		WriteError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 	}
 }
 
@@ -141,11 +144,11 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+			WriteError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("decoding request: %w", err))
+		WriteError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("decoding request: %w", err))
 		return false
 	}
 	return true
@@ -221,7 +224,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.DeadlineS < 0 {
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("negative deadline_s %v", req.DeadlineS))
+		WriteError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("negative deadline_s %v", req.DeadlineS))
 		return
 	}
 	spec := runqueue.Spec{Workload: req.Workload, Options: req.Options}
@@ -235,7 +238,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if res.CacheHit {
 		status = http.StatusOK
 	}
-	writeJSON(w, status, SubmitResponse{
+	WriteJSON(w, status, SubmitResponse{
 		ID:       res.ID,
 		State:    string(res.State),
 		CacheHit: res.CacheHit,
@@ -254,35 +257,35 @@ type RunListResponse struct {
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	p, err := parsePageParams(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
+		WriteError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
-	page, next := paginate(s.pool.Runs(), p,
+	page, next := Paginate(s.pool.Runs(), p,
 		func(snap runqueue.Snapshot) string { return snap.ID },
-		func(snap runqueue.Snapshot) bool { return p.state == "" || snap.State == p.state })
+		func(snap runqueue.Snapshot) bool { return p.State == "" || string(snap.State) == p.State })
 	views := make([]RunView, len(page))
 	for i, snap := range page {
 		views[i] = viewOf(snap, false)
 	}
-	writeJSON(w, http.StatusOK, RunListResponse{Runs: views, NextCursor: next})
+	WriteJSON(w, http.StatusOK, RunListResponse{Runs: views, NextCursor: next})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.pool.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		WriteError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, viewOf(snap, true))
+	WriteJSON(w, http.StatusOK, viewOf(snap, true))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.pool.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		WriteError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, viewOf(snap, false))
+	WriteJSON(w, http.StatusOK, viewOf(snap, false))
 }
 
 // handleEvents streams the run's lifecycle as server-sent events: one
@@ -290,13 +293,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, CodeInternal, errors.New("streaming unsupported"))
+		WriteError(w, http.StatusInternalServerError, CodeInternal, errors.New("streaming unsupported"))
 		return
 	}
 	id := r.PathValue("id")
 	events, unsub, err := s.pool.Subscribe(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		WriteError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	defer unsub()
@@ -345,11 +348,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.pool.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		WriteError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	if len(snap.TraceJSON) == 0 {
-		writeError(w, http.StatusNotFound, CodeNotFound,
+		WriteError(w, http.StatusNotFound, CodeNotFound,
 			fmt.Errorf("run %s has no decision trace (state %s; tracing may be disabled)", snap.ID, snap.State))
 		return
 	}
@@ -415,7 +418,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.DeadlineS < 0 {
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("negative deadline_s %v", req.DeadlineS))
+		WriteError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("negative deadline_s %v", req.DeadlineS))
 		return
 	}
 	res, err := s.pool.SubmitSweep(req.SweepSpec, time.Duration(req.DeadlineS*float64(time.Second)))
@@ -423,7 +426,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		s.submitError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, SweepSubmitResponse{
+	WriteJSON(w, http.StatusAccepted, SweepSubmitResponse{
 		ID:        res.ID,
 		RunIDs:    res.RunIDs,
 		CacheHits: res.CacheHits,
@@ -440,35 +443,35 @@ type SweepListResponse struct {
 func (s *Server) handleListSweeps(w http.ResponseWriter, r *http.Request) {
 	p, err := parsePageParams(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
+		WriteError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
-	page, next := paginate(s.pool.Sweeps(), p,
+	page, next := Paginate(s.pool.Sweeps(), p,
 		func(st runqueue.SweepStatus) string { return st.ID },
-		func(st runqueue.SweepStatus) bool { return p.state == "" || st.State == p.state })
+		func(st runqueue.SweepStatus) bool { return p.State == "" || string(st.State) == p.State })
 	views := make([]SweepView, len(page))
 	for i, st := range page {
 		views[i] = sweepViewOf(st, false)
 	}
-	writeJSON(w, http.StatusOK, SweepListResponse{Sweeps: views, NextCursor: next})
+	WriteJSON(w, http.StatusOK, SweepListResponse{Sweeps: views, NextCursor: next})
 }
 
 func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
 	st, err := s.pool.GetSweep(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		WriteError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, sweepViewOf(st, true))
+	WriteJSON(w, http.StatusOK, sweepViewOf(st, true))
 }
 
 func (s *Server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
 	st, err := s.pool.CancelSweep(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, CodeNotFound, err)
+		WriteError(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, sweepViewOf(st, false))
+	WriteJSON(w, http.StatusOK, sweepViewOf(st, false))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -477,7 +480,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if st.Draining {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	WriteJSON(w, http.StatusOK, map[string]any{
 		"status":   status,
 		"uptime_s": time.Since(s.started).Seconds(),
 		"queue":    st.QueueDepth,

@@ -1,0 +1,63 @@
+package server
+
+// The versioned half of the wire surface. Every pdpad role answers GET
+// /v1/version with its build info, the API revision it speaks, and which
+// role it plays; the fleet coordinator rejects node registrations whose
+// revision differs from its own with CodeIncompatibleRevision, so a mixed
+// deploy fails loudly at join time instead of corrupting a sweep later.
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+)
+
+// APIRevision is the revision of the v1 wire surface this build speaks.
+// Bump it when a change would make a coordinator and a node disagree about
+// request or response shapes; nodes with a different revision are refused
+// at registration.
+const APIRevision = 1
+
+// Roles a pdpad process can serve in, reported by GET /v1/version.
+const (
+	RoleStandalone  = "standalone"
+	RoleCoordinator = "coordinator"
+	RoleNode        = "node"
+)
+
+// VersionInfo is the GET /v1/version payload.
+type VersionInfo struct {
+	Service string `json:"service"`
+	// Version is the main module's build version ("(devel)" for plain
+	// go-build trees).
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	// APIRevision is the wire-surface revision; see the package constant.
+	APIRevision int `json:"api_revision"`
+	// Role is standalone, coordinator, or node.
+	Role string `json:"role"`
+}
+
+// Version describes this build serving in the given role.
+func Version(role string) VersionInfo {
+	v := VersionInfo{
+		Service:     "pdpad",
+		Version:     "(devel)",
+		GoVersion:   runtime.Version(),
+		APIRevision: APIRevision,
+		Role:        role,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		v.Version = bi.Main.Version
+	}
+	return v
+}
+
+// WithRole sets the role GET /v1/version reports (default RoleStandalone).
+func WithRole(role string) Option {
+	return func(s *Server) { s.role = role }
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, http.StatusOK, Version(s.role))
+}
