@@ -265,6 +265,16 @@ func (c *Client) Trace(ctx context.Context, id string) (json.RawMessage, error) 
 	return raw, err
 }
 
+// ReconcileRuns asks a node daemon for the authoritative state of each run
+// in ids (POST /v1/runs/reconcile). A recovering coordinator uses this to
+// adopt results completed while it was down and to learn which placements
+// the node has no record of.
+func (c *Client) ReconcileRuns(ctx context.Context, ids []string) (ReconcileResult, error) {
+	var res ReconcileResult
+	err := c.Do(ctx, http.MethodPost, "/v1/runs/reconcile", ReconcileRequest{IDs: ids}, &res)
+	return res, err
+}
+
 // ListOptions parameterize one page of a list endpoint.
 type ListOptions struct {
 	// Limit is the page size (0 = server default).

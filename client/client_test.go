@@ -13,6 +13,7 @@ import (
 
 	"pdpasim"
 	"pdpasim/client"
+	"pdpasim/internal/fleet"
 	"pdpasim/internal/runqueue"
 	"pdpasim/internal/server"
 )
@@ -104,6 +105,61 @@ func TestWireDrift(t *testing.T) {
 	clientVersion := client.VersionInfo{Service: "pdpad", Version: "v1", GoVersion: "go", APIRevision: 1, Role: "node"}
 	if a, b := mustJSON(t, serverVersion), mustJSON(t, clientVersion); a != b {
 		t.Errorf("VersionInfo drift:\nserver %s\nclient %s", a, b)
+	}
+
+	serverReconcileReq := server.ReconcileRequest{IDs: []string{"run-000001", "run-000002"}}
+	clientReconcileReq := client.ReconcileRequest{IDs: []string{"run-000001", "run-000002"}}
+	if a, b := mustJSON(t, serverReconcileReq), mustJSON(t, clientReconcileReq); a != b {
+		t.Errorf("ReconcileRequest drift:\nserver %s\nclient %s", a, b)
+	}
+
+	serverReconcile := server.ReconcileResponse{Runs: []server.RunView{serverRun}, Missing: []string{"run-000009"}}
+	clientReconcile := client.ReconcileResult{Runs: []client.RunView{clientRun}, Missing: []string{"run-000009"}}
+	if a, b := mustJSON(t, serverReconcile), mustJSON(t, clientReconcile); a != b {
+		t.Errorf("ReconcileResponse drift:\nserver %s\nclient %s", a, b)
+	}
+}
+
+// TestNodePlaneWireDrift pins the node-plane wire shapes — register and
+// heartbeat in both directions — to their client mirrors, the same way
+// TestWireDrift pins the run plane.
+func TestNodePlaneWireDrift(t *testing.T) {
+	fleetRegister := fleet.RegisterRequest{
+		Name: "n1", Addr: "http://127.0.0.1:1", APIRevision: 2,
+		CPUs: 32, BaseWorkers: 2, MaxWorkers: 4,
+	}
+	clientRegister := client.NodeRegisterRequest{
+		Name: "n1", Addr: "http://127.0.0.1:1", APIRevision: 2,
+		CPUs: 32, BaseWorkers: 2, MaxWorkers: 4,
+	}
+	if a, b := mustJSON(t, fleetRegister), mustJSON(t, clientRegister); a != b {
+		t.Errorf("RegisterRequest drift:\nfleet %s\nclient %s", a, b)
+	}
+	// The zero-value shapes must agree too: omitempty mismatches only show
+	// up on zero fields.
+	if a, b := mustJSON(t, fleet.RegisterRequest{}), mustJSON(t, client.NodeRegisterRequest{}); a != b {
+		t.Errorf("RegisterRequest zero drift:\nfleet %s\nclient %s", a, b)
+	}
+
+	fleetRegResp := fleet.RegisterResponse{ID: "node-001", HeartbeatIntervalS: 2.5}
+	clientRegResp := client.NodeRegisterResponse{ID: "node-001", HeartbeatIntervalS: 2.5}
+	if a, b := mustJSON(t, fleetRegResp), mustJSON(t, clientRegResp); a != b {
+		t.Errorf("RegisterResponse drift:\nfleet %s\nclient %s", a, b)
+	}
+
+	fleetBeat := fleet.HeartbeatRequest{QueueDepth: 3, Inflight: 2, Draining: true}
+	clientBeat := client.NodeHeartbeatRequest{QueueDepth: 3, Inflight: 2, Draining: true}
+	if a, b := mustJSON(t, fleetBeat), mustJSON(t, clientBeat); a != b {
+		t.Errorf("HeartbeatRequest drift:\nfleet %s\nclient %s", a, b)
+	}
+	if a, b := mustJSON(t, fleet.HeartbeatRequest{}), mustJSON(t, client.NodeHeartbeatRequest{}); a != b {
+		t.Errorf("HeartbeatRequest zero drift:\nfleet %s\nclient %s", a, b)
+	}
+
+	fleetBeatResp := fleet.HeartbeatResponse{State: fleet.StateDrained}
+	clientBeatResp := client.NodeHeartbeatResponse{State: "drained"}
+	if a, b := mustJSON(t, fleetBeatResp), mustJSON(t, clientBeatResp); a != b {
+		t.Errorf("HeartbeatResponse drift:\nfleet %s\nclient %s", a, b)
 	}
 }
 

@@ -38,4 +38,18 @@
 // Wire types here deliberately mirror the server's JSON shapes rather than
 // importing them, keeping the package importable outside this module; the
 // client_test drift tests pin the two sets of shapes to each other.
+//
+// # Coordinator restarts and retries
+//
+// A durable coordinator (one started with a store) may restart under a
+// client's feet. The gap surfaces as plain transport errors — connection
+// refused is not a v1 envelope, so WithRetries does not retry it; callers
+// that must ride through a restart should loop on transport errors
+// themselves. What the coordinator does guarantee is identity: run and
+// sweep IDs survive the restart, so a WaitRun or WaitSweep resumed against
+// the recovered coordinator picks up the same run, and results adopted
+// from the nodes during reconciliation are byte-identical to what an
+// uninterrupted coordinator would have returned. ReconcileRuns is the
+// recovery plane's bulk probe — a recovering coordinator calls it on every
+// node daemon, which is why revision-2 nodes must serve it.
 package client

@@ -106,6 +106,20 @@ type RunPage struct {
 	NextCursor string    `json:"next_cursor,omitempty"`
 }
 
+// ReconcileRequest is the POST /v1/runs/reconcile payload: the run IDs a
+// restarted coordinator believes the target node owns.
+type ReconcileRequest struct {
+	IDs []string `json:"ids"`
+}
+
+// ReconcileResult answers a reconcile probe: full views (results included)
+// for the runs the node has a record of, and the IDs it knows nothing
+// about.
+type ReconcileResult struct {
+	Runs    []RunView `json:"runs,omitempty"`
+	Missing []string  `json:"missing,omitempty"`
+}
+
 // Event is one server-sent lifecycle event from GET /v1/runs/{id}/events.
 type Event struct {
 	RunID   string    `json:"run_id"`
@@ -227,4 +241,39 @@ type NodeView struct {
 type NodePage struct {
 	Nodes      []NodeView `json:"nodes"`
 	NextCursor string     `json:"next_cursor,omitempty"`
+}
+
+// NodeRegisterRequest mirrors the fleet's POST /v1/nodes/register payload:
+// a node announces its address, wire revision, and capacity.
+type NodeRegisterRequest struct {
+	Name string `json:"name,omitempty"`
+	// Addr is the node's advertised base URL.
+	Addr string `json:"addr"`
+	// APIRevision is the wire revision the node speaks; a mismatch with the
+	// coordinator's is refused with code incompatible_revision.
+	APIRevision int `json:"api_revision"`
+	CPUs        int `json:"cpus,omitempty"`
+	BaseWorkers int `json:"base_workers,omitempty"`
+	MaxWorkers  int `json:"max_workers,omitempty"`
+}
+
+// NodeRegisterResponse acknowledges a registration: the coordinator-assigned
+// node ID and the directed heartbeat cadence.
+type NodeRegisterResponse struct {
+	ID                 string  `json:"id"`
+	HeartbeatIntervalS float64 `json:"heartbeat_interval_s"`
+}
+
+// NodeHeartbeatRequest mirrors the periodic node → coordinator liveness
+// report: the node's current queue-depth/MPL snapshot.
+type NodeHeartbeatRequest struct {
+	QueueDepth int  `json:"queue_depth"`
+	Inflight   int  `json:"inflight"`
+	Draining   bool `json:"draining,omitempty"`
+}
+
+// NodeHeartbeatResponse tells the node how the coordinator currently sees
+// it. A "drained" answer is an instruction to leave the fleet.
+type NodeHeartbeatResponse struct {
+	State string `json:"state"`
 }

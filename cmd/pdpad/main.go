@@ -18,6 +18,18 @@
 //	pdpad -coordinator -addr :8080 -placement least_loaded
 //	pdpad -node -join http://coord:8080 -addr :8081 -advertise http://node1:8081
 //
+// A coordinator given -store persists its routing table — the run registry,
+// sweep shard map, and node ledger — so a crashed or killed coordinator can
+// be restarted on the same store and resume where it left off: nodes
+// re-register, completed results are adopted verbatim, in-flight runs are
+// resumed, and interrupted sweeps finish with byte-identical cells.
+// -drain-idle-after and -join-backlog arm the elasticity hooks that retire
+// idle nodes (never below -min-nodes) and signal for more when the queue
+// backs up:
+//
+//	pdpad -coordinator -addr :8080 -store /var/lib/pdpad/coord \
+//	      -drain-idle-after 5m -min-nodes 2 -join-backlog 16
+//
 // For chaos testing, -inject arms seeded fault rules at the daemon's
 // injection sites using the same rule syntax scenario files use:
 //
@@ -84,6 +96,9 @@ func main() {
 		unhealthy   = flag.Duration("unhealthy-after", 0, "heartbeat silence before a node stops receiving placements (0 = 3×heartbeat)")
 		deadAfter   = flag.Duration("dead-after", 0, "heartbeat silence before a node is drained and its runs requeued (0 = 2×unhealthy-after)")
 		maxRequeues = flag.Int("max-requeues", 3, "re-placements one run may survive after node deaths before failing")
+		drainIdle   = flag.Duration("drain-idle-after", 0, "coordinator: scale-drain a node idle this long, never below -min-nodes (0 = disabled)")
+		minNodes    = flag.Int("min-nodes", 0, "coordinator: floor of ready nodes the idle-drain rule preserves (0 = 1)")
+		joinBacklog = flag.Int("join-backlog", 0, "coordinator: queue depth that fires a scale-up signal, once per backlog episode (0 = disabled)")
 	)
 	var injectRules []faults.Rule
 	flag.Func("inject", "fault-injection rule \"<site>:<kind> [after=N] [count=N] [prob=F] [delay=DUR] [transient] [err=MSG]\" (repeatable; chaos testing — same syntax as scenario files)",
@@ -101,7 +116,8 @@ func main() {
 		os.Exit(2)
 	}
 	if *base < 1 || *max < 0 || *queueLimit < 1 || *cacheSize < 1 || *warmup < 0 || *deadline < 0 || *drainTimeout <= 0 ||
-		*runTimeout < 0 || *maxRetries < 0 || *maxQueue < 0 || *heartbeat <= 0 || *unhealthy < 0 || *deadAfter < 0 || *maxRequeues < 0 {
+		*runTimeout < 0 || *maxRetries < 0 || *maxQueue < 0 || *heartbeat <= 0 || *unhealthy < 0 || *deadAfter < 0 || *maxRequeues < 0 ||
+		*drainIdle < 0 || *minNodes < 0 || *joinBacklog < 0 {
 		fmt.Fprintln(os.Stderr, "pdpad: flag values must be positive")
 		os.Exit(2)
 	}
@@ -136,6 +152,11 @@ func main() {
 			deadAfter:    *deadAfter,
 			maxRequeues:  *maxRequeues,
 			drainTimeout: *drainTimeout,
+			storeDir:     *storeDir,
+			storeSync:    *storeSync,
+			drainIdle:    *drainIdle,
+			minNodes:     *minNodes,
+			joinBacklog:  *joinBacklog,
 			inj:          inj,
 		})
 		return
@@ -239,10 +260,26 @@ type coordFlags struct {
 	deadAfter    time.Duration
 	maxRequeues  int
 	drainTimeout time.Duration
+	storeDir     string
+	storeSync    time.Duration
+	drainIdle    time.Duration
+	minNodes     int
+	joinBacklog  int
 	inj          *faults.Injector
 }
 
 func runCoordinator(f coordFlags) {
+	var st *store.Store
+	if f.storeDir != "" {
+		var err error
+		st, err = store.Open(f.storeDir, store.Options{SyncInterval: f.storeSync})
+		if err != nil {
+			log.Fatalf("pdpad: open store %s: %v", f.storeDir, err)
+		}
+		stats := st.Stats()
+		log.Printf("pdpad: coordinator store %s: recovered %d record(s) (%d truncated tail(s), %d corrupt frame(s))",
+			f.storeDir, stats.RecoveredEntries, stats.TruncatedTails, stats.CorruptFrames)
+	}
 	coord, err := fleet.NewCoordinator(fleet.Config{
 		Placement: fleet.Placement(f.placement),
 		Health: fleet.HealthConfig{
@@ -251,8 +288,20 @@ func runCoordinator(f coordFlags) {
 			DeadAfter:         f.deadAfter,
 		},
 		MaxRequeues: f.maxRequeues,
-		Faults:      f.inj,
-		Logf:        log.Printf,
+		Store:       st,
+		Elastic: fleet.ElasticConfig{
+			DrainIdleAfter:   f.drainIdle,
+			MinNodes:         f.minNodes,
+			JoinBacklogDepth: f.joinBacklog,
+			OnScaleDown: func(nodeID string) {
+				log.Printf("pdpad: scale-down: drained idle node %s", nodeID)
+			},
+			OnScaleUp: func(depth int) {
+				log.Printf("pdpad: scale-up: queue backlog at %d, fleet wants another node", depth)
+			},
+		},
+		Faults: f.inj,
+		Logf:   log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("pdpad: %v", err)
@@ -288,6 +337,11 @@ func runCoordinator(f coordFlags) {
 		log.Printf("pdpad: http shutdown: %v", err)
 	}
 	coord.Close()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("pdpad: store close: %v", err)
+		}
+	}
 	log.Print("pdpad: bye")
 }
 

@@ -17,6 +17,7 @@ import (
 	"pdpasim/internal/obs"
 	"pdpasim/internal/runqueue"
 	"pdpasim/internal/server"
+	"pdpasim/internal/store"
 	"pdpasim/internal/sweep"
 )
 
@@ -44,6 +45,37 @@ type Config struct {
 	Now func() time.Time
 	// Logf receives operational log lines (default: discarded).
 	Logf func(format string, args ...any)
+	// Store, when non-nil, journals the node ledger, run registry, and
+	// sweep shard map so a restarted coordinator rehydrates its routing
+	// table before serving (see persist.go). The caller owns the store's
+	// lifecycle; Close does not close it.
+	Store *store.Store
+	// StoreCompactBytes bounds journal growth between compactions
+	// (default 4 MiB).
+	StoreCompactBytes int64
+	// Elastic configures the queue-depth-driven autoscaling hooks.
+	Elastic ElasticConfig
+}
+
+// ElasticConfig drives the coordinator's elasticity hooks off the
+// queue-depth heartbeats: drain-on-idle retires surplus nodes, and
+// join-on-backlog signals that the fleet wants another one. Both surface
+// as pdpad_fleet_scale_* metrics whether or not callbacks are installed.
+type ElasticConfig struct {
+	// DrainIdleAfter: a healthy node with no placements, an empty queue,
+	// and nothing inflight for this long is scale-drained — at most one
+	// node per monitor tick, never below MinNodes. 0 disables.
+	DrainIdleAfter time.Duration
+	// MinNodes is the floor drain-on-idle respects (0 means 1).
+	MinNodes int
+	// JoinBacklogDepth: when the fleet-wide queued backlog reaches this
+	// depth, one scale-up signal fires per backlog episode (the flag
+	// rearms when the backlog falls back below the threshold). 0 disables.
+	JoinBacklogDepth int
+	// OnScaleDown observes a scale-drain, called with the node's ID.
+	OnScaleDown func(nodeID string)
+	// OnScaleUp observes a backlog signal, called with the queued depth.
+	OnScaleUp func(backlog int)
 }
 
 // node is the coordinator's record of one registered node.
@@ -66,6 +98,16 @@ type node struct {
 
 	cordoned bool
 	drained  bool
+	// scaleDrained marks a drain decided by the elasticity hooks; its
+	// heartbeats answer "drained" (the agent leaves the fleet) instead of
+	// the 404 that would make it re-register.
+	scaleDrained bool
+	// pendingReconcile marks a node rehydrated from the store that has not
+	// re-registered since the coordinator restarted: no placements, no
+	// refreshes, heartbeats answer 404 so its agent re-registers and the
+	// reconcile protocol runs. Liveness still applies — a recovered node
+	// that never returns is declared dead and its runs requeue.
+	pendingReconcile bool
 
 	// assigned and costSum are the coordinator-local placement ledgers:
 	// non-terminal runs placed here, and their summed LPT cost estimate.
@@ -136,6 +178,12 @@ type Coordinator struct {
 	swOrder  []*csweep
 	swSeq    int
 
+	store             *store.Store
+	storeCompactBytes int64
+	elastic           ElasticConfig
+	idleSince         map[string]time.Time // node ID → first tick observed idle
+	backlogActive     bool                 // one scale-up signal per backlog episode
+
 	reg *obs.Registry
 	met coordMetrics
 
@@ -151,6 +199,14 @@ type coordMetrics struct {
 	requeueFailures  *obs.Counter
 	nodeDeaths       *obs.Counter
 	recovered        *obs.Counter
+	storeErrors      *obs.Counter
+	recoveredNodes   *obs.Counter
+	recoveredRuns    *obs.Counter
+	recoveredSweeps  *obs.Counter
+	reconciled       *obs.Counter
+	adopted          *obs.Counter
+	scaleDown        *obs.Counter
+	scaleUp          *obs.Counter
 }
 
 // NewCoordinator returns a running coordinator (its heartbeat monitor is
@@ -175,23 +231,30 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.StoreCompactBytes <= 0 {
+		cfg.StoreCompactBytes = defaultStoreCompactBytes
+	}
 	c := &Coordinator{
-		mux:         http.NewServeMux(),
-		placement:   pl,
-		health:      cfg.Health.withDefaults(),
-		maxReq:      cfg.MaxRequeues,
-		flts:        cfg.Faults,
-		hc:          cfg.HTTPClient,
-		now:         cfg.Now,
-		logf:        cfg.Logf,
-		started:     cfg.Now(),
-		nodes:       map[string]*node{},
-		runs:        map[string]*crun{},
-		affinity:    map[string]*crun{},
-		sweeps:      map[string]*csweep{},
-		reg:         obs.NewRegistry(),
-		stopMonitor: make(chan struct{}),
-		monitorDone: make(chan struct{}),
+		mux:               http.NewServeMux(),
+		placement:         pl,
+		health:            cfg.Health.withDefaults(),
+		maxReq:            cfg.MaxRequeues,
+		flts:              cfg.Faults,
+		hc:                cfg.HTTPClient,
+		now:               cfg.Now,
+		logf:              cfg.Logf,
+		started:           cfg.Now(),
+		nodes:             map[string]*node{},
+		runs:              map[string]*crun{},
+		affinity:          map[string]*crun{},
+		sweeps:            map[string]*csweep{},
+		store:             cfg.Store,
+		storeCompactBytes: cfg.StoreCompactBytes,
+		elastic:           cfg.Elastic,
+		idleSince:         map[string]time.Time{},
+		reg:               obs.NewRegistry(),
+		stopMonitor:       make(chan struct{}),
+		monitorDone:       make(chan struct{}),
 	}
 	c.met = coordMetrics{
 		heartbeats:       c.reg.Counter("pdpad_fleet_heartbeats_total", "Heartbeats accepted from registered nodes."),
@@ -202,6 +265,14 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		nodeDeaths:       c.reg.Counter("pdpad_fleet_node_deaths_total", "Nodes declared dead after missed heartbeats."),
 		recovered: c.reg.LabeledCounter("pdpad_recovered_panics_total",
 			"Panics recovered without taking the daemon down, by origin.", "where", "http"),
+		storeErrors:     c.reg.Counter("pdpad_fleet_store_errors_total", "Coordinator store appends, compactions, or recovered records that failed (never fatal)."),
+		recoveredNodes:  c.reg.Counter("pdpad_fleet_recovered_nodes_total", "Node-ledger entries rehydrated from the store at startup."),
+		recoveredRuns:   c.reg.Counter("pdpad_fleet_recovered_runs_total", "Run-registry entries rehydrated from the store at startup."),
+		recoveredSweeps: c.reg.Counter("pdpad_fleet_recovered_sweeps_total", "Sweep shard maps rehydrated from the store at startup."),
+		reconciled:      c.reg.Counter("pdpad_fleet_reconciled_runs_total", "Runs whose state was settled with a returning node after a coordinator restart."),
+		adopted:         c.reg.Counter("pdpad_fleet_adopted_results_total", "Terminal results returning nodes reported during reconcile."),
+		scaleDown:       c.reg.Counter("pdpad_fleet_scale_down_signals_total", "Nodes scale-drained by the drain-on-idle elasticity hook."),
+		scaleUp:         c.reg.Counter("pdpad_fleet_scale_up_signals_total", "Backlog episodes that signalled the join-on-backlog elasticity hook."),
 	}
 	c.reg.GaugeFunc("pdpad_goroutines", "Live goroutines in the serving process (leak smoke-checks read this).",
 		func() float64 { return float64(runtime.NumGoroutine()) })
@@ -241,6 +312,12 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /v1/version", c.handleVersion)
 	c.mux.HandleFunc("GET /healthz", c.handleHealth)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+
+	// Rehydrate the routing table from the store before serving a single
+	// request and before the monitor can rule on liveness.
+	if c.store != nil {
+		c.rehydrate(recoverState(c.store.TakeRecovered()))
+	}
 
 	go c.monitor()
 	return c, nil
@@ -339,8 +416,8 @@ func (c *Coordinator) monitor() {
 	}
 }
 
-// tick is one monitor pass: declare dead nodes drained and requeue their
-// non-terminal runs.
+// tick is one monitor pass: declare dead nodes drained, requeue their
+// non-terminal runs, and evaluate the elasticity hooks.
 func (c *Coordinator) tick() {
 	now := c.now()
 	var orphans []*crun
@@ -354,13 +431,96 @@ func (c *Coordinator) tick() {
 		}
 		n.drained = true
 		c.met.nodeDeaths.Inc()
+		c.persistNodeLocked(n)
+		delete(c.idleSince, n.id)
 		c.logf("fleet: node %s (%s) declared dead after %v of silence", n.id, n.addr, now.Sub(n.lastBeat))
 		orphans = append(orphans, c.runsOnLocked(n.id)...)
 	}
+	scaledDown := c.scaleDownLocked(now)
+	backlog := c.scaleUpLocked()
 	c.mu.Unlock()
 	for _, cr := range orphans {
 		c.requeue(context.Background(), cr, "node died")
 	}
+	if scaledDown != "" && c.elastic.OnScaleDown != nil {
+		c.elastic.OnScaleDown(scaledDown)
+	}
+	if backlog > 0 && c.elastic.OnScaleUp != nil {
+		c.elastic.OnScaleUp(backlog)
+	}
+}
+
+// scaleDownLocked implements drain-on-idle: a node that has held no
+// placements, an empty queue, and nothing inflight for DrainIdleAfter is
+// scale-drained — at most one per tick, never below MinNodes. Returns the
+// drained node's ID, or "".
+func (c *Coordinator) scaleDownLocked(now time.Time) string {
+	if c.elastic.DrainIdleAfter <= 0 {
+		return ""
+	}
+	min := c.elastic.MinNodes
+	if min < 1 {
+		min = 1
+	}
+	eligible := c.eligibleLocked(nil)
+	var victim *node
+	var victimSince time.Time
+	for _, n := range eligible {
+		idle := n.assigned == 0 && n.queueDepth == 0 && n.inflight == 0
+		if !idle {
+			delete(c.idleSince, n.id)
+			continue
+		}
+		since, ok := c.idleSince[n.id]
+		if !ok {
+			c.idleSince[n.id] = now
+			continue
+		}
+		if now.Sub(since) < c.elastic.DrainIdleAfter {
+			continue
+		}
+		if victim == nil || since.Before(victimSince) {
+			victim, victimSince = n, since
+		}
+	}
+	if victim == nil || len(eligible) <= min {
+		return ""
+	}
+	victim.drained = true
+	victim.scaleDrained = true
+	delete(c.idleSince, victim.id)
+	c.met.scaleDown.Inc()
+	c.persistNodeLocked(victim)
+	c.logf("fleet: node %s idle for %v, scale-drained (fleet has %d eligible nodes, floor %d)",
+		victim.id, now.Sub(victimSince), len(eligible), min)
+	return victim.id
+}
+
+// scaleUpLocked implements join-on-backlog: when the fleet-wide queued
+// depth reaches JoinBacklogDepth, one signal fires per backlog episode.
+// Returns the depth when a signal fires, 0 otherwise.
+func (c *Coordinator) scaleUpLocked() int {
+	if c.elastic.JoinBacklogDepth <= 0 {
+		return 0
+	}
+	backlog := 0
+	for _, n := range c.order {
+		if n.drained {
+			continue
+		}
+		backlog += n.queueDepth
+	}
+	if backlog >= c.elastic.JoinBacklogDepth {
+		if c.backlogActive {
+			return 0
+		}
+		c.backlogActive = true
+		c.met.scaleUp.Inc()
+		c.logf("fleet: queued backlog reached %d (threshold %d); signalling scale-up", backlog, c.elastic.JoinBacklogDepth)
+		return backlog
+	}
+	c.backlogActive = false
+	return 0
 }
 
 // runsOnLocked returns the non-terminal runs currently placed on a node.
@@ -375,12 +535,13 @@ func (c *Coordinator) runsOnLocked(nodeID string) []*crun {
 }
 
 // eligibleLocked returns the nodes placements may target, in registration
-// order: live heartbeats, not cordoned, not drained, not self-draining.
+// order: live heartbeats, not cordoned, not drained, not self-draining,
+// and not awaiting post-restart reconciliation.
 func (c *Coordinator) eligibleLocked(exclude map[string]bool) []*node {
 	now := c.now()
 	var out []*node
 	for _, n := range c.order {
-		if n.drained || n.cordoned || n.nodeDraining || exclude[n.id] {
+		if n.drained || n.cordoned || n.nodeDraining || n.pendingReconcile || exclude[n.id] {
 			continue
 		}
 		if c.health.Liveness(now.Sub(n.lastBeat)) != StateHealthy {
@@ -409,6 +570,19 @@ func (c *Coordinator) releaseLocked(cr *crun) {
 		n.assigned--
 		n.costSum -= estCost(cr.spec)
 	}
+}
+
+// transferLocked moves a recovered run's placement onto a returning node's
+// new incarnation. Unlike reserveLocked it keeps remoteID: the node still
+// holds the run under that ID, and reconcile is about to ask it for the
+// authoritative state.
+func (c *Coordinator) transferLocked(cr *crun, n *node) {
+	c.releaseLocked(cr)
+	n.assigned++
+	n.costSum += estCost(cr.spec)
+	cr.nodeID = n.id
+	cr.gen++
+	cr.reserved = true
 }
 
 // ---------------------------------------------------------------------------
@@ -464,6 +638,7 @@ func (c *Coordinator) place(ctx context.Context, cr *crun, exclude map[string]bo
 				cr.state = res.State
 				cr.cacheHit = res.CacheHit
 				cr.deduped = res.Deduped
+				c.persistRunLocked(cr)
 			}
 			c.mu.Unlock()
 			return nil
@@ -489,6 +664,13 @@ func (c *Coordinator) place(ctx context.Context, cr *crun, exclude map[string]bo
 // requeue re-places a run after its node died or was drained, failing it
 // deterministically once the requeue budget is spent or no node remains.
 func (c *Coordinator) requeue(ctx context.Context, cr *crun, reason string) {
+	c.requeueEx(ctx, cr, reason, true)
+}
+
+// requeueEx is requeue with the losing node's exclusion made optional:
+// reconcile re-places runs a returning node has no record of, and that node
+// is a legitimate target again.
+func (c *Coordinator) requeueEx(ctx context.Context, cr *crun, reason string, excludeFrom bool) {
 	c.mu.Lock()
 	if cr.final != nil {
 		c.mu.Unlock()
@@ -505,7 +687,11 @@ func (c *Coordinator) requeue(ctx context.Context, cr *crun, reason string) {
 		return
 	}
 	c.mu.Unlock()
-	if err := c.place(ctx, cr, map[string]bool{from: true}); err != nil {
+	exclude := map[string]bool{}
+	if excludeFrom {
+		exclude[from] = true
+	}
+	if err := c.place(ctx, cr, exclude); err != nil {
 		c.met.requeueFailures.Inc()
 		c.mu.Lock()
 		c.failLocked(cr, fmt.Sprintf("%s (node %s); re-placement failed: %v", reason, from, err))
@@ -535,6 +721,7 @@ func (c *Coordinator) failLocked(cr *crun, msg string) {
 	}
 	cr.final = &v
 	cr.lastView = &v
+	c.persistRunLocked(cr)
 	c.logf("fleet: run %s failed: %s", cr.id, msg)
 }
 
@@ -548,6 +735,11 @@ func (c *Coordinator) refresh(ctx context.Context, cr *crun) {
 		return
 	}
 	n := c.nodes[cr.nodeID]
+	if n != nil && n.pendingReconcile {
+		// The node has not re-registered since the coordinator restart;
+		// its old address may answer for a different incarnation.
+		n = nil
+	}
 	remoteID, gen := cr.remoteID, cr.gen
 	c.mu.Unlock()
 	if n == nil {
@@ -568,6 +760,7 @@ func (c *Coordinator) refresh(ctx context.Context, cr *crun) {
 	if v.Terminal() {
 		cr.final = &v
 		c.releaseLocked(cr)
+		c.persistRunLocked(cr)
 	}
 }
 
@@ -636,6 +829,7 @@ func (c *Coordinator) remove(cr *crun) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.releaseLocked(cr)
+	c.persistDeleteLocked(cr.id)
 	delete(c.runs, cr.id)
 	if c.affinity[cr.key] == cr {
 		delete(c.affinity, cr.key)
@@ -798,6 +992,9 @@ func (c *Coordinator) handleCancelRun(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	final := cr.final
 	n := c.nodes[cr.nodeID]
+	if n != nil && n.pendingReconcile {
+		n = nil
+	}
 	remoteID := cr.remoteID
 	c.mu.Unlock()
 	if final == nil && n != nil && remoteID != "" {
@@ -868,6 +1065,9 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 		c.mu.Lock()
 		final := cr.final
 		n := c.nodes[cr.nodeID]
+		if n != nil && n.pendingReconcile {
+			n = nil
+		}
 		remoteID := cr.remoteID
 		c.mu.Unlock()
 		if final != nil {
@@ -912,6 +1112,9 @@ func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	n := c.nodes[cr.nodeID]
+	if n != nil && n.pendingReconcile {
+		n = nil
+	}
 	remoteID := cr.remoteID
 	c.mu.Unlock()
 	if n == nil || remoteID == "" {
@@ -996,6 +1199,7 @@ func (c *Coordinator) handleSubmitSweep(w http.ResponseWriter, r *http.Request) 
 	}
 	c.sweeps[cs.id] = cs
 	c.swOrder = append(c.swOrder, cs)
+	c.persistSweepLocked(cs)
 	c.mu.Unlock()
 	server.WriteJSON(w, http.StatusAccepted, resp)
 }
@@ -1193,16 +1397,34 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	now := c.now()
-	var orphans []*crun
+	var orphans, adoptees []*crun
+	inheritCordon := false
 	c.mu.Lock()
-	// A re-registration from a restarted node: its old incarnation's runs
-	// are gone with the old process, so drain the stale record.
 	for _, old := range c.order {
-		if !old.drained && old.addr == req.Addr {
-			old.drained = true
-			orphans = append(orphans, c.runsOnLocked(old.id)...)
-			c.logf("fleet: node %s re-registered from %s; draining stale record", old.id, old.addr)
+		if old.drained || old.addr != req.Addr {
+			continue
 		}
+		old.drained = true
+		c.persistNodeLocked(old)
+		if old.pendingReconcile {
+			// The same address returning after a coordinator restart: the
+			// node kept its pool across the outage, so every run the
+			// recovered routing table attributes to it — terminal results
+			// included — transfers to the new incarnation for reconcile.
+			for _, cr := range c.runOrder {
+				if cr.nodeID == old.id {
+					adoptees = append(adoptees, cr)
+				}
+			}
+			inheritCordon = inheritCordon || old.cordoned
+			c.logf("fleet: node %s returned as a new registration from %s after coordinator restart; reconciling %d runs",
+				old.id, old.addr, len(adoptees))
+			continue
+		}
+		// A re-registration from a restarted node: its old incarnation's
+		// runs are gone with the old process, so drain the stale record.
+		orphans = append(orphans, c.runsOnLocked(old.id)...)
+		c.logf("fleet: node %s re-registered from %s; draining stale record", old.id, old.addr)
 	}
 	c.nodeSeq++
 	n := &node{
@@ -1215,14 +1437,25 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		maxWorkers:   req.MaxWorkers,
 		registeredAt: now,
 		lastBeat:     now,
+		cordoned:     inheritCordon,
 	}
 	c.nodes[n.id] = n
 	c.order = append(c.order, n)
+	for _, cr := range adoptees {
+		if cr.final == nil {
+			c.transferLocked(cr, n)
+		} else {
+			cr.nodeID = n.id
+		}
+		c.persistRunLocked(cr)
+	}
+	c.persistNodeLocked(n)
 	c.mu.Unlock()
 	c.logf("fleet: node %s registered from %s (%d cpus)", n.id, n.addr, n.cpus)
 	for _, cr := range orphans {
 		c.requeue(r.Context(), cr, "node restarted")
 	}
+	c.reconcile(r.Context(), n, adoptees)
 	server.WriteJSON(w, http.StatusOK, RegisterResponse{
 		ID:                 n.id,
 		HeartbeatIntervalS: c.health.HeartbeatInterval.Seconds(),
@@ -1237,10 +1470,19 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	c.mu.Lock()
 	n := c.nodes[id]
-	if n == nil || n.drained {
+	if n != nil && n.drained && n.scaleDrained {
 		c.mu.Unlock()
-		// 404 tells the node to re-register: it is unknown, or was declared
-		// dead and its record is now a tombstone.
+		// A scale-drain is an instruction, not an amnesia: answering
+		// "drained" makes the agent leave the fleet instead of the 404 that
+		// would make it re-register.
+		server.WriteJSON(w, http.StatusOK, HeartbeatResponse{State: StateDrained})
+		return
+	}
+	if n == nil || n.drained || n.pendingReconcile {
+		c.mu.Unlock()
+		// 404 tells the node to re-register: it is unknown, was declared
+		// dead and its record is now a tombstone, or it predates a
+		// coordinator restart and must run the reconcile protocol.
 		server.WriteError(w, http.StatusNotFound, server.CodeNotFound,
 			fmt.Errorf("fleet: no live node %q (re-register)", id))
 		return
@@ -1260,6 +1502,11 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 // so coordinator and client literally share the schema.
 func (c *Coordinator) nodeViewLocked(n *node) client.NodeView {
 	live := c.health.Liveness(c.now().Sub(n.lastBeat))
+	if n.pendingReconcile {
+		// Recovered from the store but not yet re-registered: never report
+		// it healthy, whatever the rehydrated heartbeat clock says.
+		live = StateUnhealthy
+	}
 	return client.NodeView{
 		ID:              n.id,
 		Name:            n.name,
@@ -1316,6 +1563,7 @@ func (c *Coordinator) handleCordon(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	n.cordoned = true
+	c.persistNodeLocked(n)
 	v := c.nodeViewLocked(n)
 	c.mu.Unlock()
 	c.logf("fleet: node %s cordoned", n.id)
@@ -1329,6 +1577,7 @@ func (c *Coordinator) handleUncordon(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	n.cordoned = false
+	c.persistNodeLocked(n)
 	v := c.nodeViewLocked(n)
 	c.mu.Unlock()
 	c.logf("fleet: node %s uncordoned", n.id)
@@ -1346,6 +1595,7 @@ func (c *Coordinator) handleDrainNode(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	n.cordoned = true
 	n.drained = true
+	c.persistNodeLocked(n)
 	evicted := c.runsOnLocked(n.id)
 	c.mu.Unlock()
 	c.logf("fleet: node %s draining, evicting %d runs", n.id, len(evicted))
@@ -1391,7 +1641,8 @@ func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 		total++
 		queue += n.queueDepth
 		inflight += n.inflight
-		if CombineState(c.health.Liveness(now.Sub(n.lastBeat)), n.cordoned, n.drained) == StateHealthy {
+		if !n.pendingReconcile &&
+			CombineState(c.health.Liveness(now.Sub(n.lastBeat)), n.cordoned, n.drained) == StateHealthy {
 			healthy++
 		}
 	}

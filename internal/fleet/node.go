@@ -190,6 +190,12 @@ func (a *Agent) heartbeatLoop(ctx context.Context, interval time.Duration) bool 
 		var resp HeartbeatResponse
 		err := a.cli.Do(ctx, http.MethodPost, "/v1/nodes/"+a.ID()+"/heartbeat", req, &resp)
 		if err == nil {
+			if resp.State == StateDrained {
+				// The coordinator scale-drained this node: leave the fleet
+				// for good (the pool keeps running; Stop still works).
+				a.cfg.Logf("fleet: coordinator drained node %s; leaving the fleet", a.ID())
+				return false
+			}
 			continue
 		}
 		var api *client.APIError

@@ -1,0 +1,454 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdpasim"
+	"pdpasim/client"
+	"pdpasim/internal/runqueue"
+	"pdpasim/internal/server"
+	"pdpasim/internal/store"
+)
+
+// mustRecord marshals v into a store record of the given kind.
+func mustRecord(t *testing.T, kind string, v any) store.Record {
+	t.Helper()
+	payload, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.Record{Kind: kind, Payload: payload}
+}
+
+func TestRecoverStateLastWins(t *testing.T) {
+	recs := []store.Record{
+		mustRecord(t, kindCoordNode, nodeRecord{ID: "node-001", Addr: "http://a"}),
+		mustRecord(t, kindCoordNode, nodeRecord{ID: "node-002", Addr: "http://b"}),
+		mustRecord(t, kindCoordNode, nodeRecord{ID: "node-001", Addr: "http://a", Drained: true, ScaleDrained: true}),
+		mustRecord(t, kindCoordRun, crunRecord{ID: "run-000001", State: "queued"}),
+		mustRecord(t, kindCoordRun, crunRecord{ID: "run-000001", State: "running", NodeID: "node-002"}),
+		mustRecord(t, kindCoordSweep, csweepRecord{ID: "sweep-000001", RunIDs: []string{"run-000001"}}),
+	}
+	rec := recoverState(recs)
+	if rec.dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", rec.dropped)
+	}
+	if len(rec.nodes) != 2 || rec.nodes[0].ID != "node-001" || rec.nodes[1].ID != "node-002" {
+		t.Fatalf("nodes = %+v, want node-001 then node-002", rec.nodes)
+	}
+	if !rec.nodes[0].Drained || !rec.nodes[0].ScaleDrained {
+		t.Errorf("node-001 = %+v, want the later drained record to win", rec.nodes[0])
+	}
+	if len(rec.runs) != 1 || rec.runs[0].State != "running" || rec.runs[0].NodeID != "node-002" {
+		t.Fatalf("runs = %+v, want one run in its latest state", rec.runs)
+	}
+	if len(rec.sweeps) != 1 || rec.sweeps[0].ID != "sweep-000001" {
+		t.Fatalf("sweeps = %+v", rec.sweeps)
+	}
+}
+
+func TestRecoverStateDeletes(t *testing.T) {
+	recs := []store.Record{
+		mustRecord(t, kindCoordRun, crunRecord{ID: "run-000001", State: "queued"}),
+		mustRecord(t, kindCoordRun, crunRecord{ID: "run-000002", State: "queued"}),
+		mustRecord(t, kindCoordDel, delRecord{ID: "run-000001"}),
+	}
+	rec := recoverState(recs)
+	if len(rec.runs) != 1 || rec.runs[0].ID != "run-000002" {
+		t.Fatalf("runs = %+v, want run-000001 erased", rec.runs)
+	}
+
+	// Erased then recreated: the ID appears twice in first-seen order but
+	// must come back exactly once, in its latest state.
+	recs = append(recs, mustRecord(t, kindCoordRun, crunRecord{ID: "run-000001", State: "running"}))
+	rec = recoverState(recs)
+	if len(rec.runs) != 2 {
+		t.Fatalf("runs = %+v, want exactly two", rec.runs)
+	}
+	seen := 0
+	for _, rr := range rec.runs {
+		if rr.ID == "run-000001" {
+			seen++
+			if rr.State != "running" {
+				t.Errorf("recreated run state = %s, want running", rr.State)
+			}
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("run-000001 appears %d times, want once", seen)
+	}
+}
+
+func TestRecoverStateDropsWreckage(t *testing.T) {
+	recs := []store.Record{
+		{Kind: kindCoordRun, Payload: []byte("{half a record")},
+		{Kind: kindCoordNode, Payload: []byte(`{"addr":"http://x"}`)}, // empty ID
+		{Kind: "unknown-kind", Payload: []byte(`{}`)},
+		{Kind: kindCoordDel, Payload: []byte("??")},
+		mustRecord(t, kindCoordRun, crunRecord{ID: "run-000001", State: "queued"}),
+	}
+	rec := recoverState(recs)
+	if rec.dropped != 4 {
+		t.Errorf("dropped = %d, want 4", rec.dropped)
+	}
+	if len(rec.runs) != 1 || len(rec.nodes) != 0 {
+		t.Errorf("survivors = %d runs %d nodes, want 1/0", len(rec.runs), len(rec.nodes))
+	}
+}
+
+// TestRecoverStateAcrossCompaction round-trips durable state through a
+// compaction: snapshot generation plus post-snapshot journal records must
+// fold together with the same last-wins semantics.
+func TestRecoverStateAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRec := func(kind string, v any) {
+		t.Helper()
+		if err := st.Append(mustRecord(t, kind, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendRec(kindCoordNode, nodeRecord{ID: "node-001", Addr: "http://a"})
+	appendRec(kindCoordRun, crunRecord{ID: "run-000001", State: "queued", NodeID: "node-001"})
+	// Compact to a snapshot holding the node in a newer state, then journal
+	// a newer run state on top of it.
+	if err := st.Compact([]store.Record{
+		mustRecord(t, kindCoordNode, nodeRecord{ID: "node-001", Addr: "http://a", Cordoned: true}),
+		mustRecord(t, kindCoordRun, crunRecord{ID: "run-000001", State: "queued", NodeID: "node-001"}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	appendRec(kindCoordRun, crunRecord{ID: "run-000001", State: "running", NodeID: "node-001"})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, store.Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := recoverState(st2.TakeRecovered())
+	if len(rec.nodes) != 1 || !rec.nodes[0].Cordoned {
+		t.Fatalf("nodes = %+v, want the snapshot's cordoned node", rec.nodes)
+	}
+	if len(rec.runs) != 1 || rec.runs[0].State != "running" {
+		t.Fatalf("runs = %+v, want the journal's running state to win", rec.runs)
+	}
+}
+
+// --- durable fleet harness ----------------------------------------------
+
+// serveAt serves h on a specific address, retrying while a previous
+// listener's port frees up; addr "" picks a fresh ephemeral port. This is
+// what lets a test coordinator restart at the same URL its agents hold.
+func serveAt(t *testing.T, addr string, h http.Handler) *httptest.Server {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var l net.Listener
+	var err error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		l, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("binding %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ts := &httptest.Server{Listener: l, Config: &http.Server{Handler: h}}
+	ts.Start()
+	return ts
+}
+
+// durableFleet is a fleet whose coordinator persists to a store and can be
+// killed and restarted at the same address, with node daemons surviving the
+// outage — the in-process double of the fleetsmoke kill -9 leg.
+type durableFleet struct {
+	t      *testing.T
+	dir    string
+	addr   string
+	health HealthConfig
+	st     *store.Store
+	coord  *Coordinator
+	cts    *httptest.Server
+	cli    *client.Client
+	nodes  []*testNode
+	killed bool
+}
+
+func startDurableFleet(t *testing.T, n int, cfgFor func(i int) runqueue.Config) *durableFleet {
+	return startDurableFleetH(t, n, fastHealth, cfgFor)
+}
+
+func startDurableFleetH(t *testing.T, n int, health HealthConfig, cfgFor func(i int) runqueue.Config) *durableFleet {
+	t.Helper()
+	f := &durableFleet{t: t, dir: t.TempDir(), health: health}
+	st, err := store.Open(f.dir, store.Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.st = st
+	coord, err := NewCoordinator(Config{Health: f.health, Logf: t.Logf, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.coord = coord
+	f.cts = serveAt(t, "", coord)
+	f.addr = f.cts.Listener.Addr().String()
+	f.cli = client.New(f.cts.URL)
+	for i := 0; i < n; i++ {
+		cfg := runqueue.Config{}
+		if cfgFor != nil {
+			cfg = cfgFor(i)
+		}
+		pool := runqueue.New(cfg)
+		ts := httptest.NewServer(server.New(pool))
+		agent := StartAgent(AgentConfig{
+			Coordinator:   f.cts.URL,
+			Advertise:     ts.URL,
+			Name:          fmt.Sprintf("n%d", i),
+			CPUs:          60,
+			RetryInterval: 20 * time.Millisecond,
+			Logf:          t.Logf,
+		}, pool)
+		select {
+		case <-agent.Registered():
+		case <-time.After(10 * time.Second):
+			t.Fatalf("node %d never registered", i)
+		}
+		f.nodes = append(f.nodes, &testNode{pool: pool, ts: ts, agent: agent})
+	}
+	t.Cleanup(f.shutdown)
+	return f
+}
+
+// killCoordinator simulates the coordinator process dying: HTTP surface
+// gone, monitor stopped, store handle released. Node daemons keep running.
+func (f *durableFleet) killCoordinator() {
+	f.cts.CloseClientConnections()
+	f.cts.Close()
+	f.coord.Close()
+	f.st.Close()
+	f.killed = true
+}
+
+// restartCoordinator brings a fresh coordinator up from the same store at
+// the same address, as a supervisor would after a crash.
+func (f *durableFleet) restartCoordinator() {
+	f.t.Helper()
+	st, err := store.Open(f.dir, store.Options{SyncInterval: -1})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.st = st
+	coord, err := NewCoordinator(Config{Health: f.health, Logf: f.t.Logf, Store: st})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.coord = coord
+	f.cts = serveAt(f.t, f.addr, coord)
+	f.cli.CloseIdleConnections()
+	f.cli = client.New(f.cts.URL)
+	f.killed = false
+}
+
+// waitHealthy polls until want nodes report healthy (agents re-registered
+// and reconciled after a restart).
+func (f *durableFleet) waitHealthy(ctx context.Context, want int) {
+	f.t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		page, err := f.cli.Nodes(ctx, client.ListOptions{})
+		healthy := 0
+		if err == nil {
+			for _, nv := range page.Nodes {
+				if nv.State == string(StateHealthy) {
+					healthy++
+				}
+			}
+			if healthy >= want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			f.t.Fatalf("fleet never reached %d healthy nodes (last: %d, err %v)", want, healthy, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (f *durableFleet) shutdown() {
+	for _, n := range f.nodes {
+		if n.agent != nil {
+			n.agent.Stop()
+			n.agent = nil
+		}
+	}
+	if !f.killed {
+		f.killCoordinator()
+	}
+	for _, n := range f.nodes {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		n.pool.Drain(ctx)
+		cancel()
+		if n.ts != nil {
+			n.ts.Close()
+			n.ts = nil
+		}
+	}
+	f.cli.CloseIdleConnections()
+}
+
+func (f *durableFleet) metric(ctx context.Context, name string) float64 {
+	f.t.Helper()
+	met, err := f.cli.Metrics(ctx)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return met[name]
+}
+
+// TestCoordinatorRestartRecoversSweep is the tentpole contract in-process:
+// a sweep interrupted by a coordinator kill mid-flight completes after a
+// restart with cells byte-identical to a standalone daemon's, with the
+// stragglers settled through the reconcile protocol rather than re-run.
+func TestCoordinatorRestartRecoversSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulations; skipped in -short")
+	}
+	want := standaloneCells(t)
+
+	// Node 0 stalls every simulation so the kill lands while its members
+	// are still in flight; node 1 simulates at full speed.
+	var stall atomic.Bool
+	stall.Store(true)
+	real := func(ctx context.Context, spec runqueue.Spec) (*pdpasim.Outcome, error) {
+		ws, opts := spec.Facade()
+		return pdpasim.RunContext(ctx, ws, opts)
+	}
+	f := startDurableFleet(t, 2, func(i int) runqueue.Config {
+		if i != 0 {
+			return runqueue.Config{}
+		}
+		return runqueue.Config{Simulate: func(ctx context.Context, spec runqueue.Spec) (*pdpasim.Outcome, error) {
+			if stall.Load() {
+				select {
+				case <-time.After(1500 * time.Millisecond):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			return real(ctx, spec)
+		}}
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	sub, err := f.cli.SubmitSweep(ctx, testSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the fast node's members are done — their results are on
+	// disk — while the stalled node still owns in-flight members.
+	for {
+		v, err := f.cli.Sweep(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Done >= 2 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatal("sweep never reached 2 done members")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	f.killCoordinator()
+	stall.Store(false)
+	f.restartCoordinator()
+	f.waitHealthy(ctx, 2)
+
+	v, err := f.cli.WaitSweep(ctx, sub.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != "done" {
+		t.Fatalf("recovered sweep state = %s, errors %v", v.State, v.Errors)
+	}
+	if !bytes.Equal(v.Cells, want) {
+		t.Errorf("recovered cells differ from standalone:\nfleet: %s\nwant:  %s", v.Cells, want)
+	}
+	if got := f.metric(ctx, "pdpad_fleet_recovered_runs_total"); got < 4 {
+		t.Errorf("recovered_runs_total = %v, want >= 4", got)
+	}
+	if got := f.metric(ctx, "pdpad_fleet_recovered_sweeps_total"); got < 1 {
+		t.Errorf("recovered_sweeps_total = %v, want >= 1", got)
+	}
+	if got := f.metric(ctx, "pdpad_fleet_reconciled_runs_total"); got < 1 {
+		t.Errorf("reconciled_runs_total = %v, want >= 1", got)
+	}
+	if got := f.metric(ctx, "pdpad_fleet_requeues_total"); got != 0 {
+		t.Errorf("requeues_total = %v, want 0 (reconcile must not re-run surviving work)", got)
+	}
+}
+
+// TestCoordinatorRestartKeepsIDSequences: recovered ID counters continue
+// after the highest persisted sequence instead of colliding with it.
+func TestCoordinatorRestartKeepsIDSequences(t *testing.T) {
+	f := startDurableFleet(t, 1, fastNodeConfig)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	sub, err := f.cli.SubmitRun(ctx, client.SubmitRunRequest{
+		Workload: client.Workload{Mix: "w1", Seed: 1},
+		Options:  client.RunOptions{Policy: "equip"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.cli.WaitRun(ctx, sub.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	f.killCoordinator()
+	f.restartCoordinator()
+	f.waitHealthy(ctx, 1)
+
+	again, err := f.cli.SubmitRun(ctx, client.SubmitRunRequest{
+		Workload: client.Workload{Mix: "w2", Seed: 2},
+		Options:  client.RunOptions{Policy: "equip"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != "run-000002" {
+		t.Errorf("post-restart run ID = %s, want run-000002 (sequence continued)", again.ID)
+	}
+	// The pre-restart run is still addressable under its old ID.
+	v, err := f.cli.Run(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != "done" || len(v.Result) == 0 {
+		t.Errorf("recovered run %s = %s with %d result bytes", sub.ID, v.State, len(v.Result))
+	}
+}

@@ -1,0 +1,144 @@
+package fleet
+
+// The reconcile protocol: when a node re-registers after a coordinator
+// restart, the coordinator asks it (POST /v1/runs/reconcile) for the
+// authoritative state of every run the recovered routing table attributes
+// to that address. The node is the source of truth — it kept simulating
+// while the coordinator was down — so terminal results are adopted with
+// their exact bytes, live runs are resumed in place, and runs the node has
+// no record of are requeued (onto any healthy node, the returning one
+// included, and still respecting the requeue budget).
+
+import (
+	"context"
+
+	"pdpasim/client"
+)
+
+// reconcileVerdict classifies one reconcile answer for a single run.
+type reconcileVerdict int
+
+const (
+	// verdictRequeue: the node has no record of the run — place it again.
+	verdictRequeue reconcileVerdict = iota
+	// verdictAdopt: the node holds a terminal view — take it verbatim.
+	verdictAdopt
+	// verdictResume: the node is still working on the run — follow along.
+	verdictResume
+)
+
+func (v reconcileVerdict) String() string {
+	switch v {
+	case verdictAdopt:
+		return "adopt"
+	case verdictResume:
+		return "resume"
+	default:
+		return "requeue"
+	}
+}
+
+// reconcileVerdictFor is the reconcile state machine's single decision
+// point, pure so the table tests can enumerate it: view is the node's
+// answer for one run, nil when the node reported it missing (or did not
+// mention it at all, which recovery treats the same way).
+func reconcileVerdictFor(view *client.RunView) reconcileVerdict {
+	switch {
+	case view == nil:
+		return verdictRequeue
+	case view.Terminal():
+		return verdictAdopt
+	default:
+		return verdictResume
+	}
+}
+
+// reconcile settles the fate of every run attributed to a returning node.
+// runs were already transferred to n under the register handler's lock; the
+// HTTP probe happens outside the lock and each commit re-checks the run's
+// generation, so placements that moved meanwhile are left alone. A probe
+// failure leaves the runs attached: the monitor's liveness machinery and
+// the ordinary refresh path settle them later.
+func (c *Coordinator) reconcile(ctx context.Context, n *node, runs []*crun) {
+	if len(runs) == 0 {
+		return
+	}
+	var ids []string
+	byRemote := map[string]*crun{}
+	gens := map[string]int{}
+	var unplaced []*crun
+	c.mu.Lock()
+	for _, cr := range runs {
+		c.met.reconciled.Inc()
+		if cr.remoteID == "" {
+			if cr.final == nil {
+				unplaced = append(unplaced, cr)
+			}
+			continue
+		}
+		ids = append(ids, cr.remoteID)
+		byRemote[cr.remoteID] = cr
+		gens[cr.remoteID] = cr.gen
+	}
+	c.mu.Unlock()
+
+	var res client.ReconcileResult
+	if len(ids) > 0 {
+		var err error
+		res, err = n.cli.ReconcileRuns(ctx, ids)
+		if err != nil {
+			c.logf("fleet: reconcile with node %s failed: %v", n.id, err)
+			return
+		}
+	}
+	views := map[string]client.RunView{}
+	for _, v := range res.Runs {
+		views[v.ID] = v
+	}
+
+	adopted, resumed := 0, 0
+	requeues := append([]*crun(nil), unplaced...)
+	c.mu.Lock()
+	for _, remoteID := range ids {
+		cr := byRemote[remoteID]
+		var view *client.RunView
+		if v, ok := views[remoteID]; ok {
+			view = &v
+		}
+		verdict := reconcileVerdictFor(view)
+		if cr.gen != gens[remoteID] || cr.final != nil {
+			if verdict == verdictAdopt {
+				c.met.adopted.Inc()
+				adopted++
+			}
+			continue // moved or settled meanwhile; nothing to commit
+		}
+		switch verdict {
+		case verdictAdopt:
+			c.met.adopted.Inc()
+			adopted++
+			v := *view
+			v.ID = cr.id
+			cr.lastView = &v
+			cr.state = v.State
+			cr.final = &v
+			c.releaseLocked(cr)
+			c.persistRunLocked(cr)
+		case verdictResume:
+			resumed++
+			v := *view
+			v.ID = cr.id
+			cr.lastView = &v
+			cr.state = v.State
+		case verdictRequeue:
+			requeues = append(requeues, cr)
+		}
+	}
+	c.mu.Unlock()
+	for _, cr := range requeues {
+		// The returning node is a legitimate target again — no exclusion.
+		c.requeueEx(ctx, cr, "lost across coordinator restart", false)
+	}
+	c.logf("fleet: reconciled %d runs with node %s (%d adopted, %d resumed, %d requeued)",
+		len(runs), n.id, adopted, resumed, len(requeues))
+}

@@ -176,6 +176,17 @@ func (d *decoder) floatField(m map[string]any, key, path string, dst *float64) {
 	}
 }
 
+func (d *decoder) boolField(m map[string]any, key, path string, dst *bool) {
+	if v, ok := m[key]; ok {
+		b, ok := v.(bool)
+		if !ok {
+			d.fail("%s%s must be true or false", dot(path), key)
+			return
+		}
+		*dst = b
+	}
+}
+
 func (d *decoder) durField(m map[string]any, key, path string, dst *time.Duration) {
 	v, ok := m[key]
 	if !ok {
@@ -232,6 +243,10 @@ func (d *decoder) fleet(v any) *FleetParams {
 	d.durField(m, "heartbeat", "fleet", &f.Heartbeat)
 	d.durField(m, "unhealthy_after", "fleet", &f.UnhealthyAfter)
 	d.durField(m, "dead_after", "fleet", &f.DeadAfter)
+	d.boolField(m, "durable", "fleet", &f.Durable)
+	d.durField(m, "drain_idle_after", "fleet", &f.DrainIdleAfter)
+	d.intField(m, "min_nodes", "fleet", &f.MinNodes)
+	d.intField(m, "join_backlog", "fleet", &f.JoinBacklog)
 	for i, nv := range d.seqAt(m["node_faults"], "fleet.node_faults") {
 		path := fmt.Sprintf("fleet.node_faults[%d]", i)
 		nm := d.mapAt(nv, path)
@@ -248,7 +263,8 @@ func (d *decoder) fleet(v any) *FleetParams {
 		d.unknown(nm, path, "node", "rule")
 		f.NodeFaults = append(f.NodeFaults, nf)
 	}
-	d.unknown(m, "fleet", "nodes", "placement", "heartbeat", "unhealthy_after", "dead_after", "node_faults")
+	d.unknown(m, "fleet", "nodes", "placement", "heartbeat", "unhealthy_after", "dead_after",
+		"durable", "drain_idle_after", "min_nodes", "join_backlog", "node_faults")
 	return f
 }
 
@@ -326,7 +342,7 @@ func (d *decoder) events(v any) []Event {
 		path := fmt.Sprintf("events[%d]", i)
 		m := d.mapAt(ev, path)
 		if len(m) != 1 {
-			d.fail("%s must have exactly one event key (submit, arrivals, set_policy, wait, wait_all, cancel)", path)
+			d.fail("%s must have exactly one event key (submit, submit_sweep, arrivals, set_policy, wait, wait_sweep, wait_node, wait_all, cancel)", path)
 			return nil
 		}
 		var e Event
@@ -381,8 +397,54 @@ func (d *decoder) events(v any) []Event {
 				default:
 					e.DrainNode = ne
 				}
+			case "submit_sweep":
+				e.SubmitSweep = d.submitSweep(body, path+".submit_sweep")
+			case "wait_sweep":
+				bm := d.mapAt(body, path+".wait_sweep")
+				w := &WaitSweepEvent{
+					Sweep: d.str(bm, "sweep", path+".wait_sweep"),
+					State: d.str(bm, "state", path+".wait_sweep"),
+				}
+				d.intField(bm, "done", path+".wait_sweep", &w.Done)
+				if (w.State == "") == (w.Done == 0) {
+					d.fail("%s.wait_sweep needs exactly one of state: <terminal> or done: <n>", path)
+				}
+				if w.Done < 0 {
+					d.fail("%s.wait_sweep.done must be positive", path)
+				}
+				switch w.State {
+				case "", "done", "failed", "canceled":
+				default:
+					d.fail("%s.wait_sweep.state %q invalid (done, failed, canceled)", path, w.State)
+				}
+				d.unknown(bm, path+".wait_sweep", "sweep", "state", "done")
+				e.WaitSweep = w
+			case "wait_node":
+				bm := d.mapAt(body, path+".wait_node")
+				wn := &WaitNodeEvent{Node: -1}
+				d.intField(bm, "node", path+".wait_node", &wn.Node)
+				wn.State = d.str(bm, "state", path+".wait_node")
+				switch wn.State {
+				case string(fleet.StateHealthy), string(fleet.StateCordoned),
+					string(fleet.StateUnhealthy), string(fleet.StateDrained):
+				default:
+					d.fail("%s.wait_node.state %q invalid (healthy, cordoned, unhealthy, drained)", path, wn.State)
+				}
+				d.unknown(bm, path+".wait_node", "node", "state")
+				e.WaitNode = wn
+			case "kill_coordinator", "restart_coordinator":
+				if body != nil {
+					if bm, ok := body.(map[string]any); !ok || len(bm) != 0 {
+						d.fail("%s.%s takes no parameters", path, key)
+					}
+				}
+				if key == "kill_coordinator" {
+					e.KillCoordinator = true
+				} else {
+					e.RestartCoordinator = true
+				}
 			default:
-				d.fail("%s: unknown event %q (valid: submit, arrivals, set_policy, wait, wait_all, cancel, kill_node, cordon_node, drain_node)", path, key)
+				d.fail("%s: unknown event %q (valid: submit, submit_sweep, arrivals, set_policy, wait, wait_sweep, wait_node, wait_all, cancel, kill_node, cordon_node, drain_node, kill_coordinator, restart_coordinator)", path, key)
 			}
 		}
 		events = append(events, e)
@@ -408,6 +470,43 @@ func (d *decoder) submit(v any, path string) *SubmitEvent {
 		e.Options = &o
 	}
 	d.unknown(m, path, "name", "workload", "options")
+	return e
+}
+
+func (d *decoder) submitSweep(v any, path string) *SubmitSweepEvent {
+	m := d.mapAt(v, path)
+	e := &SubmitSweepEvent{Name: d.str(m, "name", path)}
+	if e.Name == "" {
+		d.fail("%s needs a name", path)
+	}
+	for i, pv := range d.seqAt(m["policies"], path+".policies") {
+		s, ok := pv.(string)
+		if !ok {
+			d.fail("%s.policies[%d] must be a policy name", path, i)
+			break
+		}
+		e.Policies = append(e.Policies, s)
+	}
+	for i, mv := range d.seqAt(m["mixes"], path+".mixes") {
+		s, ok := mv.(string)
+		if !ok {
+			d.fail("%s.mixes[%d] must be a mix name", path, i)
+			break
+		}
+		e.Mixes = append(e.Mixes, s)
+	}
+	for i, lv := range d.seqAt(m["loads"], path+".loads") {
+		e.Loads = append(e.Loads, d.floatVal(lv, fmt.Sprintf("%s.loads[%d]", path, i)))
+	}
+	for i, sv := range d.seqAt(m["seeds"], path+".seeds") {
+		e.Seeds = append(e.Seeds, d.int64Val(sv, fmt.Sprintf("%s.seeds[%d]", path, i)))
+	}
+	d.intField(m, "ncpu", path, &e.NCPU)
+	d.floatField(m, "window_s", path, &e.WindowS)
+	if len(e.Policies) == 0 || len(e.Mixes) == 0 {
+		d.fail("%s needs at least one policy and one mix", path)
+	}
+	d.unknown(m, path, "name", "policies", "mixes", "loads", "seeds", "ncpu", "window_s")
 	return e
 }
 
@@ -512,21 +611,7 @@ func (d *decoder) assertions(v any) []Assertion {
 				if ma.Name == "" {
 					d.fail("%s.metric needs a name", path)
 				}
-				if v, ok := bm["min"]; ok {
-					f := d.floatVal(v, path+".metric.min")
-					ma.Min = &f
-				}
-				if v, ok := bm["max"]; ok {
-					f := d.floatVal(v, path+".metric.max")
-					ma.Max = &f
-				}
-				if v, ok := bm["equals"]; ok {
-					if ma.Min != nil || ma.Max != nil {
-						d.fail("%s.metric: equals excludes min/max", path)
-					}
-					f := d.floatVal(v, path+".metric.equals")
-					ma.Min, ma.Max = &f, &f
-				}
+				ma.Min, ma.Max = d.bounds(bm, path+".metric")
 				if ma.Min == nil && ma.Max == nil {
 					d.fail("%s.metric needs equals, min, or max", path)
 				}
@@ -601,6 +686,36 @@ func (d *decoder) assertions(v any) []Assertion {
 				}
 				d.unknown(bm, path+".node_states", "are")
 				a.NodeStates = ns
+			case "sweep_state":
+				bm := d.mapAt(body, path+".sweep_state")
+				ss := &SweepStateAssertion{
+					Sweep: d.str(bm, "sweep", path+".sweep_state"),
+					Is:    d.str(bm, "is", path+".sweep_state"),
+				}
+				switch ss.Is {
+				case "done", "failed", "canceled":
+				default:
+					d.fail("%s.sweep_state.is %q invalid (done, failed, canceled)", path, ss.Is)
+				}
+				d.unknown(bm, path+".sweep_state", "sweep", "is")
+				a.SweepState = ss
+			case "sweep_cells_match_oracle":
+				bm := d.mapAt(body, path+".sweep_cells_match_oracle")
+				a.SweepOracle = &SweepOracleAssertion{Sweep: d.str(bm, "sweep", path+".sweep_cells_match_oracle")}
+				d.unknown(bm, path+".sweep_cells_match_oracle", "sweep")
+			case "reconciled_runs", "adopted_results":
+				bm := d.mapAt(body, path+"."+key)
+				cb := &CounterBoundAssertion{}
+				cb.Min, cb.Max = d.bounds(bm, path+"."+key)
+				if cb.Min == nil && cb.Max == nil {
+					d.fail("%s.%s needs equals, min, or max", path, key)
+				}
+				d.unknown(bm, path+"."+key, "min", "max", "equals")
+				if key == "reconciled_runs" {
+					a.ReconciledRuns = cb
+				} else {
+					a.AdoptedResults = cb
+				}
 			case "invariants", "no_leaks":
 				if body != nil {
 					if bm, ok := body.(map[string]any); !ok || len(bm) != 0 {
@@ -613,7 +728,7 @@ func (d *decoder) assertions(v any) []Assertion {
 					a.NoLeaks = true
 				}
 			default:
-				d.fail("%s: unknown assertion %q (valid: state, states, admission, error_contains, metric, outcome, same_result, injected, node_states, invariants, no_leaks)", path, key)
+				d.fail("%s: unknown assertion %q (valid: state, states, admission, error_contains, metric, outcome, same_result, injected, node_states, sweep_state, sweep_cells_match_oracle, reconciled_runs, adopted_results, invariants, no_leaks)", path, key)
 			}
 		}
 		asserts = append(asserts, a)
@@ -622,6 +737,26 @@ func (d *decoder) assertions(v any) []Assertion {
 		}
 	}
 	return asserts
+}
+
+// bounds decodes the shared min/max/equals trio of a bounded assertion.
+func (d *decoder) bounds(bm map[string]any, path string) (mn, mx *float64) {
+	if v, ok := bm["min"]; ok {
+		f := d.floatVal(v, path+".min")
+		mn = &f
+	}
+	if v, ok := bm["max"]; ok {
+		f := d.floatVal(v, path+".max")
+		mx = &f
+	}
+	if v, ok := bm["equals"]; ok {
+		if mn != nil || mx != nil {
+			d.fail("%s: equals excludes min/max", path)
+		}
+		f := d.floatVal(v, path+".equals")
+		mn, mx = &f, &f
+	}
+	return mn, mx
 }
 
 func (d *decoder) terminalState(s, path string) {

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sort"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"pdpasim/internal/fleet"
 	"pdpasim/internal/runqueue"
 	"pdpasim/internal/server"
+	"pdpasim/internal/store"
 )
 
 // fleetTarget runs a scenario against an in-process coordinator plus node
@@ -37,9 +40,22 @@ type fleetTarget struct {
 	coordInj *faults.Injector
 	nodes    []*fleetNode
 
-	settled     bool
-	frozenRuns  map[string]runStatus
-	frozenNodes []string
+	// Durable-fleet state: the coordinator journals its routing table to
+	// storeDir, and kill_coordinator / restart_coordinator cycle the
+	// coordinator while keeping coordAddr stable so node agents and the
+	// client reconnect to the same base URL.
+	coordCfg  fleet.Config
+	coordAddr string
+	storeDir  string
+	st        *store.Store
+	coordDown bool
+
+	sweepIDs []string
+
+	settled      bool
+	frozenRuns   map[string]runStatus
+	frozenSweeps map[string]sweepStatus
+	frozenNodes  []string
 }
 
 // fleetNode is one node daemon: pool, HTTP surface, membership agent.
@@ -60,25 +76,51 @@ const registerTimeout = 10 * time.Second
 func newFleetTarget(s *Scenario, sim func(context.Context, runqueue.Spec) (*pdpasim.Outcome, error)) (*fleetTarget, error) {
 	f := s.Fleet
 	t := &fleetTarget{
-		hc:         &http.Client{},
-		coordInj:   faults.New(s.Seed, s.Faults...),
-		frozenRuns: map[string]runStatus{},
+		hc:           &http.Client{},
+		coordInj:     faults.New(s.Seed, s.Faults...),
+		frozenRuns:   map[string]runStatus{},
+		frozenSweeps: map[string]sweepStatus{},
 	}
-	coord, err := fleet.NewCoordinator(fleet.Config{
+	t.coordCfg = fleet.Config{
 		Placement: fleet.Placement(f.Placement),
 		Health: fleet.HealthConfig{
 			HeartbeatInterval: f.Heartbeat,
 			UnhealthyAfter:    f.UnhealthyAfter,
 			DeadAfter:         f.DeadAfter,
 		},
+		Elastic: fleet.ElasticConfig{
+			DrainIdleAfter:   f.DrainIdleAfter,
+			MinNodes:         f.MinNodes,
+			JoinBacklogDepth: f.JoinBacklog,
+		},
 		Faults:     t.coordInj,
 		HTTPClient: t.hc,
-	})
+	}
+	if f.Durable {
+		dir, err := os.MkdirTemp("", "pdpad-scenario-store-")
+		if err != nil {
+			return nil, err
+		}
+		t.storeDir = dir
+		st, err := store.Open(dir, store.Options{SyncInterval: -1})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		t.st = st
+		t.coordCfg.Store = st
+	}
+	coord, err := fleet.NewCoordinator(t.coordCfg)
 	if err != nil {
+		if t.st != nil {
+			t.st.Close()
+			os.RemoveAll(t.storeDir)
+		}
 		return nil, err
 	}
 	t.coord = coord
 	t.coordSrv = httptest.NewServer(coord)
+	t.coordAddr = t.coordSrv.Listener.Addr().String()
 	t.cli = client.New(t.coordSrv.URL, client.WithHTTPClient(t.hc))
 
 	for i := 0; i < f.Nodes; i++ {
@@ -241,6 +283,132 @@ func (t *fleetTarget) nodeEvent(kind string, i int) error {
 	return fmt.Errorf("unknown node event %q", kind)
 }
 
+// coordEvent kills or restarts a durable fleet's coordinator. A kill is
+// abrupt: open connections are cut and the store handle dies with the
+// process stand-in, leaving only the synced journal on disk. A restart
+// reopens the journal, rebinds the same address, and serves — the new
+// coordinator rehydrates its routing table before its listener accepts, and
+// reconciles with each node as its agent's next heartbeat 404s it into
+// re-registering.
+func (t *fleetTarget) coordEvent(kind string) error {
+	switch kind {
+	case "kill":
+		if t.st == nil {
+			return fmt.Errorf("kill_coordinator: fleet is not durable")
+		}
+		if t.coordDown {
+			return fmt.Errorf("kill_coordinator: the coordinator is already down")
+		}
+		t.coordSrv.CloseClientConnections()
+		t.coordSrv.Close()
+		t.coord.Close()
+		if err := t.st.Close(); err != nil {
+			return fmt.Errorf("kill_coordinator: %w", err)
+		}
+		t.hc.CloseIdleConnections()
+		t.coordDown = true
+		return nil
+	case "restart":
+		if !t.coordDown {
+			return fmt.Errorf("restart_coordinator: the coordinator is not down")
+		}
+		st, err := store.Open(t.storeDir, store.Options{SyncInterval: -1})
+		if err != nil {
+			return fmt.Errorf("restart_coordinator: %w", err)
+		}
+		cfg := t.coordCfg
+		cfg.Store = st
+		coord, err := fleet.NewCoordinator(cfg)
+		if err != nil {
+			st.Close()
+			return fmt.Errorf("restart_coordinator: %w", err)
+		}
+		l, err := listenAt(t.coordAddr)
+		if err != nil {
+			coord.Close()
+			st.Close()
+			return fmt.Errorf("restart_coordinator: %w", err)
+		}
+		srv := &httptest.Server{Listener: l, Config: &http.Server{Handler: coord}}
+		srv.Start()
+		t.st, t.coord, t.coordSrv = st, coord, srv
+		t.coordDown = false
+		return nil
+	}
+	return fmt.Errorf("unknown coordinator event %q", kind)
+}
+
+// listenAt rebinds a just-released address, retrying while the kernel
+// finishes tearing the old listener down.
+func listenAt(addr string) (net.Listener, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		l, err := net.Listen("tcp", addr)
+		if err == nil {
+			return l, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("rebind %s: %w", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (t *fleetTarget) submitSweep(spec *SubmitSweepEvent) (string, error) {
+	res, err := t.cli.SubmitSweep(context.Background(), sweepWire(spec))
+	if err != nil {
+		return "", err
+	}
+	t.sweepIDs = append(t.sweepIDs, res.ID)
+	return res.ID, nil
+}
+
+func sweepStatusOf(v client.SweepView) sweepStatus {
+	return sweepStatus{state: v.State, done: v.Done, total: v.Total, cells: v.Cells}
+}
+
+func (t *fleetTarget) sweepStatus(id string) (sweepStatus, error) {
+	if t.settled {
+		st, ok := t.frozenSweeps[id]
+		if !ok {
+			return sweepStatus{}, fmt.Errorf("sweep %s was not frozen at settle", id)
+		}
+		return st, nil
+	}
+	v, err := t.cli.Sweep(context.Background(), id)
+	if err != nil {
+		return sweepStatus{}, err
+	}
+	return sweepStatusOf(v), nil
+}
+
+// nodeState reports a node's live state by registration index: the ledger
+// entry for the agent's current incarnation.
+func (t *fleetTarget) nodeState(i int) (string, error) {
+	n, err := t.node(i)
+	if err != nil {
+		return "", err
+	}
+	id := n.agent.ID()
+	ctx := context.Background()
+	opts := client.ListOptions{}
+	for {
+		page, err := t.cli.Nodes(ctx, opts)
+		if err != nil {
+			return "", err
+		}
+		for _, v := range page.Nodes {
+			if v.ID == id {
+				return v.State, nil
+			}
+		}
+		if page.NextCursor == "" {
+			return "", fmt.Errorf("node %s is not in the coordinator's ledger", id)
+		}
+		opts.Cursor = page.NextCursor
+	}
+}
+
 func (t *fleetTarget) settle(ctx context.Context, ids []string) error {
 	drainErr := t.coord.Drain(ctx)
 	if drainErr == nil {
@@ -251,6 +419,16 @@ func (t *fleetTarget) settle(ctx context.Context, ids []string) error {
 				break
 			}
 			t.frozenRuns[id] = runStatusOf(v)
+		}
+	}
+	if drainErr == nil {
+		for _, id := range t.sweepIDs {
+			v, err := t.cli.Sweep(ctx, id)
+			if err != nil {
+				drainErr = fmt.Errorf("freeze sweep %s: %w", id, err)
+				break
+			}
+			t.frozenSweeps[id] = sweepStatusOf(v)
 		}
 	}
 	if drainErr == nil {
@@ -292,8 +470,13 @@ func (t *fleetTarget) teardown(ctx context.Context) {
 	for _, n := range t.nodes {
 		n.stopAgent()
 	}
-	t.coordSrv.Close()
-	t.coord.Close()
+	if !t.coordDown {
+		t.coordSrv.Close()
+		t.coord.Close()
+		if t.st != nil {
+			t.st.Close()
+		}
+	}
 	for _, n := range t.nodes {
 		if !n.killed {
 			n.hsrv.Close()
@@ -301,6 +484,9 @@ func (t *fleetTarget) teardown(ctx context.Context) {
 		n.pool.Drain(ctx)
 	}
 	t.hc.CloseIdleConnections()
+	if t.storeDir != "" {
+		os.RemoveAll(t.storeDir)
+	}
 }
 
 func (t *fleetTarget) metric(name, label string) (float64, bool) {

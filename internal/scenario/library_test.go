@@ -16,8 +16,8 @@ func TestBundledScenarioLibrary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) < 6 {
-		t.Fatalf("found %d bundled scenarios, want at least 6", len(files))
+	if len(files) < 8 {
+		t.Fatalf("found %d bundled scenarios, want at least 8", len(files))
 	}
 	sort.Strings(files)
 	for _, file := range files {

@@ -66,6 +66,22 @@ func (t *poolTarget) nodeEvent(kind string, node int) error {
 	return fmt.Errorf("%s_node: scenario has no fleet: stanza", kind)
 }
 
+func (t *poolTarget) coordEvent(kind string) error {
+	return fmt.Errorf("%s_coordinator: scenario has no fleet: stanza", kind)
+}
+
+func (t *poolTarget) submitSweep(spec *SubmitSweepEvent) (string, error) {
+	return "", fmt.Errorf("submit_sweep: scenario has no fleet: stanza")
+}
+
+func (t *poolTarget) sweepStatus(id string) (sweepStatus, error) {
+	return sweepStatus{}, fmt.Errorf("sweep %s: scenario has no fleet: stanza", id)
+}
+
+func (t *poolTarget) nodeState(node int) (string, error) {
+	return "", fmt.Errorf("wait_node: scenario has no fleet: stanza")
+}
+
 func (t *poolTarget) settle(ctx context.Context, ids []string) error {
 	return t.pool.Drain(ctx)
 }

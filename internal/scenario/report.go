@@ -23,8 +23,19 @@ type Report struct {
 	// settled, a submit the runner could not place); assertions are then not
 	// evaluated.
 	Error       string         `json:"error,omitempty"`
-	Submissions []SubReport    `json:"submissions"`
-	Assertions  []AssertReport `json:"assertions,omitempty"`
+	Submissions []SubReport `json:"submissions"`
+	// Sweeps records named submit_sweep events (fleet scenarios only).
+	Sweeps     []SweepReport  `json:"sweeps,omitempty"`
+	Assertions []AssertReport `json:"assertions,omitempty"`
+}
+
+// SweepReport records how one named sweep fared.
+type SweepReport struct {
+	Name  string `json:"name"`
+	ID    string `json:"id"`
+	State string `json:"state,omitempty"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
 }
 
 // SubReport records how one named submission fared.
@@ -95,6 +106,16 @@ func (r *Report) WriteText(w io.Writer) error {
 				fmt.Fprintf(w, "  (%s)", s.Error)
 			}
 			fmt.Fprintln(w)
+		}
+	}
+	if len(r.Sweeps) > 0 {
+		fmt.Fprintf(w, "  sweeps:\n")
+		for _, s := range r.Sweeps {
+			state := s.State
+			if state == "" {
+				state = "-"
+			}
+			fmt.Fprintf(w, "    %s  %s  %s  %d/%d\n", s.Name, s.ID, state, s.Done, s.Total)
 		}
 	}
 	if len(r.Assertions) > 0 {

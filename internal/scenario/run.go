@@ -6,16 +6,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"net/http/httptest"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"pdpasim"
+	"pdpasim/client"
 	"pdpasim/internal/faults"
 	"pdpasim/internal/invariant"
 	"pdpasim/internal/leakcheck"
 	"pdpasim/internal/runqueue"
+	"pdpasim/internal/server"
 )
 
 // Admission verdicts recorded per submission and checkable by assertions.
@@ -40,6 +43,14 @@ type submission struct {
 	submitErr error
 }
 
+// sweepSub is the runner's record of one named sweep submission; the spec is
+// kept so the oracle assertion can replay the same grid standalone.
+type sweepSub struct {
+	name string
+	id   string
+	spec *SubmitSweepEvent
+}
+
 // admitResult is how a target resolved one submission. A rejection (shed,
 // queue full) is a recorded verdict, not a fatal error.
 type admitResult struct {
@@ -57,6 +68,19 @@ type runStatus struct {
 
 func (s runStatus) terminal() bool { return runqueue.State(s.state).Terminal() }
 
+// sweepStatus is a sweep's progress as a target reports it; cells carries
+// the reassembled per-cell JSON once every member is done.
+type sweepStatus struct {
+	state string
+	done  int
+	total int
+	cells []byte
+}
+
+func (s sweepStatus) terminal() bool {
+	return s.state == "done" || s.state == "failed" || s.state == "canceled"
+}
+
 // target abstracts where a scenario executes: an in-process pool (the
 // default), or an in-process coordinator + node fleet driven through the v1
 // HTTP surface. The runner's timeline and assertions are target-agnostic.
@@ -66,6 +90,15 @@ type target interface {
 	cancel(id string) error
 	// nodeEvent applies kill_node / cordon_node / drain_node (fleet only).
 	nodeEvent(kind string, node int) error
+	// coordEvent applies kill_coordinator / restart_coordinator (durable
+	// fleets only).
+	coordEvent(kind string) error
+	// submitSweep submits one sweep grid and returns its ID (fleet only).
+	submitSweep(spec *SubmitSweepEvent) (string, error)
+	// sweepStatus reports a sweep's progress (frozen after settle).
+	sweepStatus(id string) (sweepStatus, error)
+	// nodeState reports one node's live state by registration index.
+	nodeState(node int) (string, error)
 	// settle waits until every admitted run (ids) is terminal, freezes the
 	// state assertions read, and releases everything the target started —
 	// so a no_leaks assertion evaluated afterwards sees a quiet process.
@@ -86,6 +119,10 @@ type runner struct {
 
 	subs   []*submission
 	byName map[string]*submission
+	// sweeps records named submit_sweep events; byNameSweep resolves waits
+	// and sweep assertions.
+	sweeps      []*sweepSub
+	byNameSweep map[string]*sweepSub
 	// template is the current defaults spec; set_policy events mutate it.
 	template runqueue.Spec
 	// arrivalIdx numbers generated submissions across all arrival phases, so
@@ -130,9 +167,10 @@ func Run(s *Scenario) *Report {
 	}
 
 	r := &runner{
-		s:        s,
-		byName:   map[string]*submission{},
-		template: s.Defaults,
+		s:           s,
+		byName:      map[string]*submission{},
+		byNameSweep: map[string]*sweepSub{},
+		template:    s.Defaults,
 	}
 	if s.Fleet != nil {
 		tgt, err := newFleetTarget(s, r.simulate)
@@ -168,6 +206,13 @@ func Run(s *Scenario) *Report {
 			sr.Error = st.errMsg
 		}
 		rep.Submissions = append(rep.Submissions, sr)
+	}
+	for _, sw := range r.sweeps {
+		sr := SweepReport{Name: sw.name, ID: sw.id}
+		if st, gerr := r.tgt.sweepStatus(sw.id); gerr == nil {
+			sr.State, sr.Done, sr.Total = st.state, st.done, st.total
+		}
+		rep.Sweeps = append(rep.Sweeps, sr)
 	}
 
 	if err != nil {
@@ -210,6 +255,16 @@ func (r *runner) events() error {
 			err = r.tgt.nodeEvent("cordon", e.CordonNode.Node)
 		case e.DrainNode != nil:
 			err = r.tgt.nodeEvent("drain", e.DrainNode.Node)
+		case e.SubmitSweep != nil:
+			err = r.submitSweep(e.SubmitSweep)
+		case e.WaitSweep != nil:
+			err = r.waitSweep(e.WaitSweep)
+		case e.WaitNode != nil:
+			err = r.waitNode(e.WaitNode)
+		case e.KillCoordinator:
+			err = r.tgt.coordEvent("kill")
+		case e.RestartCoordinator:
+			err = r.tgt.coordEvent("restart")
 		}
 		if err != nil {
 			return fmt.Errorf("events[%d]: %w", i, err)
@@ -394,6 +449,71 @@ func (r *runner) cancel(name string) error {
 	return nil
 }
 
+func (r *runner) submitSweep(e *SubmitSweepEvent) error {
+	id, err := r.tgt.submitSweep(e)
+	if err != nil {
+		return fmt.Errorf("submit_sweep %q: %w", e.Name, err)
+	}
+	sw := &sweepSub{name: e.Name, id: id, spec: e}
+	r.sweeps = append(r.sweeps, sw)
+	r.byNameSweep[e.Name] = sw
+	return nil
+}
+
+func (r *runner) sweepNamed(name string) (*sweepSub, error) {
+	sw, ok := r.byNameSweep[name]
+	if !ok {
+		return nil, fmt.Errorf("sweep %q was never submitted", name)
+	}
+	return sw, nil
+}
+
+func (r *runner) waitSweep(e *WaitSweepEvent) error {
+	sw, err := r.sweepNamed(e.Sweep)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(waitTimeout)
+	for {
+		st, err := r.tgt.sweepStatus(sw.id)
+		if err != nil {
+			return fmt.Errorf("wait_sweep %q: %w", e.Sweep, err)
+		}
+		switch {
+		case e.Done > 0:
+			if st.done >= e.Done {
+				return nil
+			}
+		case st.state == e.State:
+			return nil
+		case st.terminal():
+			return fmt.Errorf("wait_sweep %q: wanted %s, sweep settled as %s", e.Sweep, e.State, st.state)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("wait_sweep %q: still %s (%d/%d done) after %v",
+				e.Sweep, st.state, st.done, st.total, waitTimeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (r *runner) waitNode(e *WaitNodeEvent) error {
+	deadline := time.Now().Add(waitTimeout)
+	for {
+		st, err := r.tgt.nodeState(e.Node)
+		if err != nil {
+			return fmt.Errorf("wait_node %d: %w", e.Node, err)
+		}
+		if st == e.State {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("wait_node %d: not %s after %v (still %s)", e.Node, e.State, waitTimeout, st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // evaluate checks one assertion against the settled target.
 func (r *runner) evaluate(a Assertion, baseline leakcheck.Baseline) AssertReport {
 	switch {
@@ -421,6 +541,14 @@ func (r *runner) evaluate(a Assertion, baseline leakcheck.Baseline) AssertReport
 		}
 	case a.NodeStates != nil:
 		return r.checkNodeStates(a.NodeStates)
+	case a.SweepState != nil:
+		return r.checkSweepState(a.SweepState)
+	case a.SweepOracle != nil:
+		return r.checkSweepOracle(a.SweepOracle)
+	case a.ReconciledRuns != nil:
+		return r.checkCounter("reconciled_runs", "pdpad_fleet_reconciled_runs_total", a.ReconciledRuns)
+	case a.AdoptedResults != nil:
+		return r.checkCounter("adopted_results", "pdpad_fleet_adopted_results_total", a.AdoptedResults)
 	case a.Invariants:
 		return r.checkInvariants()
 	case a.NoLeaks:
@@ -662,6 +790,108 @@ func (r *runner) checkNodeStates(a *NodeStatesAssertion) AssertReport {
 			}
 		}
 	}
+	return ar
+}
+
+func (r *runner) sweepStatusFor(name string) (sweepStatus, string) {
+	sw, ok := r.byNameSweep[name]
+	if !ok {
+		return sweepStatus{}, fmt.Sprintf("sweep %q was never submitted", name)
+	}
+	st, err := r.tgt.sweepStatus(sw.id)
+	if err != nil {
+		return sweepStatus{}, fmt.Sprintf("sweep %q: %v", name, err)
+	}
+	return st, ""
+}
+
+func (r *runner) checkSweepState(a *SweepStateAssertion) AssertReport {
+	ar := AssertReport{Kind: "sweep_state", Detail: fmt.Sprintf("sweep=%s is=%s", a.Sweep, a.Is)}
+	st, msg := r.sweepStatusFor(a.Sweep)
+	if msg != "" {
+		ar.Observed = msg
+		return ar
+	}
+	ar.Observed = fmt.Sprintf("%s (%d/%d done)", st.state, st.done, st.total)
+	ar.Pass = st.state == a.Is
+	return ar
+}
+
+// checkSweepOracle replays the sweep's grid on a fresh standalone
+// single-worker daemon — no faults, no fleet — and requires the target's
+// reassembled cells to match the oracle's byte for byte.
+func (r *runner) checkSweepOracle(a *SweepOracleAssertion) AssertReport {
+	ar := AssertReport{Kind: "sweep_cells_match_oracle", Detail: "sweep=" + a.Sweep}
+	st, msg := r.sweepStatusFor(a.Sweep)
+	if msg != "" {
+		ar.Observed = msg
+		return ar
+	}
+	if len(st.cells) == 0 {
+		ar.Observed = fmt.Sprintf("sweep has no cells (state %s, %d/%d done)", st.state, st.done, st.total)
+		return ar
+	}
+	want, err := r.oracleCells(r.byNameSweep[a.Sweep].spec)
+	if err != nil {
+		ar.Observed = fmt.Sprintf("oracle: %v", err)
+		return ar
+	}
+	if !bytes.Equal(st.cells, want) {
+		ar.Observed = fmt.Sprintf("cells diverge from the standalone oracle (%d vs %d bytes)", len(st.cells), len(want))
+		return ar
+	}
+	ar.Observed = fmt.Sprintf("%d cell bytes byte-identical to the standalone oracle", len(st.cells))
+	ar.Pass = true
+	return ar
+}
+
+// oracleCells runs the grid on a clean standalone daemon and returns its
+// cells JSON. The oracle pool shares the runner's Simulate hook, so its
+// attempts are invariant-checked like every other simulation.
+func (r *runner) oracleCells(spec *SubmitSweepEvent) ([]byte, error) {
+	pool := runqueue.New(runqueue.Config{Simulate: r.simulate})
+	srv := httptest.NewServer(server.New(pool))
+	cli := client.New(srv.URL)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), waitTimeout)
+		pool.Drain(ctx)
+		cancel()
+		srv.Close()
+		cli.CloseIdleConnections()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), waitTimeout)
+	defer cancel()
+	sub, err := cli.SubmitSweep(ctx, sweepWire(spec))
+	if err != nil {
+		return nil, err
+	}
+	v, err := cli.WaitSweep(ctx, sub.ID, 0)
+	if err != nil {
+		return nil, err
+	}
+	if v.State != "done" {
+		return nil, fmt.Errorf("oracle sweep settled as %s (errors %v)", v.State, v.Errors)
+	}
+	return v.Cells, nil
+}
+
+// sweepWire converts a submit_sweep event to the client's wire shape.
+func sweepWire(e *SubmitSweepEvent) client.SubmitSweepRequest {
+	return client.SubmitSweepRequest{SweepSpec: client.SweepSpec{
+		Policies: e.Policies,
+		Mixes:    e.Mixes,
+		Loads:    e.Loads,
+		Seeds:    e.Seeds,
+		NCPU:     e.NCPU,
+		WindowS:  e.WindowS,
+	}}
+}
+
+// checkCounter evaluates a recovery-counter assertion by bounding its metric
+// series under the assertion's own kind.
+func (r *runner) checkCounter(kind, series string, a *CounterBoundAssertion) AssertReport {
+	ar := r.checkMetric(&MetricAssertion{Name: series, Min: a.Min, Max: a.Max})
+	ar.Kind = kind
 	return ar
 }
 

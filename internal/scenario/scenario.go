@@ -107,6 +107,15 @@ type FleetParams struct {
 	Heartbeat      time.Duration
 	UnhealthyAfter time.Duration
 	DeadAfter      time.Duration
+	// Durable journals the coordinator's routing table to an on-disk store,
+	// which is what makes kill_coordinator / restart_coordinator events
+	// meaningful: the restarted coordinator rehydrates and reconciles.
+	Durable bool
+	// DrainIdleAfter, MinNodes, and JoinBacklog configure the elasticity
+	// hooks (drain-on-idle, join-on-backlog); zeros disable them.
+	DrainIdleAfter time.Duration
+	MinNodes       int
+	JoinBacklog    int
 	// NodeFaults arms extra injection rules on a single node. The
 	// scenario's global fault rules are armed on every node independently
 	// (each node owns a seeded injector), so a global occurrence-indexed
@@ -136,11 +145,54 @@ type Event struct {
 	KillNode   *NodeEvent
 	CordonNode *NodeEvent
 	DrainNode  *NodeEvent
+	// SubmitSweep submits a named sweep grid (fleet scenarios only).
+	// WaitSweep blocks on its progress or terminal state.
+	SubmitSweep *SubmitSweepEvent
+	WaitSweep   *WaitSweepEvent
+	// WaitNode blocks until a node reaches a state — how elasticity
+	// scenarios observe a scale-drain land.
+	WaitNode *WaitNodeEvent
+	// KillCoordinator tears the coordinator down abruptly (kill -9
+	// semantics: HTTP surface, monitor, and store handle all die; the
+	// journal survives on disk). RestartCoordinator reopens the store and
+	// brings a fresh coordinator up at the same address, which rehydrates
+	// and reconciles with the returning nodes. Durable fleets only.
+	KillCoordinator    bool
+	RestartCoordinator bool
 }
 
 // NodeEvent targets one fleet node by registration index.
 type NodeEvent struct {
 	Node int
+}
+
+// SubmitSweepEvent submits one named sweep grid: policies × mixes × loads ×
+// seeds, exactly the POST /v1/sweeps surface.
+type SubmitSweepEvent struct {
+	Name     string
+	Policies []string
+	Mixes    []string
+	Loads    []float64
+	Seeds    []int64
+	NCPU     int
+	WindowS  float64
+}
+
+// WaitSweepEvent blocks until the named sweep reaches a terminal state
+// ("done", "failed", "canceled") or, with Done set, until at least that many
+// members are terminal — the hook that lets a scenario kill the coordinator
+// at a known point mid-sweep.
+type WaitSweepEvent struct {
+	Sweep string
+	State string
+	Done  int
+}
+
+// WaitNodeEvent blocks until the node (by registration index) reports a
+// state ("healthy", "cordoned", "unhealthy", "drained").
+type WaitNodeEvent struct {
+	Node  int
+	State string
 }
 
 // SubmitEvent submits one named run built from the defaults template plus
@@ -198,8 +250,37 @@ type Assertion struct {
 	SameResult    *SameResultAssertion
 	Injected      *InjectedAssertion
 	NodeStates    *NodeStatesAssertion
-	Invariants    bool
-	NoLeaks       bool
+	SweepState    *SweepStateAssertion
+	SweepOracle   *SweepOracleAssertion
+	// ReconciledRuns / AdoptedResults bound the coordinator's recovery
+	// counters (pdpad_fleet_reconciled_runs_total /
+	// pdpad_fleet_adopted_results_total) — sugar over a metric assertion
+	// that names the crash-recovery contract directly.
+	ReconciledRuns *CounterBoundAssertion
+	AdoptedResults *CounterBoundAssertion
+	Invariants     bool
+	NoLeaks        bool
+}
+
+// SweepStateAssertion pins a sweep's terminal state.
+type SweepStateAssertion struct {
+	Sweep string
+	Is    string
+}
+
+// SweepOracleAssertion re-runs the named sweep's grid on a fresh standalone
+// single-worker daemon and requires the fleet's reassembled cells JSON to be
+// byte-identical to the oracle's — the determinism contract a coordinator
+// crash and recovery must not dent.
+type SweepOracleAssertion struct {
+	Sweep string
+}
+
+// CounterBoundAssertion bounds one recovery counter. Min/Max are inclusive;
+// a nil bound is open.
+type CounterBoundAssertion struct {
+	Min *float64
+	Max *float64
 }
 
 // NodeStatesAssertion pins every fleet node's final state (healthy,
@@ -300,6 +381,23 @@ func (s *Scenario) Validate() error {
 			}
 		}
 	}
+	sweeps := map[string]bool{}
+	sweepRefs := func(name, where string) error {
+		if !sweeps[name] {
+			return &ParseError{Msg: fmt.Sprintf("%s references sweep %q before any event names it", where, name)}
+		}
+		return nil
+	}
+	durableRef := func(where string) error {
+		if s.Fleet == nil {
+			return &ParseError{Msg: fmt.Sprintf("%s needs a fleet: stanza", where)}
+		}
+		if !s.Fleet.Durable {
+			return &ParseError{Msg: fmt.Sprintf("%s needs fleet.durable: true (nothing survives a coordinator kill without a store)", where)}
+		}
+		return nil
+	}
+	coordDown := false
 	for i, e := range s.Events {
 		where := fmt.Sprintf("events[%d]", i)
 		switch {
@@ -336,7 +434,49 @@ func (s *Scenario) Validate() error {
 			if err := nodeRef(e.DrainNode.Node, where+".drain_node"); err != nil {
 				return err
 			}
+		case e.SubmitSweep != nil:
+			if s.Fleet == nil {
+				return &ParseError{Msg: fmt.Sprintf("%s.submit_sweep needs a fleet: stanza", where)}
+			}
+			if sweeps[e.SubmitSweep.Name] {
+				return &ParseError{Msg: fmt.Sprintf("%s: duplicate sweep name %q", where, e.SubmitSweep.Name)}
+			}
+			sweeps[e.SubmitSweep.Name] = true
+		case e.WaitSweep != nil:
+			if err := sweepRefs(e.WaitSweep.Sweep, where+".wait_sweep"); err != nil {
+				return err
+			}
+		case e.WaitNode != nil:
+			if err := nodeRef(e.WaitNode.Node, where+".wait_node"); err != nil {
+				return err
+			}
+		case e.KillCoordinator:
+			if err := durableRef(where + ".kill_coordinator"); err != nil {
+				return err
+			}
+			if coordDown {
+				return &ParseError{Msg: fmt.Sprintf("%s.kill_coordinator: the coordinator is already down", where)}
+			}
+			coordDown = true
+		case e.RestartCoordinator:
+			if err := durableRef(where + ".restart_coordinator"); err != nil {
+				return err
+			}
+			if !coordDown {
+				return &ParseError{Msg: fmt.Sprintf("%s.restart_coordinator without a preceding kill_coordinator", where)}
+			}
+			coordDown = false
 		}
+		if coordDown {
+			switch {
+			case e.KillCoordinator, e.RestartCoordinator:
+			default:
+				return &ParseError{Msg: fmt.Sprintf("%s: only restart_coordinator may follow kill_coordinator (the coordinator is down)", where)}
+			}
+		}
+	}
+	if coordDown {
+		return &ParseError{Msg: "scenario ends with the coordinator down: add a restart_coordinator event"}
 	}
 	for i, a := range s.Assertions {
 		where := fmt.Sprintf("assertions[%d]", i)
@@ -355,6 +495,22 @@ func (s *Scenario) Validate() error {
 		case a.NodeStates != nil:
 			if s.Fleet == nil {
 				return &ParseError{Msg: fmt.Sprintf("%s.node_states needs a fleet: stanza", where)}
+			}
+		case a.SweepState != nil:
+			if err := sweepRefs(a.SweepState.Sweep, where+".sweep_state"); err != nil {
+				return err
+			}
+		case a.SweepOracle != nil:
+			if err := sweepRefs(a.SweepOracle.Sweep, where+".sweep_cells_match_oracle"); err != nil {
+				return err
+			}
+		case a.ReconciledRuns != nil:
+			if s.Fleet == nil {
+				return &ParseError{Msg: fmt.Sprintf("%s.reconciled_runs needs a fleet: stanza", where)}
+			}
+		case a.AdoptedResults != nil:
+			if s.Fleet == nil {
+				return &ParseError{Msg: fmt.Sprintf("%s.adopted_results needs a fleet: stanza", where)}
 			}
 		}
 		for _, n := range check {

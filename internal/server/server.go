@@ -3,6 +3,7 @@
 //
 //	POST   /v1/runs             submit a WorkloadSpec+Options payload
 //	GET    /v1/runs             list runs, newest first (limit=, cursor=, state=)
+//	POST   /v1/runs/reconcile   bulk-report authoritative run states (fleet recovery)
 //	GET    /v1/runs/{id}        status, and the full result once done
 //	DELETE /v1/runs/{id}        cancel a queued or running simulation
 //	GET    /v1/runs/{id}/events server-sent lifecycle events
@@ -77,6 +78,7 @@ func New(pool *runqueue.Pool, opts ...Option) *Server {
 		"Panics recovered without taking the daemon down, by origin.", "where", "http")
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("POST /v1/runs/reconcile", s.handleReconcile)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
@@ -359,6 +361,42 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(snap.TraceJSON)
+}
+
+// ReconcileRequest is the POST /v1/runs/reconcile payload: the run IDs a
+// restarted coordinator believes this node owns and needs authoritative
+// states for.
+type ReconcileRequest struct {
+	IDs []string `json:"ids"`
+}
+
+// ReconcileResponse answers a reconcile probe: a full view (result
+// included) for every asked-about run this pool has a record of, and the
+// IDs it knows nothing about — which the coordinator requeues elsewhere.
+type ReconcileResponse struct {
+	Runs    []RunView `json:"runs,omitempty"`
+	Missing []string  `json:"missing,omitempty"`
+}
+
+// handleReconcile bulk-reports run states for a recovering coordinator.
+// The node is the authority: a run it finished while the coordinator was
+// down comes back terminal with its exact result bytes, which is what
+// keeps resumed fleet sweeps byte-identical.
+func (s *Server) handleReconcile(w http.ResponseWriter, r *http.Request) {
+	var req ReconcileRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var resp ReconcileResponse
+	for _, id := range req.IDs {
+		snap, err := s.pool.Get(id)
+		if err != nil {
+			resp.Missing = append(resp.Missing, id)
+			continue
+		}
+		resp.Runs = append(resp.Runs, viewOf(snap, true))
+	}
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // SweepSubmitRequest is the POST /v1/sweeps payload: the grid plus an

@@ -15,8 +15,9 @@ import (
 // APIRevision is the revision of the v1 wire surface this build speaks.
 // Bump it when a change would make a coordinator and a node disagree about
 // request or response shapes; nodes with a different revision are refused
-// at registration.
-const APIRevision = 1
+// at registration. Revision 2 added POST /v1/runs/reconcile, which a
+// recovering coordinator requires every node to serve.
+const APIRevision = 2
 
 // Roles a pdpad process can serve in, reported by GET /v1/version.
 const (

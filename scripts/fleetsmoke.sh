@@ -9,7 +9,12 @@
 #      mid-flight. The coordinator must declare the node dead, requeue its
 #      members onto the survivor, finish the sweep — and the cells must
 #      still be byte-identical to the standalone run of the same grid.
-#   3. Hygiene: goroutine counts (pdpad_goroutines) on the coordinator and
+#   3. Coordinator death: a third sweep is submitted and the coordinator
+#      itself is kill -9'd once at least one member has finished. A new
+#      coordinator restarted on the same -store rehydrates the sweep, the
+#      surviving node re-registers and reconciles, and the SAME sweep id
+#      finishes with cells byte-identical to the standalone run.
+#   4. Hygiene: goroutine counts (pdpad_goroutines) on the coordinator and
 #      the surviving node must return to their post-registration baseline,
 #      and SIGTERM must drain everything cleanly.
 #
@@ -75,10 +80,15 @@ echo "== start standalone oracle + coordinator + 2 nodes"
     >"$work/solo.log" 2>&1 &
 solo_pid=$!
 pids+=($solo_pid)
-# -heartbeat 100ms: unhealthy after 300ms of silence, dead (runs requeued)
-# after 600ms, so phase 2's kill is detected fast.
-"$work/pdpad" -coordinator -addr "127.0.0.1:$coord_port" -heartbeat 100ms \
-    >"$work/coord.log" 2>&1 &
+# -heartbeat 100ms with -dead-after 3s: phase 2's kill is detected within a
+# few seconds, but a node whose workers saturate the CPU crunching phase 3's
+# long members can't be declared falsely dead between heartbeats (a 600ms
+# dead-after livelocks: declare dead -> requeue -> re-register -> repeat).
+# -store with per-append fsync makes the routing table survive the kill -9.
+coord_flags=(-coordinator -addr "127.0.0.1:$coord_port" -heartbeat 100ms
+    -unhealthy-after 500ms -dead-after 3s
+    -store "$work/coordstore" -store-sync=-1ms)
+"$work/pdpad" "${coord_flags[@]}" >"$work/coord.log" 2>&1 &
 coord_pid=$!
 pids+=($coord_pid)
 wait_healthz "$coord" coord
@@ -164,13 +174,72 @@ if [[ "$deaths" -lt 1 ]]; then
 fi
 echo "   sweep survived the kill byte-identically (deaths=$deaths requeues=$requeues)"
 
-echo "== phase 3: goroutine hygiene + clean SIGTERM drain"
+echo "== phase 3: kill -9 the coordinator mid-sweep, restart on the same store"
+# window_s 43200: a few hundred ms of compute per member, so 16 members
+# keep the lone survivor busy for seconds — the kill lands with work in
+# flight, not after the fact.
+grid3='{"policies":["equip","pdpa"],"mixes":["w1","w2"],"loads":[0.6,0.8],"seeds":[7,8],"ncpu":32,"window_s":43200}'
+solo_id3=$(submit_sweep "$solo" "$grid3")
+fleet_id3=$(submit_sweep "$coord" "$grid3")
+# Kill only once the sweep has real progress: with at least one member done
+# and many still queued on the lone survivor, the restarted coordinator must
+# adopt finished results AND resume the in-flight remainder.
+done_members=0
+poll_deadline=$((SECONDS + 30))
+while [[ $SECONDS -lt $poll_deadline ]]; do
+    done_members=$(curl -fsS -m 5 "$coord/v1/sweeps/$fleet_id3" | jq -r .done)
+    [[ "${done_members:-0}" -ge 1 ]] && break
+    sleep 0.01
+done
+if [[ "$done_members" -lt 1 ]]; then
+    echo "FAIL: sweep $fleet_id3 made no progress before the coordinator kill" >&2
+    exit 1
+fi
+kill -9 "$coord_pid"
+wait "$coord_pid" 2>/dev/null || true
+echo "   coordinator killed with $done_members/16 members done"
+"$work/pdpad" "${coord_flags[@]}" >>"$work/coord.log" 2>&1 &
+coord_pid=$!
+pids+=($coord_pid)
+wait_healthz "$coord" coord
+for _ in $(seq 1 100); do
+    healthy=$(curl -fsS "$coord/v1/nodes" |
+        jq '[.nodes[] | select(.state == "healthy")] | length')
+    [[ "$healthy" -ge 1 ]] && break
+    sleep 0.1
+done
+if [[ "$healthy" -lt 1 ]]; then
+    echo "FAIL: no node re-registered with the restarted coordinator" >&2
+    curl -fsS "$coord/v1/nodes" | jq . >&2
+    exit 1
+fi
+wait_sweep "$solo" "$solo_id3"
+wait_sweep "$coord" "$fleet_id3" # the SAME sweep id, across the restart
+sweep_cells "$solo" "$solo_id3" >"$work/solo-cells-3.json"
+sweep_cells "$coord" "$fleet_id3" >"$work/fleet-cells-3.json"
+if ! cmp -s "$work/solo-cells-3.json" "$work/fleet-cells-3.json"; then
+    echo "FAIL: post-restart fleet sweep cells differ from standalone:" >&2
+    diff "$work/solo-cells-3.json" "$work/fleet-cells-3.json" >&2 || true
+    exit 1
+fi
+reconciled=$(curl -fsS "$coord/metrics" | awk '$1 == "pdpad_fleet_reconciled_runs_total" {print int($2)}')
+if [[ "${reconciled:-0}" -lt 1 ]]; then
+    echo "FAIL: restarted coordinator reconciled no runs (reconciled=${reconciled:-0})" >&2
+    exit 1
+fi
+echo "   sweep survived the coordinator kill byte-identically (reconciled=$reconciled)"
+# The restarted coordinator is a new process: re-baseline it once the
+# re-registration and reconcile traffic has settled.
+sleep 1
+coord_base_goro=$(goroutines "$coord")
+
+echo "== phase 4: goroutine hygiene + clean SIGTERM drain"
 sleep 1 # let requeue traffic and SSE followers settle
 coord_goro=$(goroutines "$coord")
 node1_goro=$(goroutines "$node1")
-# The baseline was taken right after registration; a handful of transient
-# pooled-connection/heartbeat goroutines is normal, a per-run leak is not
-# (phase 1+2 ran 24 members — a leak would show up as tens of goroutines).
+# The baselines were taken right after (re-)registration; a handful of
+# transient pooled-connection/heartbeat goroutines is normal, a per-run leak
+# is not (phases 1-3 ran 40 members — a leak would show as tens of them).
 if [[ $((coord_goro - coord_base_goro)) -gt 8 ]]; then
     echo "FAIL: coordinator leaked goroutines: $coord_base_goro -> $coord_goro" >&2
     exit 1
@@ -198,4 +267,4 @@ for name in node1 coord solo; do
 done
 pids=()
 
-echo "fleetsmoke: identity, node-death failover, and clean drain all verified"
+echo "fleetsmoke: identity, node-death failover, coordinator-death recovery, and clean drain all verified"
